@@ -1,0 +1,118 @@
+// Command vwserver runs the distributed virtual windtunnel's remote
+// host — the Convex's role: it owns a dataset (resident in memory or
+// streamed from disk), interprets user commands from any number of
+// workstations over dlib, computes the visualization geometry, and
+// ships it back (figure 8).
+//
+// Usage:
+//
+//	vwserver -data data/cyl -listen :9040
+//	vwserver -data data/cyl -resident=false -diskbw 30 -prefetch
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/compute"
+	"repro/internal/core"
+	"repro/internal/field"
+	"repro/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vwserver: ")
+
+	var (
+		data     = flag.String("data", "", "dataset directory from vwgen (required)")
+		listen   = flag.String("listen", "127.0.0.1:9040", "listen address")
+		resident = flag.Bool("resident", true, "load the whole dataset into memory (the 1 GB Convex mode); false streams from disk")
+		diskBW   = flag.Int64("diskbw", 0, "simulated disk bandwidth in MB/s when streaming (0 = unthrottled; the Convex measured 30-50)")
+		prefetch = flag.Bool("prefetch", true, "overlap next-timestep loads with computation when streaming")
+		workers  = flag.Int("workers", 0, "computation worker count (0 = GOMAXPROCS)")
+		vector   = flag.Bool("vector", false, "use the vectorized (SoA batch) engine")
+	)
+	flag.Parse()
+	if *data == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	disk, err := store.OpenDisk(*data, store.DiskOptions{BandwidthBytesPerSec: *diskBW << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var st store.Store = disk
+	if *resident {
+		log.Printf("loading %d timesteps into memory", disk.NumSteps())
+		steps := make([]*field.Field, disk.NumSteps())
+		for t := range steps {
+			if steps[t], err = disk.LoadStep(t); err != nil {
+				log.Fatal(err)
+			}
+		}
+		u, err := field.NewUnsteady(disk.Grid(), steps, disk.DT())
+		if err != nil {
+			log.Fatal(err)
+		}
+		st = store.NewMemory(u)
+	}
+
+	var engine compute.Engine
+	if *vector {
+		engine = compute.Vector{}
+	} else {
+		engine = compute.Parallel{NumWorkers: *workers}
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := core.Serve(ln, st, core.Options{
+		Engine:   engine,
+		Prefetch: !*resident && *prefetch,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving %d-step dataset on %s (engine %s, resident=%v)",
+		st.NumSteps(), ln.Addr(), engine.Name(), *resident)
+
+	// Periodic stats until interrupted.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	ticker := time.NewTicker(5 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s := srv.Stats()
+			if s.Frames == 0 {
+				continue
+			}
+			log.Printf("frames=%d points=%d avg_compute=%v avg_load=%v shipped=%.1fMB sessions=%d",
+				s.Frames, s.Points,
+				(s.ComputeTime / time.Duration(s.Frames)).Round(time.Microsecond),
+				(s.LoadTime / time.Duration(s.Frames)).Round(time.Microsecond),
+				float64(s.BytesShipped)/(1<<20),
+				srv.Dlib().NumSessions())
+			for _, proc := range srv.Dlib().ProcNames() {
+				ps := srv.Dlib().ProcStats()[proc]
+				log.Printf("  %-12s calls=%d mean=%v max=%v out=%.1fMB errs=%d",
+					proc, ps.Calls, ps.Mean().Round(time.Microsecond),
+					ps.MaxService.Round(time.Microsecond),
+					float64(ps.BytesOut)/(1<<20), ps.Errors)
+			}
+		case <-stop:
+			log.Printf("shutting down")
+			srv.Dlib().Close()
+			return
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Package bench regenerates every table and figure in the paper's
+// evaluation: the network constraints of Table 1, the disk bandwidth
+// constraints of Table 2, the computational constraints of Table 3 and
+// the §5.3 engine benchmark, the visualization figures 1-3, the
+// figure-8 server pipeline and figure-9 workstation loop measurements,
+// and the ablations DESIGN.md calls out. cmd/vwbench and the
+// repository-root benchmarks both drive this package.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint renders the table.
+func (t *Table) Fprint(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "\n== %s ==\n", t.Title); err != nil {
+		return err
+	}
+	if t.Note != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Note); err != nil {
+			return err
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Header, "\t"))
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	return tw.Flush()
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Fprint(&sb)
+	return sb.String()
+}

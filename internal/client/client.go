@@ -1,0 +1,310 @@
+// Package client implements the workstation side of the distributed
+// windtunnel (figure 9): a network process that runs the once-per-
+// frame dlib exchange with the remote host, and a render process that
+// redraws the head-tracked stereo display from the latest received
+// state at its own, much higher rate — "the graphics performance is
+// not tied to the network and remote computation performance".
+package client
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dlib"
+	"repro/internal/render"
+	"repro/internal/vmath"
+	"repro/internal/vr"
+	"repro/internal/wire"
+)
+
+// Config sets up a workstation.
+type Config struct {
+	// FrameW, FrameH size the framebuffer; zero uses 640x512 (a
+	// quarter of the VGX's 1280x1024, laptop-friendly).
+	FrameW, FrameH int
+	// IPD is the stereo eye separation in world units.
+	IPD float32
+	// FOV is the vertical field of view in radians; zero uses 1.5
+	// (the LEEP optics' wide field).
+	FOV float32
+}
+
+// Stats are the workstation's performance counters.
+type Stats struct {
+	NetFrames    int64
+	RenderFrames int64
+	NetTime      time.Duration
+	BytesDown    int64
+}
+
+// Workstation is one user's machine.
+type Workstation struct {
+	c      *dlib.Client
+	info   wire.DatasetInfo
+	selfID int64
+
+	mu      sync.Mutex
+	latest  wire.FrameReply
+	haveOne bool
+	pending []wire.Command
+
+	fb  *render.Framebuffer
+	rig render.StereoRig
+
+	netFrames    atomic.Int64
+	renderFrames atomic.Int64
+	netNanos     atomic.Int64
+	bytesDown    atomic.Int64
+
+	interact Interactor
+}
+
+// New connects the application layer over an established dlib client:
+// it fetches the dataset info and prepares the renderer.
+func New(c *dlib.Client, cfg Config) (*Workstation, error) {
+	if cfg.FrameW == 0 {
+		cfg.FrameW, cfg.FrameH = 640, 512
+	}
+	if cfg.IPD == 0 {
+		cfg.IPD = 0.064
+	}
+	if cfg.FOV == 0 {
+		cfg.FOV = 1.5
+	}
+	out, err := c.Call(wire.ProcHello, nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: hello: %w", err)
+	}
+	info, err := wire.DecodeDatasetInfo(out)
+	if err != nil {
+		return nil, err
+	}
+	idBytes, err := c.Call(wire.ProcWhoAmI, nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: whoami: %w", err)
+	}
+	if len(idBytes) != 8 {
+		return nil, fmt.Errorf("client: whoami reply of %d bytes", len(idBytes))
+	}
+	selfID := int64(binary.LittleEndian.Uint64(idBytes))
+	fb, err := render.NewFramebuffer(cfg.FrameW, cfg.FrameH)
+	if err != nil {
+		return nil, err
+	}
+	aspect := float32(cfg.FrameW) / float32(cfg.FrameH)
+	return &Workstation{
+		c:      c,
+		info:   info,
+		selfID: selfID,
+		fb:     fb,
+		rig: render.StereoRig{
+			IPD:  cfg.IPD,
+			Proj: vmath.Perspective(cfg.FOV, aspect, 0.05, 500),
+		},
+	}, nil
+}
+
+// Info returns the dataset description received at connect time.
+func (w *Workstation) Info() wire.DatasetInfo { return w.info }
+
+// Framebuffer exposes the display for PPM dumps and tests.
+func (w *Workstation) Framebuffer() *render.Framebuffer { return w.fb }
+
+// Queue adds a command to the next network frame.
+func (w *Workstation) Queue(cmd wire.Command) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.pending = append(w.pending, cmd)
+}
+
+// Latest returns the most recent environment state (zero value before
+// the first exchange).
+func (w *Workstation) Latest() (wire.FrameReply, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.latest, w.haveOne
+}
+
+// NetStep performs one network frame: send the user's pose, gestures,
+// and queued commands; receive and store the new shared state. This is
+// the loop that must complete "in less than 1/8th of a second" (§1.2).
+func (w *Workstation) NetStep(pose vr.Pose) error {
+	w.mu.Lock()
+	cmds := w.pending
+	w.pending = nil
+	w.mu.Unlock()
+
+	// Gesture-driven interaction synthesizes grab/move/release
+	// commands from the hand state and the last known rake set.
+	if latest, ok := w.Latest(); ok {
+		cmds = append(cmds, w.interact.Commands(pose, latest.Rakes)...)
+	}
+
+	payload := wire.EncodeClientUpdate(wire.ClientUpdate{
+		Head:     pose.Head,
+		Hand:     pose.Hand,
+		Gesture:  uint8(pose.Gesture),
+		Commands: cmds,
+	})
+	start := time.Now()
+	out, err := w.c.Call(wire.ProcFrame, payload)
+	if err != nil {
+		return fmt.Errorf("client: frame call: %w", err)
+	}
+	reply, err := wire.DecodeFrameReply(out)
+	if err != nil {
+		return err
+	}
+	w.netNanos.Add(int64(time.Since(start)))
+	w.netFrames.Add(1)
+	w.bytesDown.Add(int64(len(out)))
+
+	w.mu.Lock()
+	w.latest = reply
+	w.haveOne = true
+	w.mu.Unlock()
+	return nil
+}
+
+// RenderFrame redraws the stereo display from the latest state at the
+// given head pose. It runs decoupled from NetStep: "the head-tracked
+// display of the virtual environment can run at very high rates" even
+// while the command loop is slower.
+func (w *Workstation) RenderFrame(head vmath.Mat4) error {
+	state, ok := w.Latest()
+	if !ok {
+		w.fb.Clear(0, 0, 0)
+		w.renderFrames.Add(1)
+		return nil
+	}
+	err := w.rig.RenderAnaglyph(w.fb, head, func(r *render.Renderer) {
+		drawScene(r, state, w.selfID)
+	})
+	if err != nil {
+		return err
+	}
+	w.renderFrames.Add(1)
+	return nil
+}
+
+// drawScene draws geometry, rakes, and other users (self excluded —
+// you do not see your own head from inside it).
+func drawScene(r *render.Renderer, state wire.FrameReply, selfID int64) {
+	for _, g := range state.Geometry {
+		switch g.Tool {
+		case 2: // streakline: smoke
+			r.Additive = true
+			for _, line := range g.Lines {
+				r.Polyline(line, render.Color{R: 70, G: 70, B: 70})
+			}
+			r.Additive = false
+		default:
+			for _, line := range g.Lines {
+				r.Polyline(line, render.Color{R: 230, G: 230, B: 230})
+			}
+		}
+	}
+	for _, rk := range state.Rakes {
+		c := render.Color{R: 160, G: 160, B: 160}
+		if rk.Holder != 0 {
+			c = render.Color{R: 255, G: 255, B: 255}
+		}
+		r.Line(rk.P0, rk.P1, c)
+	}
+	// Other users render as a hand tripod plus a head glyph, so
+	// participants see "where everyone is" (§5.1: "the position of the
+	// users' heads would also be sent so that they may be displayed as
+	// part of the virtual environment").
+	for _, u := range state.Users {
+		if u.ID == selfID {
+			continue
+		}
+		h := u.Hand
+		const s = 0.2
+		c := render.Color{R: 200, G: 200, B: 200}
+		r.Line(h.Sub(vmath.V3(s, 0, 0)), h.Add(vmath.V3(s, 0, 0)), c)
+		r.Line(h.Sub(vmath.V3(0, s, 0)), h.Add(vmath.V3(0, s, 0)), c)
+		r.Line(h.Sub(vmath.V3(0, 0, s)), h.Add(vmath.V3(0, 0, s)), c)
+		drawHead(r, u.Head, c)
+	}
+}
+
+// drawHead draws a wireframe head glyph (a square face plate with a
+// nose line showing gaze direction) at the user's head matrix.
+func drawHead(r *render.Renderer, head vmath.Mat4, c render.Color) {
+	const s = 0.15
+	corners := [4]vmath.Vec3{
+		head.TransformPoint(vmath.V3(-s, -s, 0)),
+		head.TransformPoint(vmath.V3(s, -s, 0)),
+		head.TransformPoint(vmath.V3(s, s, 0)),
+		head.TransformPoint(vmath.V3(-s, s, 0)),
+	}
+	for i := range corners {
+		r.Line(corners[i], corners[(i+1)%4], c)
+	}
+	// Gaze: the head looks down its local -Z.
+	center := head.TransformPoint(vmath.Vec3{})
+	nose := head.TransformPoint(vmath.V3(0, 0, -2*s))
+	r.Line(center, nose, c)
+}
+
+// Stats returns a snapshot of the counters.
+func (w *Workstation) Stats() Stats {
+	return Stats{
+		NetFrames:    w.netFrames.Load(),
+		RenderFrames: w.renderFrames.Load(),
+		NetTime:      time.Duration(w.netNanos.Load()),
+		BytesDown:    w.bytesDown.Load(),
+	}
+}
+
+// RunDecoupled drives the two processes concurrently for netFrames
+// network rounds with a scripted user: the render loop spins freely
+// until the network loop finishes. Returns achieved rates in frames
+// per second of wall time.
+func (w *Workstation) RunDecoupled(user *vr.ScriptedUser, netFrames int) (netHz, renderHz float64, err error) {
+	start := time.Now()
+	done := make(chan struct{})
+	var netErr error
+	// The devices belong to the network goroutine (it samples them at
+	// the command rate); the render loop reads the latest head pose
+	// from a shared snapshot, exactly how figure 9's shared memory
+	// carries tracking data between the two processes.
+	var poseMu sync.Mutex
+	head := vmath.Identity()
+	go func() {
+		defer close(done)
+		for i := 0; i < netFrames; i++ {
+			pose := user.Step()
+			poseMu.Lock()
+			head = pose.Head
+			poseMu.Unlock()
+			if e := w.NetStep(pose); e != nil {
+				netErr = e
+				return
+			}
+		}
+	}()
+	var renders int64
+	for {
+		select {
+		case <-done:
+			elapsed := time.Since(start).Seconds()
+			if netErr != nil {
+				return 0, 0, netErr
+			}
+			return float64(netFrames) / elapsed, float64(renders) / elapsed, nil
+		default:
+			poseMu.Lock()
+			h := head
+			poseMu.Unlock()
+			if e := w.RenderFrame(h); e != nil {
+				return 0, 0, e
+			}
+			renders++
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package client
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/integrate"
+	"repro/internal/vmath"
+	"repro/internal/vr"
+	"repro/internal/wire"
+)
+
+func TestParseRakeAdd(t *testing.T) {
+	cmd, err := ParseCommand("rake add -3,0.6,1 -3,0.6,14 10 streamline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Kind != wire.CmdAddRake {
+		t.Fatalf("kind = %v", cmd.Kind)
+	}
+	if !cmd.P0.ApproxEqual(vmath.V3(-3, 0.6, 1), 1e-5) ||
+		!cmd.P1.ApproxEqual(vmath.V3(-3, 0.6, 14), 1e-5) {
+		t.Errorf("endpoints %v %v", cmd.P0, cmd.P1)
+	}
+	if cmd.NumSeeds != 10 || cmd.Tool != uint8(integrate.ToolStreamline) {
+		t.Errorf("seeds=%d tool=%d", cmd.NumSeeds, cmd.Tool)
+	}
+}
+
+func TestParseToolAliases(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		want integrate.ToolKind
+	}{
+		{"streamline", integrate.ToolStreamline},
+		{"path", integrate.ToolParticlePath},
+		{"particle-path", integrate.ToolParticlePath},
+		{"streak", integrate.ToolStreakline},
+		{"smoke", integrate.ToolStreakline},
+	} {
+		cmd, err := ParseCommand("rake add 0,0,0 1,0,0 5 " + tc.name)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if cmd.Tool != uint8(tc.want) {
+			t.Errorf("%s -> tool %d, want %d", tc.name, cmd.Tool, tc.want)
+		}
+	}
+}
+
+func TestParseGrabReleaseMove(t *testing.T) {
+	cmd, err := ParseCommand("grab 3 end1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Kind != wire.CmdGrab || cmd.Rake != 3 || cmd.Grab != uint8(integrate.GrabEnd1) {
+		t.Errorf("grab = %+v", cmd)
+	}
+	cmd, err = ParseCommand("release 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Kind != wire.CmdRelease || cmd.Rake != 3 {
+		t.Errorf("release = %+v", cmd)
+	}
+	cmd, err = ParseCommand("move 3 1,2,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Kind != wire.CmdMove || cmd.Pos != vmath.V3(1, 2, 3) {
+		t.Errorf("move = %+v", cmd)
+	}
+}
+
+func TestParseTimeControl(t *testing.T) {
+	cmd, err := ParseCommand("play -2.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Kind != wire.CmdSetSpeed || cmd.Value != -2.5 {
+		t.Errorf("play = %+v", cmd)
+	}
+	cmd, err = ParseCommand("stop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Kind != wire.CmdSetPlaying || cmd.Flag != 0 {
+		t.Errorf("stop = %+v", cmd)
+	}
+	cmd, err = ParseCommand("seek 42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Kind != wire.CmdSeek || cmd.Value != 42 {
+		t.Errorf("seek = %+v", cmd)
+	}
+	cmd, err = ParseCommand("loop off")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Kind != wire.CmdSetLoop || cmd.Flag != 0 {
+		t.Errorf("loop = %+v", cmd)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"explode",
+		"rake",
+		"rake add 1,2 3,4,5 5 streamline", // bad vector
+		"rake add 1,2,3 4,5,6 0 streamline",
+		"rake add 1,2,3 4,5,6 5 warp",
+		"grab x center",
+		"grab 1 middle",
+		"move 1 a,b,c",
+		"play fast",
+		"seek soon",
+		"loop maybe",
+		"release",
+		"rake rm",
+		"rake seeds 1 zero",
+	}
+	for _, line := range bad {
+		if _, err := ParseCommand(line); err == nil {
+			t.Errorf("%q accepted", line)
+		}
+	}
+}
+
+func TestParseScript(t *testing.T) {
+	script := `
+# set the scene
+rake add -3,0.6,1 -3,0.6,14 10 streamline
+rake add -2,-0.8,2 -2,-0.8,12 6 smoke   # wake smoke
+play 2
+
+grab 1 center
+move 1 0,1,7
+release 1
+stop
+`
+	cmds, err := ParseScript(strings.NewReader(script))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// play expands to speed + playing, so: 2 rakes + 2 + grab + move +
+	// release + stop = 8.
+	if len(cmds) != 8 {
+		t.Fatalf("commands = %d, want 8", len(cmds))
+	}
+	if cmds[2].Kind != wire.CmdSetSpeed || cmds[3].Kind != wire.CmdSetPlaying || cmds[3].Flag != 1 {
+		t.Errorf("play did not expand: %+v %+v", cmds[2], cmds[3])
+	}
+}
+
+func TestParseScriptErrorsWithLineNumber(t *testing.T) {
+	_, err := ParseScript(strings.NewReader("stop\nbroken line here\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("err = %v, want line 2 mention", err)
+	}
+}
+
+func TestScriptDrivesServer(t *testing.T) {
+	// End-to-end: a console script manipulates the shared environment.
+	w := connect(t, startSystem(t, 4))
+	cmds, err := ParseScript(strings.NewReader(`
+rake add -3,0,0 3,0,0 5 streamline
+play 1
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cmds {
+		w.Queue(c)
+	}
+	if err := w.NetStep(vr.Pose{}); err != nil {
+		t.Fatal(err)
+	}
+	state, _ := w.Latest()
+	if len(state.Rakes) != 1 || !state.Time.Playing {
+		t.Errorf("script did not take: rakes=%d playing=%v", len(state.Rakes), state.Time.Playing)
+	}
+}
+
+func TestParseRakeTool(t *testing.T) {
+	cmd, err := ParseCommand("rake tool 2 smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Kind != wire.CmdSetTool || cmd.Rake != 2 || cmd.Tool != uint8(integrate.ToolStreakline) {
+		t.Errorf("cmd = %+v", cmd)
+	}
+	if _, err := ParseCommand("rake tool 2 warp"); err == nil {
+		t.Error("bad tool accepted")
+	}
+}

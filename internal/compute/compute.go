@@ -1,0 +1,195 @@
+// Package compute implements the visualization computation engines of
+// §5.3: the scalar code path parallelized across streamlines (the
+// Convex ran it on 4 processors, the SGI workstation on 8), and the
+// "vectorized" path that processes batches of streamlines in
+// structure-of-arrays form, the way the Convex's 128-entry vector
+// registers consumed them.
+//
+// Engines do the real integration work and also count the field
+// accesses the paper counts (§5.3: RK2 is "two accesses of the vector
+// field data ... per component per point", plus one conversion access
+// per component to return to physical coordinates). A CostModel maps
+// those counts onto 1992 processors, reproducing the paper's absolute
+// benchmark times; Go wall-clock numbers for the same engines are the
+// modern ablation.
+package compute
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/integrate"
+	"repro/internal/vmath"
+)
+
+// Stats counts the work units of one computation.
+type Stats struct {
+	// Points is the number of path points produced (excluding seeds).
+	Points int64
+	// SampleUnits is the number of component-trilinear-interpolations
+	// performed against velocity data (one "8 floating point loads
+	// plus a trilinear interpolation").
+	SampleUnits int64
+	// ConvertUnits is the number of component-trilerps performed to
+	// convert grid coordinates back to physical coordinates.
+	ConvertUnits int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Points += other.Points
+	s.SampleUnits += other.SampleUnits
+	s.ConvertUnits += other.ConvertUnits
+}
+
+// Units returns total work units.
+func (s Stats) Units() int64 { return s.SampleUnits + s.ConvertUnits }
+
+// samplesPerStep returns field accesses per integration step for a
+// method (per point, per component).
+func samplesPerStep(m integrate.Method) int64 {
+	switch m {
+	case integrate.Euler:
+		return 1
+	case integrate.RK2:
+		return 2
+	case integrate.RK4:
+		return 4
+	default:
+		return 2
+	}
+}
+
+// statsFor computes the §5.3 work accounting for paths with the given
+// total point count (seeds excluded).
+func statsFor(points int64, m integrate.Method) Stats {
+	return Stats{
+		Points: points,
+		// per point: samplesPerStep accesses x 3 components
+		SampleUnits: points * samplesPerStep(m) * 3,
+		// per point: one conversion x 3 components
+		ConvertUnits: points * 3,
+	}
+}
+
+// Engine computes visualization geometry for many seeds at once.
+type Engine interface {
+	// Name identifies the engine in benchmark tables.
+	Name() string
+	// Workers returns the logical processor count the engine models.
+	Workers() int
+	// Streamlines integrates one streamline per seed at fixed time t,
+	// returning grid-coordinate paths (parallel to seeds; a seed
+	// outside the domain yields an empty path).
+	Streamlines(s integrate.Sampler, seeds []vmath.Vec3, t float32, o integrate.Options) ([][]vmath.Vec3, Stats)
+	// ParticlePaths integrates one particle path per seed from t0.
+	ParticlePaths(s integrate.Sampler, seeds []vmath.Vec3, t0, maxTime float32, o integrate.Options) ([][]vmath.Vec3, Stats)
+}
+
+// Scalar is the sequential baseline: optimized scalar code, one
+// processor.
+type Scalar struct{}
+
+// Name implements Engine.
+func (Scalar) Name() string { return "scalar-1" }
+
+// Workers implements Engine.
+func (Scalar) Workers() int { return 1 }
+
+// Streamlines implements Engine.
+func (Scalar) Streamlines(s integrate.Sampler, seeds []vmath.Vec3, t float32, o integrate.Options) ([][]vmath.Vec3, Stats) {
+	paths := make([][]vmath.Vec3, len(seeds))
+	var points int64
+	for i, seed := range seeds {
+		paths[i] = integrate.Streamline(s, seed, t, o)
+		if n := len(paths[i]); n > 0 {
+			points += int64(n - 1)
+		}
+	}
+	return paths, statsFor(points, o.Method)
+}
+
+// ParticlePaths implements Engine.
+func (Scalar) ParticlePaths(s integrate.Sampler, seeds []vmath.Vec3, t0, maxTime float32, o integrate.Options) ([][]vmath.Vec3, Stats) {
+	paths := make([][]vmath.Vec3, len(seeds))
+	var points int64
+	for i, seed := range seeds {
+		paths[i] = integrate.ParticlePath(s, seed, t0, maxTime, o)
+		if n := len(paths[i]); n > 0 {
+			points += int64(n - 1)
+		}
+	}
+	return paths, statsFor(points, o.Method)
+}
+
+// Parallel distributes whole streamlines across a pool of workers —
+// "This code successfully parallelizes across the four processors of
+// the Convex by distributing the streamlines among the processors."
+type Parallel struct {
+	// NumWorkers is the logical processor count; 0 uses GOMAXPROCS.
+	NumWorkers int
+}
+
+// Name implements Engine.
+func (p Parallel) Name() string { return fmt.Sprintf("parallel-%d", p.workers()) }
+
+// Workers implements Engine.
+func (p Parallel) Workers() int { return p.workers() }
+
+func (p Parallel) workers() int {
+	if p.NumWorkers > 0 {
+		return p.NumWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Streamlines implements Engine.
+func (p Parallel) Streamlines(s integrate.Sampler, seeds []vmath.Vec3, t float32, o integrate.Options) ([][]vmath.Vec3, Stats) {
+	return p.fanOut(seeds, func(seed vmath.Vec3) []vmath.Vec3 {
+		return integrate.Streamline(s, seed, t, o)
+	}, o)
+}
+
+// ParticlePaths implements Engine.
+func (p Parallel) ParticlePaths(s integrate.Sampler, seeds []vmath.Vec3, t0, maxTime float32, o integrate.Options) ([][]vmath.Vec3, Stats) {
+	return p.fanOut(seeds, func(seed vmath.Vec3) []vmath.Vec3 {
+		return integrate.ParticlePath(s, seed, t0, maxTime, o)
+	}, o)
+}
+
+func (p Parallel) fanOut(seeds []vmath.Vec3, one func(vmath.Vec3) []vmath.Vec3, o integrate.Options) ([][]vmath.Vec3, Stats) {
+	paths := make([][]vmath.Vec3, len(seeds))
+	workers := p.workers()
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, len(seeds))
+	for i := range seeds {
+		next <- i
+	}
+	close(next)
+	counts := make([]int64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range next {
+				paths[i] = one(seeds[i])
+				if n := len(paths[i]); n > 0 {
+					counts[w] += int64(n - 1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var points int64
+	for _, c := range counts {
+		points += c
+	}
+	return paths, statsFor(points, o.Method)
+}

@@ -1,0 +1,329 @@
+package compute
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/field"
+	"repro/internal/grid"
+	"repro/internal/integrate"
+	"repro/internal/vmath"
+)
+
+// swirlField builds a grid+field pair whose streamlines are long
+// orbits, for comparing engines.
+func swirlField(t testing.TB) SteadyBatch {
+	t.Helper()
+	g, err := grid.NewCartesian(32, 32, 16, vmath.AABB{
+		Min: vmath.V3(0, 0, 0), Max: vmath.V3(31, 31, 15),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := field.NewField(32, 32, 16, field.GridCoords)
+	for k := 0; k < 16; k++ {
+		for j := 0; j < 32; j++ {
+			for i := 0; i < 32; i++ {
+				dx := (float32(i) - 15.5) / 15.5
+				dy := (float32(j) - 15.5) / 15.5
+				f.SetAt(i, j, k, vmath.Vec3{X: -dy * 0.1, Y: dx * 0.1, Z: 0.01})
+			}
+		}
+	}
+	return SteadyBatch{F: f, G: g}
+}
+
+func benchSeeds(n int) []vmath.Vec3 {
+	seeds := make([]vmath.Vec3, n)
+	for i := range seeds {
+		frac := float32(i) / float32(n)
+		seeds[i] = vmath.V3(8+frac*16, 12+frac*8, 2+frac*10)
+	}
+	return seeds
+}
+
+func engines() []Engine {
+	return []Engine{
+		Scalar{},
+		Parallel{NumWorkers: 4},
+		Vector{},
+		Vector{VectorLength: 7}, // odd chunk exercises remainder handling
+	}
+}
+
+func TestEnginesAgreeOnPaths(t *testing.T) {
+	s := swirlField(t)
+	seeds := benchSeeds(37)
+	o := integrate.Options{Method: integrate.RK2, StepSize: 0.5, MaxSteps: 100, MinSpeed: 1e-9}
+	ref, refStats := Scalar{}.Streamlines(s, seeds, 0, o)
+	for _, e := range engines()[1:] {
+		paths, stats := e.Streamlines(s, seeds, 0, o)
+		if len(paths) != len(ref) {
+			t.Fatalf("%s: %d paths, want %d", e.Name(), len(paths), len(ref))
+		}
+		for i := range ref {
+			if len(paths[i]) != len(ref[i]) {
+				t.Fatalf("%s: path %d has %d points, scalar %d",
+					e.Name(), i, len(paths[i]), len(ref[i]))
+			}
+			for p := range ref[i] {
+				if !paths[i][p].ApproxEqual(ref[i][p], 1e-4) {
+					t.Fatalf("%s: path %d point %d = %v, scalar %v",
+						e.Name(), i, p, paths[i][p], ref[i][p])
+				}
+			}
+		}
+		if stats.Points != refStats.Points {
+			t.Errorf("%s: stats.Points = %d, scalar %d", e.Name(), stats.Points, refStats.Points)
+		}
+	}
+}
+
+func TestEnginesAgreeOnEuler(t *testing.T) {
+	s := swirlField(t)
+	seeds := benchSeeds(10)
+	o := integrate.Options{Method: integrate.Euler, StepSize: 0.5, MaxSteps: 50, MinSpeed: 1e-9}
+	ref, _ := Scalar{}.Streamlines(s, seeds, 0, o)
+	paths, _ := Vector{}.Streamlines(s, seeds, 0, o)
+	for i := range ref {
+		if len(paths[i]) != len(ref[i]) {
+			t.Fatalf("path %d: %d vs %d points", i, len(paths[i]), len(ref[i]))
+		}
+		for p := range ref[i] {
+			if !paths[i][p].ApproxEqual(ref[i][p], 1e-4) {
+				t.Fatalf("path %d point %d differs", i, p)
+			}
+		}
+	}
+}
+
+func TestVectorHandlesOutOfBoundsSeeds(t *testing.T) {
+	s := swirlField(t)
+	seeds := []vmath.Vec3{
+		vmath.V3(-5, 0, 0),  // outside
+		vmath.V3(16, 16, 8), // inside
+		vmath.V3(99, 0, 0),  // outside
+	}
+	o := integrate.Options{Method: integrate.RK2, StepSize: 0.5, MaxSteps: 20, MinSpeed: 1e-9}
+	paths, _ := Vector{}.Streamlines(s, seeds, 0, o)
+	if len(paths[0]) != 0 || len(paths[2]) != 0 {
+		t.Error("out-of-bounds seeds produced points")
+	}
+	if len(paths[1]) < 2 {
+		t.Error("in-bounds seed produced no path")
+	}
+}
+
+func TestVectorLaneCompaction(t *testing.T) {
+	// A uniform field marches all particles out the +X face; seeds at
+	// staggered x die at different steps, exercising compaction.
+	g, _ := grid.NewCartesian(16, 8, 8, vmath.AABB{
+		Min: vmath.V3(0, 0, 0), Max: vmath.V3(15, 7, 7),
+	})
+	f := field.NewField(16, 8, 8, field.GridCoords)
+	for i := range f.U {
+		f.U[i] = 1
+	}
+	s := SteadyBatch{F: f, G: g}
+	seeds := []vmath.Vec3{
+		vmath.V3(14, 4, 4), vmath.V3(10, 4, 4), vmath.V3(2, 4, 4),
+	}
+	o := integrate.Options{Method: integrate.Euler, StepSize: 1, MaxSteps: 100, MinSpeed: 1e-9}
+	paths, _ := Vector{}.Streamlines(s, seeds, 0, o)
+	wantLens := []int{2, 6, 14} // 1 seed point + steps until x > 15
+	for i, want := range wantLens {
+		if len(paths[i]) != want {
+			t.Errorf("path %d length = %d, want %d", i, len(paths[i]), want)
+		}
+	}
+	// Scalar must agree exactly.
+	ref, _ := Scalar{}.Streamlines(s, seeds, 0, o)
+	for i := range ref {
+		if len(ref[i]) != len(paths[i]) {
+			t.Errorf("scalar path %d length %d differs from vector %d",
+				i, len(ref[i]), len(paths[i]))
+		}
+	}
+}
+
+func TestParticlePathsEnginesAgree(t *testing.T) {
+	s := swirlField(t)
+	seeds := benchSeeds(10)
+	o := integrate.Options{Method: integrate.RK2, StepSize: 1, MaxSteps: 30, MinSpeed: 1e-9}
+	ref, _ := Scalar{}.ParticlePaths(s, seeds, 0, 100, o)
+	for _, e := range []Engine{Parallel{NumWorkers: 3}, Vector{}} {
+		paths, _ := e.ParticlePaths(s, seeds, 0, 100, o)
+		for i := range ref {
+			if len(paths[i]) != len(ref[i]) {
+				t.Fatalf("%s: path %d length %d vs %d", e.Name(), i, len(paths[i]), len(ref[i]))
+			}
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	s := swirlField(t)
+	seeds := benchSeeds(5)
+	o := integrate.Options{Method: integrate.RK2, StepSize: 0.5, MaxSteps: 10, MinSpeed: 1e-9}
+	paths, stats := Scalar{}.Streamlines(s, seeds, 0, o)
+	var points int64
+	for _, p := range paths {
+		if len(p) > 0 {
+			points += int64(len(p) - 1)
+		}
+	}
+	if stats.Points != points {
+		t.Errorf("stats.Points = %d, want %d", stats.Points, points)
+	}
+	if stats.SampleUnits != points*6 {
+		t.Errorf("SampleUnits = %d, want %d (RK2: 2x3 per point)", stats.SampleUnits, points*6)
+	}
+	if stats.ConvertUnits != points*3 {
+		t.Errorf("ConvertUnits = %d, want %d", stats.ConvertUnits, points*3)
+	}
+	if stats.Units() != points*9 {
+		t.Errorf("Units = %d, want %d", stats.Units(), points*9)
+	}
+}
+
+func TestBenchmarkWorkloadShape(t *testing.T) {
+	w, err := BenchmarkWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Seeds) != BenchStreamlines {
+		t.Fatalf("seeds = %d", len(w.Seeds))
+	}
+	r := RunBenchmark(Scalar{}, w, CostModel{})
+	if !r.Complete {
+		t.Error("benchmark streamlines terminated early; workload must yield full 200-point lines")
+	}
+	if r.Points != BenchTotalPoints {
+		t.Errorf("points = %d, want %d", r.Points, BenchTotalPoints)
+	}
+	if r.Stats.Units() != int64(BenchTotalWorkUnits)-int64(BenchStreamlines)*9 {
+		// 199 integration steps per line: seeds are free.
+		t.Errorf("units = %d, want %d", r.Stats.Units(), BenchTotalWorkUnits-BenchStreamlines*9)
+	}
+}
+
+func TestCostModelReproducesPaperTimes(t *testing.T) {
+	// With the full 20,000-point accounting (the paper counts every
+	// point, including seeds), the three calibrated models must land
+	// on the paper's §5.3 benchmark times.
+	stats := statsFor(BenchTotalPoints, integrate.RK2)
+	cases := []struct {
+		model CostModel
+		want  time.Duration
+		tol   time.Duration
+	}{
+		{ConvexScalar4, 240 * time.Millisecond, 2 * time.Millisecond},
+		{ConvexVector3, 190 * time.Millisecond, 2 * time.Millisecond},
+		{SGI380GT8, 135 * time.Millisecond, 2 * time.Millisecond},
+	}
+	for _, c := range cases {
+		got := c.model.ModeledTime(stats)
+		diff := got - c.want
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > c.tol {
+			t.Errorf("%s modeled %v, want %v +- %v", c.model.Name, got, c.want, c.tol)
+		}
+	}
+	// And the ordering the paper found: workstation-8 < vector-3 <
+	// scalar-4.
+	if !(SGI380GT8.ModeledTime(stats) < ConvexVector3.ModeledTime(stats) &&
+		ConvexVector3.ModeledTime(stats) < ConvexScalar4.ModeledTime(stats)) {
+		t.Error("modeled engine ordering does not match the paper")
+	}
+}
+
+func TestMaxParticlesTable3(t *testing.T) {
+	// Table 3 rows: benchmark seconds -> max particles at 10 fps.
+	frame := 100 * time.Millisecond
+	cases := []struct {
+		bench time.Duration
+		want  int
+	}{
+		{250 * time.Millisecond, 8000},
+		{190 * time.Millisecond, 10526},
+		{130 * time.Millisecond, 15384},
+		{100 * time.Millisecond, 20000},
+		{50 * time.Millisecond, 40000},
+	}
+	for _, c := range cases {
+		got := MaxParticlesAt(c.bench, BenchTotalPoints, frame)
+		if got != c.want {
+			t.Errorf("MaxParticlesAt(%v) = %d, want %d", c.bench, got, c.want)
+		}
+	}
+	if MaxParticlesAt(0, BenchTotalPoints, frame) != 0 {
+		t.Error("zero bench time should yield 0")
+	}
+}
+
+func TestBenchTransferBytesMatchesPaper(t *testing.T) {
+	if BenchTransferBytes != 240000 {
+		t.Errorf("BenchTransferBytes = %d, want 240000", BenchTransferBytes)
+	}
+}
+
+func BenchmarkEngineScalar(b *testing.B)    { benchEngine(b, Scalar{}) }
+func BenchmarkEngineParallel4(b *testing.B) { benchEngine(b, Parallel{NumWorkers: 4}) }
+func BenchmarkEngineVector(b *testing.B)    { benchEngine(b, Vector{}) }
+
+func benchEngine(b *testing.B, e Engine) {
+	w, err := BenchmarkWorkload()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		paths, _ := e.Streamlines(w.Sampler, w.Seeds, w.Time, w.Options)
+		if len(paths) != BenchStreamlines {
+			b.Fatal("wrong path count")
+		}
+	}
+}
+
+func TestHybridAgreesWithScalar(t *testing.T) {
+	s := swirlField(t)
+	seeds := benchSeeds(41)
+	o := integrate.Options{Method: integrate.RK2, StepSize: 0.5, MaxSteps: 80, MinSpeed: 1e-9}
+	ref, refStats := Scalar{}.Streamlines(s, seeds, 0, o)
+	for _, h := range []Hybrid{{}, {NumWorkers: 2, VectorLength: 5}, {NumWorkers: 16}} {
+		paths, stats := h.Streamlines(s, seeds, 0, o)
+		if len(paths) != len(ref) {
+			t.Fatalf("%s: path count %d", h.Name(), len(paths))
+		}
+		for i := range ref {
+			if len(paths[i]) != len(ref[i]) {
+				t.Fatalf("%s: path %d length %d vs %d", h.Name(), i, len(paths[i]), len(ref[i]))
+			}
+			for p := range ref[i] {
+				if !paths[i][p].ApproxEqual(ref[i][p], 1e-4) {
+					t.Fatalf("%s: path %d point %d differs", h.Name(), i, p)
+				}
+			}
+		}
+		if stats.Points != refStats.Points {
+			t.Errorf("%s: stats.Points = %d, want %d", h.Name(), stats.Points, refStats.Points)
+		}
+	}
+}
+
+func TestHybridFallsBackWithoutBatchSampler(t *testing.T) {
+	// A plain sampler (not batchable) must still work via fallback.
+	s := swirlField(t)
+	plain := integrate.SteadySampler{F: s.F, G: s.G}
+	seeds := benchSeeds(7)
+	o := integrate.Options{Method: integrate.RK2, StepSize: 0.5, MaxSteps: 20, MinSpeed: 1e-9}
+	paths, _ := Hybrid{}.Streamlines(plain, seeds, 0, o)
+	ref, _ := Scalar{}.Streamlines(plain, seeds, 0, o)
+	for i := range ref {
+		if len(paths[i]) != len(ref[i]) {
+			t.Fatalf("fallback path %d length %d vs %d", i, len(paths[i]), len(ref[i]))
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package compute
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/integrate"
+	"repro/internal/vmath"
+)
+
+// Hybrid implements the optimization §5.3 leaves as future work: "One
+// optimization is to parallelize across groups of streamlines and
+// vectorize across streamlines in a group." Seeds are partitioned into
+// contiguous groups, one worker per group, and each worker runs the
+// SoA batch (Vector) engine over its group.
+type Hybrid struct {
+	// NumWorkers is the group/processor count; 0 uses 4 (the Convex).
+	NumWorkers int
+	// VectorLength is each group's batch width; 0 uses 128.
+	VectorLength int
+}
+
+// Name implements Engine.
+func (h Hybrid) Name() string { return fmt.Sprintf("hybrid-%d", h.workers()) }
+
+// Workers implements Engine.
+func (h Hybrid) Workers() int { return h.workers() }
+
+func (h Hybrid) workers() int {
+	if h.NumWorkers > 0 {
+		return h.NumWorkers
+	}
+	return 4
+}
+
+// Streamlines implements Engine.
+func (h Hybrid) Streamlines(s integrate.Sampler, seeds []vmath.Vec3, t float32, o integrate.Options) ([][]vmath.Vec3, Stats) {
+	if _, ok := s.(BatchSampler); !ok {
+		return Parallel{NumWorkers: h.workers()}.Streamlines(s, seeds, t, o)
+	}
+	workers := h.workers()
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	paths := make([][]vmath.Vec3, len(seeds))
+	statsPer := make([]Stats, workers)
+	per := (len(seeds) + workers - 1) / workers
+	var wg sync.WaitGroup
+	inner := Vector{VectorLength: h.VectorLength}
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		if lo >= len(seeds) {
+			break
+		}
+		hi := lo + per
+		if hi > len(seeds) {
+			hi = len(seeds)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			group, st := inner.Streamlines(s, seeds[lo:hi], t, o)
+			copy(paths[lo:hi], group)
+			statsPer[w] = st
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var total Stats
+	for _, st := range statsPer {
+		total.Add(st)
+	}
+	return paths, total
+}
+
+// ParticlePaths implements Engine via the parallel engine, as Vector
+// does.
+func (h Hybrid) ParticlePaths(s integrate.Sampler, seeds []vmath.Vec3, t0, maxTime float32, o integrate.Options) ([][]vmath.Vec3, Stats) {
+	return Parallel{NumWorkers: h.workers()}.ParticlePaths(s, seeds, t0, maxTime, o)
+}

@@ -1,0 +1,66 @@
+package compute
+
+import "time"
+
+// CostModel maps work-unit counts onto a 1992 machine. A "unit" is one
+// component trilinear interpolation with its eight floating point
+// loads, the quantity §5.3 counts. Unit costs are calibrated from the
+// paper's own benchmark (100 streamlines x 200 points = 20,000 points;
+// RK2 gives 9 units/point, so 180,000 units total):
+//
+//	Convex scalar, 4 procs:  0.24 s  => 0.24*4/180000  = 5333 ns/unit
+//	Convex vector, 3 procs:  0.19 s  => 0.19*3/180000  = 3167 ns/unit
+//	SGI 380GT,     8 procs:  0.135 s => 0.135*8/180000 = 6000 ns/unit
+//
+// With these three constants the model reproduces every derived number
+// in Table 3 and the §5.3 discussion, including the awkward finding
+// that vectorization barely paid off: the per-unit win (5333 -> 3167)
+// is mostly eaten by dropping from 4 processors to 3.
+type CostModel struct {
+	// Name labels benchmark rows.
+	Name string
+	// UnitNanos is the cost of one work unit on one processor.
+	UnitNanos float64
+	// Workers is the processor count work spreads across.
+	Workers int
+}
+
+// The paper's three machines/configurations.
+var (
+	// ConvexScalar4 is the Convex C3240 running the optimized scalar
+	// code parallelized across its four processors.
+	ConvexScalar4 = CostModel{Name: "convex-scalar-4", UnitNanos: 5333.3, Workers: 4}
+	// ConvexVector3 is the Convex running the vectorized code, one
+	// processor per velocity component.
+	ConvexVector3 = CostModel{Name: "convex-vector-3", UnitNanos: 3166.7, Workers: 3}
+	// SGI380GT8 is the stand-alone windtunnel's 8-processor SGI Iris
+	// 380GT VGX.
+	SGI380GT8 = CostModel{Name: "sgi-380gt-8", UnitNanos: 6000, Workers: 8}
+	// ConvexHybrid4 models the optimization §5.3 proposes but never
+	// built: vector-pipeline unit cost on all four processors
+	// (parallel across streamline groups, vectorized within each).
+	ConvexHybrid4 = CostModel{Name: "convex-hybrid-4", UnitNanos: 3166.7, Workers: 4}
+)
+
+// ModeledTime returns how long the work in stats would take on the
+// modeled machine, assuming perfect distribution across its workers
+// (the paper's streamline distribution is embarrassingly parallel and
+// balanced).
+func (m CostModel) ModeledTime(s Stats) time.Duration {
+	if m.Workers < 1 {
+		return 0
+	}
+	ns := float64(s.Units()) / float64(m.Workers) * m.UnitNanos
+	return time.Duration(ns)
+}
+
+// MaxParticlesAt returns the largest particle count sustainable at the
+// given frame period, assuming performance scales linearly with
+// particle count from a measured benchmark — Table 3's arithmetic:
+// "assuming that the performance scales with the number of particles".
+func MaxParticlesAt(benchTime time.Duration, benchParticles int, framePeriod time.Duration) int {
+	if benchTime <= 0 {
+		return 0
+	}
+	return int(float64(benchParticles) * float64(framePeriod) / float64(benchTime))
+}

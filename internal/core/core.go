@@ -1,0 +1,209 @@
+// Package core is the top-level virtual windtunnel API — the paper's
+// primary contribution assembled from the substrates: it launches
+// stand-alone sessions (everything in one process, the configuration
+// of the earlier Bryson-Levit system), serves datasets to remote
+// workstations, and connects workstations to remote servers, while
+// tracking the paper's central performance contract: the full
+// command-to-display loop must fit in 1/8 of a second (§1.2).
+package core
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/compute"
+	"repro/internal/dlib"
+	"repro/internal/field"
+	"repro/internal/integrate"
+	"repro/internal/server"
+	"repro/internal/store"
+	"repro/internal/vmath"
+	"repro/internal/vr"
+	"repro/internal/wire"
+)
+
+// FrameBudget is the paper's interaction deadline: "the system must
+// repeatedly react to the user's commands and display the virtual
+// scene in stereo to the user in less than 1/8th of a second."
+const FrameBudget = time.Second / 8
+
+// TargetFrameRate is the desired update rate: "Ten frames/second will
+// be taken as the desired frame rate."
+const TargetFrameRate = 10
+
+// Options configures a windtunnel.
+type Options struct {
+	// Engine selects the visualization computation engine; nil uses
+	// the parallel engine.
+	Engine compute.Engine
+	// Integration sets path computation parameters; the zero value
+	// uses RK2 with 200-point paths.
+	Integration integrate.Options
+	// Prefetch enables timestep prefetching for I/O-backed stores.
+	Prefetch bool
+	// FrameW, FrameH size the workstation display; zero uses 640x512.
+	FrameW, FrameH int
+}
+
+// Session is a connected windtunnel: a workstation (always) and, for
+// local sessions, the in-process server.
+type Session struct {
+	// WS is the workstation: rendering, state, and the network loop.
+	WS *client.Workstation
+	// User provides scripted head/hand input.
+	User *vr.ScriptedUser
+
+	conn *dlib.Client
+	srv  *server.Server // non-nil for local sessions
+}
+
+// LaunchLocal runs the stand-alone windtunnel: server and workstation
+// in one process over an in-memory pipe. The same code paths run as in
+// the distributed case — the paper kept the two builds from one source
+// tree for exactly this reason (§5.1).
+func LaunchLocal(dataset *field.Unsteady, opts Options) (*Session, error) {
+	srv, err := server.New(server.Config{
+		Store:    store.NewMemory(dataset),
+		Engine:   opts.Engine,
+		Options:  opts.Integration,
+		Prefetch: opts.Prefetch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	serverSide, clientSide := net.Pipe()
+	go srv.Dlib().ServeConn(serverSide)
+	return newSession(dlib.NewClient(clientSide), srv, opts)
+}
+
+// Serve starts a distributed windtunnel server on the listener and
+// returns immediately; close the returned server's Dlib() to stop.
+func Serve(ln net.Listener, st store.Store, opts Options) (*server.Server, error) {
+	srv, err := server.New(server.Config{
+		Store:    st,
+		Engine:   opts.Engine,
+		Options:  opts.Integration,
+		Prefetch: opts.Prefetch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	go srv.Dlib().Serve(ln)
+	return srv, nil
+}
+
+// Connect attaches a workstation to a remote windtunnel server, either
+// by address or through a pre-established connection (e.g. a netsim
+// link); pass exactly one.
+func Connect(addr string, conn net.Conn, opts Options) (*Session, error) {
+	var c *dlib.Client
+	switch {
+	case conn != nil:
+		c = dlib.NewClient(conn)
+	case addr != "":
+		var err error
+		c, err = dlib.Dial(addr)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("core: Connect needs an address or a connection")
+	}
+	return newSession(c, nil, opts)
+}
+
+func newSession(c *dlib.Client, srv *server.Server, opts Options) (*Session, error) {
+	ws, err := client.New(c, client.Config{FrameW: opts.FrameW, FrameH: opts.FrameH})
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	user, err := vr.NewScriptedUser(1)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	return &Session{WS: ws, User: user, conn: c, srv: srv}, nil
+}
+
+// Close tears the session down (and the server, for local sessions).
+func (s *Session) Close() error {
+	err := s.conn.Close()
+	if s.srv != nil {
+		if e := s.srv.Dlib().Close(); err == nil {
+			err = e
+		}
+	}
+	return err
+}
+
+// Server returns the in-process server for local sessions, or nil.
+func (s *Session) Server() *server.Server { return s.srv }
+
+// AddRake queues a rake creation for the next frame.
+func (s *Session) AddRake(p0, p1 vmath.Vec3, numSeeds int, tool integrate.ToolKind) {
+	s.WS.Queue(wire.Command{
+		Kind: wire.CmdAddRake,
+		P0:   p0, P1: p1,
+		NumSeeds: uint32(numSeeds),
+		Tool:     uint8(tool),
+	})
+}
+
+// Play starts dataset playback at the given speed (timesteps/frame;
+// negative runs time backward — §2's time control).
+func (s *Session) Play(speed float32) {
+	s.WS.Queue(wire.Command{Kind: wire.CmdSetSpeed, Value: speed})
+	s.WS.Queue(wire.Command{Kind: wire.CmdSetPlaying, Flag: 1})
+}
+
+// Stop pauses playback "for detailed examination".
+func (s *Session) Stop() {
+	s.WS.Queue(wire.Command{Kind: wire.CmdSetPlaying, Flag: 0})
+}
+
+// FrameResult reports one full interaction frame against the budget.
+type FrameResult struct {
+	// Total is the command-to-display round trip.
+	Total time.Duration
+	// WithinBudget reports Total <= FrameBudget.
+	WithinBudget bool
+	// Points is the geometry size received this frame.
+	Points int
+}
+
+// Frame runs one complete interaction frame with scripted input —
+// sample devices, exchange with the server, render stereo — and
+// checks it against the 1/8-second budget.
+func (s *Session) Frame() (FrameResult, error) {
+	start := time.Now()
+	pose := s.User.Step()
+	if err := s.WS.NetStep(pose); err != nil {
+		return FrameResult{}, err
+	}
+	if err := s.WS.RenderFrame(pose.Head); err != nil {
+		return FrameResult{}, err
+	}
+	total := time.Since(start)
+	state, _ := s.WS.Latest()
+	return FrameResult{
+		Total:        total,
+		WithinBudget: total <= FrameBudget,
+		Points:       state.TotalPoints(),
+	}, nil
+}
+
+// RunFrames runs n frames and returns the per-frame results.
+func (s *Session) RunFrames(n int) ([]FrameResult, error) {
+	out := make([]FrameResult, 0, n)
+	for i := 0; i < n; i++ {
+		r, err := s.Frame()
+		if err != nil {
+			return out, fmt.Errorf("core: frame %d: %w", i, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/field"
+	"repro/internal/flow"
+	"repro/internal/grid"
+	"repro/internal/integrate"
+	"repro/internal/store"
+	"repro/internal/vmath"
+	"repro/internal/wire"
+)
+
+// smallDataset synthesizes a laptop-scale tapered cylinder dataset in
+// grid coordinates.
+func smallDataset(t testing.TB, numSteps int) *field.Unsteady {
+	t.Helper()
+	g, err := grid.NewTaperedCylinder(grid.TaperedCylinderSpec{
+		NI: 12, NJ: 16, NK: 6, R0: 1, R1: 0.5, Router: 10, Span: 12, Stretch: 1.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phys, err := flow.SampleUnsteady(flow.DefaultTaperedCylinder(), g, numSteps, 0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := phys.ToGridCoords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestLocalSessionFullLoop(t *testing.T) {
+	sess, err := LaunchLocal(smallDataset(t, 4), Options{FrameW: 64, FrameH: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	sess.AddRake(vmath.V3(-4, -3, 2), vmath.V3(-4, 3, 2), 5, integrate.ToolStreamline)
+	sess.Play(1)
+	results, err := sess.RunFrames(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("frames = %d", len(results))
+	}
+	var gotPoints bool
+	for _, r := range results {
+		if r.Points > 0 {
+			gotPoints = true
+		}
+	}
+	if !gotPoints {
+		t.Error("no geometry over 5 frames")
+	}
+	if sess.Server() == nil {
+		t.Error("local session has no server")
+	}
+	if st := sess.Server().Stats(); st.Frames == 0 {
+		t.Error("server computed no frames")
+	}
+}
+
+func TestLocalFrameWithinBudget(t *testing.T) {
+	// A modest workload on the local pipe must meet the 1/8s budget —
+	// this is the paper's core interactivity requirement.
+	sess, err := LaunchLocal(smallDataset(t, 3), Options{FrameW: 64, FrameH: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	sess.AddRake(vmath.V3(-4, -3, 2), vmath.V3(-4, 3, 2), 10, integrate.ToolStreamline)
+	// Warm up, then measure.
+	if _, err := sess.RunFrames(2); err != nil {
+		t.Fatal(err)
+	}
+	r, err := sess.Frame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.WithinBudget {
+		t.Errorf("frame took %v, budget %v", r.Total, FrameBudget)
+	}
+}
+
+func TestDistributedSession(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(ln, store.NewMemory(smallDataset(t, 3)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Dlib().Close()
+
+	sess, err := Connect(ln.Addr().String(), nil, Options{FrameW: 32, FrameH: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	sess.AddRake(vmath.V3(-4, 0, 2), vmath.V3(4, 0, 2), 4, integrate.ToolStreakline)
+	sess.Play(0.5)
+	if _, err := sess.RunFrames(3); err != nil {
+		t.Fatal(err)
+	}
+	state, ok := sess.WS.Latest()
+	if !ok || len(state.Rakes) != 1 {
+		t.Fatalf("state not shared: ok=%v rakes=%d", ok, len(state.Rakes))
+	}
+}
+
+func TestTwoUsersShareOneServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(ln, store.NewMemory(smallDataset(t, 3)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Dlib().Close()
+
+	s1, err := Connect(ln.Addr().String(), nil, Options{FrameW: 32, FrameH: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+	s2, err := Connect(ln.Addr().String(), nil, Options{FrameW: 32, FrameH: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+
+	s1.AddRake(vmath.V3(-4, 0, 2), vmath.V3(4, 0, 2), 4, integrate.ToolStreamline)
+	if _, err := s1.Frame(); err != nil {
+		t.Fatal(err)
+	}
+	// User 2 sees user 1's rake and user 1's presence.
+	if _, err := s2.Frame(); err != nil {
+		t.Fatal(err)
+	}
+	state, _ := s2.WS.Latest()
+	if len(state.Rakes) != 1 {
+		t.Errorf("user 2 sees %d rakes", len(state.Rakes))
+	}
+	if len(state.Users) < 1 {
+		t.Error("user 2 sees no other users")
+	}
+}
+
+func TestConnectValidation(t *testing.T) {
+	if _, err := Connect("", nil, Options{}); err == nil {
+		t.Error("Connect with neither address nor conn accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	ms := func(n int) FrameResult {
+		d := time.Duration(n) * time.Millisecond
+		return FrameResult{Total: d, WithinBudget: d <= FrameBudget, Points: n * 10}
+	}
+	results := []FrameResult{ms(10), ms(20), ms(30), ms(40), ms(200)}
+	s := Summarize(results)
+	if s.Frames != 5 {
+		t.Fatalf("frames = %d", s.Frames)
+	}
+	if s.Mean != 60*time.Millisecond {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if s.P50 != 30*time.Millisecond {
+		t.Errorf("p50 = %v", s.P50)
+	}
+	if s.Worst != 200*time.Millisecond {
+		t.Errorf("worst = %v", s.Worst)
+	}
+	if s.WithinBudget != 4 {
+		t.Errorf("within = %d", s.WithinBudget)
+	}
+	if s.MeanPoints != 600 {
+		t.Errorf("meanPoints = %d", s.MeanPoints)
+	}
+	if Summarize(nil).Frames != 0 {
+		t.Error("empty summarize")
+	}
+	if s.String() == "" || Summarize(nil).String() != "no frames" {
+		t.Error("String formatting")
+	}
+}
+
+func TestLateJoinSeesExistingEnvironment(t *testing.T) {
+	// Sec 5.1: "at any time during the use of the distributed virtual
+	// windtunnel another workstation ... should be able to 'sign up'
+	// and interact with the already existing virtual environment."
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(ln, store.NewMemory(smallDataset(t, 4)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Dlib().Close()
+
+	first, err := Connect(ln.Addr().String(), nil, Options{FrameW: 32, FrameH: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	first.AddRake(vmath.V3(-4, 0, 2), vmath.V3(4, 0, 2), 4, integrate.ToolStreamline)
+	first.Play(1)
+	if _, err := first.RunFrames(5); err != nil {
+		t.Fatal(err)
+	}
+	stateBefore, _ := first.WS.Latest()
+
+	// Sign up mid-session.
+	late, err := Connect(ln.Addr().String(), nil, Options{FrameW: 32, FrameH: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer late.Close()
+	if _, err := late.Frame(); err != nil {
+		t.Fatal(err)
+	}
+	state, _ := late.WS.Latest()
+	if len(state.Rakes) != 1 {
+		t.Fatalf("late joiner sees %d rakes", len(state.Rakes))
+	}
+	if !state.Time.Playing {
+		t.Error("late joiner does not see playback state")
+	}
+	if state.Time.Current < stateBefore.Time.Current {
+		t.Error("late joiner sees stale time")
+	}
+	// And can interact immediately: grab the existing rake.
+	late.WS.Queue(wire.Command{Kind: wire.CmdGrab, Rake: state.Rakes[0].ID,
+		Grab: uint8(integrate.GrabCenter)})
+	if _, err := late.Frame(); err != nil {
+		t.Fatal(err)
+	}
+	state, _ = late.WS.Latest()
+	if state.Rakes[0].Holder == 0 {
+		t.Error("late joiner could not grab")
+	}
+}

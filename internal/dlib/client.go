@@ -1,0 +1,210 @@
+package dlib
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Client is a dlib client connection. It is safe for concurrent use;
+// calls are matched to replies by request id, so multiple goroutines
+// (e.g. the workstation's render and network processes) can share one
+// connection.
+type Client struct {
+	conn net.Conn
+
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	nextID  uint64
+	waiting map[uint64]chan frame
+	err     error // terminal transport error
+	closed  bool
+}
+
+// Dial connects to a dlib server at addr over TCP.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dlib: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (possibly a netsim link).
+func NewClient(conn net.Conn) *Client {
+	c := &Client{conn: conn, waiting: make(map[uint64]chan frame)}
+	go c.readLoop()
+	return c
+}
+
+func (c *Client) readLoop() {
+	for {
+		f, err := readFrame(c.conn)
+		if err != nil {
+			c.fail(fmt.Errorf("dlib: connection lost: %w", err))
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.waiting[f.id]
+		if ok {
+			delete(c.waiting, f.id)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- f
+		}
+	}
+}
+
+// fail terminates all outstanding and future calls with err.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	waiters := c.waiting
+	c.waiting = make(map[uint64]chan frame)
+	c.mu.Unlock()
+	for _, ch := range waiters {
+		close(ch)
+	}
+}
+
+// Call invokes proc with payload and blocks for the reply.
+func (c *Client) Call(proc string, payload []byte) ([]byte, error) {
+	ch, err := c.start(proc, payload)
+	if err != nil {
+		return nil, err
+	}
+	return c.wait(proc, ch)
+}
+
+// Go starts a call and returns a function that blocks for its result,
+// letting callers overlap computation with network time (the paper's
+// figure 8/9 pipelines).
+func (c *Client) Go(proc string, payload []byte) func() ([]byte, error) {
+	ch, err := c.start(proc, payload)
+	if err != nil {
+		return func() ([]byte, error) { return nil, err }
+	}
+	var once sync.Once
+	var out []byte
+	var resErr error
+	return func() ([]byte, error) {
+		once.Do(func() { out, resErr = c.wait(proc, ch) })
+		return out, resErr
+	}
+}
+
+func (c *Client) start(proc string, payload []byte) (chan frame, error) {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("dlib: client closed")
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan frame, 1)
+	c.waiting[id] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := writeFrame(c.conn, frame{kind: frameCall, id: id, proc: proc, payload: payload})
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.waiting, id)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("dlib: send %s: %w", proc, err)
+	}
+	return ch, nil
+}
+
+func (c *Client) wait(proc string, ch chan frame) ([]byte, error) {
+	f, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = errors.New("dlib: call aborted")
+		}
+		return nil, err
+	}
+	switch f.kind {
+	case frameReply:
+		return f.payload, nil
+	case frameError:
+		return nil, &RemoteError{Proc: proc, Msg: string(f.payload)}
+	default:
+		return nil, fmt.Errorf("dlib: unexpected reply frame type %d", f.kind)
+	}
+}
+
+// Close shuts the connection down; outstanding calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// Remote memory segment convenience wrappers.
+
+// Alloc allocates a remote segment of size bytes and returns its
+// handle.
+func (c *Client) Alloc(size uint64) (uint64, error) {
+	out, err := c.Call(ProcAlloc, binary.LittleEndian.AppendUint64(nil, size))
+	if err != nil {
+		return 0, err
+	}
+	if len(out) != 8 {
+		return 0, fmt.Errorf("dlib: alloc reply of %d bytes", len(out))
+	}
+	return binary.LittleEndian.Uint64(out), nil
+}
+
+// Free releases a remote segment.
+func (c *Client) Free(handle uint64) error {
+	_, err := c.Call(ProcFree, binary.LittleEndian.AppendUint64(nil, handle))
+	return err
+}
+
+// WriteSegment writes data at offset into the remote segment.
+func (c *Client) WriteSegment(handle, offset uint64, data []byte) error {
+	req := make([]byte, 0, 16+len(data))
+	req = binary.LittleEndian.AppendUint64(req, handle)
+	req = binary.LittleEndian.AppendUint64(req, offset)
+	req = append(req, data...)
+	_, err := c.Call(ProcWrite, req)
+	return err
+}
+
+// ReadSegment reads n bytes at offset from the remote segment.
+func (c *Client) ReadSegment(handle, offset, n uint64) ([]byte, error) {
+	req := make([]byte, 0, 24)
+	req = binary.LittleEndian.AppendUint64(req, handle)
+	req = binary.LittleEndian.AppendUint64(req, offset)
+	req = binary.LittleEndian.AppendUint64(req, n)
+	return c.Call(ProcRead, req)
+}
+
+// SegmentSize returns the size of the remote segment.
+func (c *Client) SegmentSize(handle uint64) (uint64, error) {
+	out, err := c.Call(ProcSegmentStat, binary.LittleEndian.AppendUint64(nil, handle))
+	if err != nil {
+		return 0, err
+	}
+	if len(out) != 8 {
+		return 0, fmt.Errorf("dlib: stat reply of %d bytes", len(out))
+	}
+	return binary.LittleEndian.Uint64(out), nil
+}

@@ -1,0 +1,39 @@
+package dlib
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame hardens the wire framing against malformed peers: a
+// corrupt frame must produce an error, never a panic or an absurd
+// allocation.
+func FuzzReadFrame(f *testing.F) {
+	var good bytes.Buffer
+	writeFrame(&good, frame{kind: frameCall, id: 7, proc: "vw.frame", payload: []byte("data")})
+	f.Add(good.Bytes())
+	var reply bytes.Buffer
+	writeFrame(&reply, frame{kind: frameReply, id: 9, payload: []byte("ok")})
+	f.Add(reply.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A frame that parsed must round-trip.
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, fr); err != nil {
+			t.Fatalf("reencode failed: %v", err)
+		}
+		back, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("reparse failed: %v", err)
+		}
+		if back.kind != fr.kind || back.id != fr.id || back.proc != fr.proc ||
+			!bytes.Equal(back.payload, fr.payload) {
+			t.Fatal("frame round trip mismatch")
+		}
+	})
+}

@@ -1,0 +1,81 @@
+package dlib
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// ProcStat is one procedure's cumulative service statistics, useful
+// for the "careful study ... to determine the optimal balance of
+// tasks" the paper calls for (§5.1): where the serialized server
+// spends its time.
+type ProcStat struct {
+	Calls      int64
+	Errors     int64
+	Total      time.Duration
+	BytesIn    int64
+	BytesOut   int64
+	MaxService time.Duration
+}
+
+// Mean returns the mean service time.
+func (p ProcStat) Mean() time.Duration {
+	if p.Calls == 0 {
+		return 0
+	}
+	return p.Total / time.Duration(p.Calls)
+}
+
+type procMetrics struct {
+	mu    sync.Mutex
+	stats map[string]*ProcStat
+}
+
+func (m *procMetrics) record(proc string, dur time.Duration, in, out int, failed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stats == nil {
+		m.stats = make(map[string]*ProcStat)
+	}
+	st := m.stats[proc]
+	if st == nil {
+		st = &ProcStat{}
+		m.stats[proc] = st
+	}
+	st.Calls++
+	if failed {
+		st.Errors++
+	}
+	st.Total += dur
+	st.BytesIn += int64(in)
+	st.BytesOut += int64(out)
+	if dur > st.MaxService {
+		st.MaxService = dur
+	}
+}
+
+// ProcStats returns a snapshot of per-procedure statistics.
+func (s *Server) ProcStats() map[string]ProcStat {
+	s.metrics.mu.Lock()
+	defer s.metrics.mu.Unlock()
+	out := make(map[string]ProcStat, len(s.metrics.stats))
+	for name, st := range s.metrics.stats {
+		out[name] = *st
+	}
+	return out
+}
+
+// ProcNames returns the known procedure names sorted by total service
+// time, busiest first.
+func (s *Server) ProcNames() []string {
+	stats := s.ProcStats()
+	names := make([]string, 0, len(stats))
+	for n := range stats {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		return stats[names[i]].Total > stats[names[j]].Total
+	})
+	return names
+}

@@ -1,0 +1,244 @@
+package dlib
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RemoteError is an error returned by a remote handler, as opposed to
+// a transport failure.
+type RemoteError struct {
+	Proc string
+	Msg  string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("dlib: remote %s: %s", e.Proc, e.Msg)
+}
+
+// Handler executes one procedure. ctx carries the calling session and
+// the server's persistent state. The returned bytes travel back to the
+// caller.
+type Handler func(ctx *Ctx, payload []byte) ([]byte, error)
+
+// Ctx is passed to every handler invocation.
+type Ctx struct {
+	// Session is per-connection persistent state, surviving from call
+	// to call for the life of the connection.
+	Session *Session
+	// Server is the owning server, giving handlers access to shared
+	// state and memory segments.
+	Server *Server
+}
+
+// Session is the per-connection environment.
+type Session struct {
+	// ID identifies the connection (dense, starting at 1).
+	ID int64
+	// Values is arbitrary per-session handler state. Handlers run
+	// serially so no locking is needed.
+	Values map[string]any
+}
+
+// Server is a dlib server: a registry of procedures, a single serial
+// dispatch queue, per-session state, shared state, and remote memory
+// segments.
+//
+// Dispatch is deliberately serial across ALL clients, matching the
+// paper: "The dlib calls are executed by the server in a single
+// process environment as though there were only one client." That
+// serialization is what makes first-come-first-served conflict
+// resolution trivial for the windtunnel.
+type Server struct {
+	mu       sync.Mutex
+	handlers map[string]Handler
+	sessions map[int64]*Session
+	nextSess int64
+	closed   bool
+	listener net.Listener
+	wg       sync.WaitGroup
+
+	// dispatchMu serializes handler execution.
+	dispatchMu sync.Mutex
+
+	// Shared is server-global state available to handlers (the shared
+	// virtual environment lives here). Access it only from handlers;
+	// serial dispatch makes that safe.
+	Shared map[string]any
+
+	segments segmentTable
+	metrics  procMetrics
+
+	calls atomic.Int64
+
+	// Logf, if set, receives diagnostic messages. Defaults to silent.
+	Logf func(format string, args ...any)
+
+	// OnDisconnect, if set, runs after a session's connection closes,
+	// so applications can release per-session resources (the
+	// windtunnel frees the user's rake locks here). It runs on the
+	// connection's goroutine, after the last call has finished.
+	OnDisconnect func(sessionID int64)
+}
+
+// NewServer returns an empty server with the built-in memory-segment
+// procedures registered.
+func NewServer() *Server {
+	s := &Server{
+		handlers: make(map[string]Handler),
+		sessions: make(map[int64]*Session),
+		Shared:   make(map[string]any),
+	}
+	s.registerMemoryProcs()
+	return s
+}
+
+// Register installs a handler for proc. Registering after Serve has
+// started is allowed; re-registering replaces.
+func (s *Server) Register(proc string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[proc] = h
+}
+
+// CallCount returns the number of calls dispatched so far.
+func (s *Server) CallCount() int64 { return s.calls.Load() }
+
+// NumSessions returns the number of live client connections.
+func (s *Server) NumSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// Serve accepts connections on l until Close. Each connection gets a
+// session; calls from all connections funnel through one dispatch
+// lock in arrival order.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("dlib: server closed")
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("dlib: accept: %w", err)
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// ServeConn serves a single pre-established connection (used with
+// net.Pipe in tests and by in-process clients). It blocks until the
+// connection closes.
+func (s *Server) ServeConn(conn net.Conn) {
+	s.serveConn(conn)
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	s.mu.Lock()
+	s.nextSess++
+	sess := &Session{ID: s.nextSess, Values: make(map[string]any)}
+	s.sessions[sess.ID] = sess
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.sessions, sess.ID)
+		hook := s.OnDisconnect
+		s.mu.Unlock()
+		if hook != nil {
+			hook(sess.ID)
+		}
+	}()
+
+	var writeMu sync.Mutex
+	ctx := &Ctx{Session: sess, Server: s}
+	for {
+		f, err := readFrame(conn)
+		if err != nil {
+			if s.Logf != nil && !errors.Is(err, net.ErrClosed) {
+				s.Logf("dlib: session %d read: %v", sess.ID, err)
+			}
+			return
+		}
+		if f.kind != frameCall {
+			if s.Logf != nil {
+				s.Logf("dlib: session %d sent non-call frame %d", sess.ID, f.kind)
+			}
+			return
+		}
+		reply := s.dispatch(ctx, f)
+		writeMu.Lock()
+		err = writeFrame(conn, reply)
+		writeMu.Unlock()
+		if err != nil {
+			return
+		}
+	}
+}
+
+// dispatch runs one call under the global serial lock.
+func (s *Server) dispatch(ctx *Ctx, f frame) frame {
+	s.mu.Lock()
+	h, ok := s.handlers[f.proc]
+	s.mu.Unlock()
+	if !ok {
+		return frame{kind: frameError, id: f.id, payload: []byte("unknown procedure " + f.proc)}
+	}
+	s.dispatchMu.Lock()
+	defer s.dispatchMu.Unlock()
+	s.calls.Add(1)
+	start := time.Now()
+	out, err := safeCall(h, ctx, f.payload)
+	s.metrics.record(f.proc, time.Since(start), len(f.payload), len(out), err != nil)
+	if err != nil {
+		return frame{kind: frameError, id: f.id, payload: []byte(err.Error())}
+	}
+	return frame{kind: frameReply, id: f.id, payload: out}
+}
+
+// safeCall shields the server from handler panics.
+func safeCall(h Handler, ctx *Ctx, payload []byte) (out []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("handler panic: %v", r)
+			log.Printf("dlib: %v", err)
+		}
+	}()
+	return h(ctx, payload)
+}
+
+// Close stops accepting and waits for connection goroutines to drain.
+// Live connections are closed by their peers failing; callers wanting
+// an immediate stop should close their own client connections too.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	l := s.listener
+	s.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	return err
+}

@@ -1,0 +1,262 @@
+// Package env holds the shared virtual-environment state the remote
+// host owns in the distributed windtunnel: the set of rakes, who holds
+// each one, dataset time control, and the head/hand poses of every
+// participating user (§5.1).
+//
+// Because "control over all objects in the virtual environment take[s]
+// place on the remote system", all mutation goes through methods here,
+// invoked from dlib handlers; conflicts resolve first-come-first-
+// served — "if two users grab the same rake, the user who grabbed it
+// first gets control ... until the first user lets the rake go."
+package env
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/integrate"
+	"repro/internal/vmath"
+)
+
+// UserPose is one user's tracked state, rebroadcast to every
+// workstation so users can see each other in the environment.
+type UserPose struct {
+	Head vmath.Mat4 // head position/orientation from the BOOM
+	Hand vmath.Vec3 // glove position
+	// Gesture is the user's recognized hand gesture (see internal/vr);
+	// stored as a small int to keep env decoupled from vr.
+	Gesture uint8
+}
+
+// ErrLocked is returned when a user tries to act on a rake another
+// user holds.
+type ErrLocked struct {
+	RakeID int32
+	Holder int64
+}
+
+// Error implements error.
+func (e *ErrLocked) Error() string {
+	return fmt.Sprintf("env: rake %d held by user %d", e.RakeID, e.Holder)
+}
+
+// rakeState pairs a rake with its lock.
+type rakeState struct {
+	rake   *integrate.Rake
+	holder int64 // session id, 0 = free
+	grab   integrate.GrabPoint
+}
+
+// Environment is the authoritative shared state.
+type Environment struct {
+	mu sync.Mutex
+
+	rakes    map[int32]*rakeState
+	nextRake int32
+	users    map[int64]UserPose
+	time     TimeState
+}
+
+// New returns an empty environment configured for a dataset with
+// numSteps timesteps.
+func New(numSteps int) *Environment {
+	return &Environment{
+		rakes: make(map[int32]*rakeState),
+		users: make(map[int64]UserPose),
+		time: TimeState{
+			NumSteps: numSteps,
+			Speed:    1,
+			Playing:  false,
+			Loop:     true,
+		},
+	}
+}
+
+// AddRake creates a rake and returns its id.
+func (e *Environment) AddRake(p0, p1 vmath.Vec3, numSeeds int, tool integrate.ToolKind) (int32, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.nextRake++
+	r, err := integrate.NewRake(e.nextRake, p0, p1, numSeeds, tool)
+	if err != nil {
+		e.nextRake--
+		return 0, err
+	}
+	e.rakes[r.ID] = &rakeState{rake: r}
+	return r.ID, nil
+}
+
+// RemoveRake deletes a rake; only the holder (or anyone, if free) may
+// remove it.
+func (e *Environment) RemoveRake(user int64, id int32) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rs, ok := e.rakes[id]
+	if !ok {
+		return fmt.Errorf("env: no rake %d", id)
+	}
+	if rs.holder != 0 && rs.holder != user {
+		return &ErrLocked{RakeID: id, Holder: rs.holder}
+	}
+	delete(e.rakes, id)
+	return nil
+}
+
+// GrabRake locks a rake to a user at the given grab point. Grabbing a
+// rake you already hold re-points the grab. Grabbing a held rake
+// fails: first come, first served.
+func (e *Environment) GrabRake(user int64, id int32, gp integrate.GrabPoint) error {
+	if gp == integrate.GrabNone {
+		return fmt.Errorf("env: grab with GrabNone")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rs, ok := e.rakes[id]
+	if !ok {
+		return fmt.Errorf("env: no rake %d", id)
+	}
+	if rs.holder != 0 && rs.holder != user {
+		return &ErrLocked{RakeID: id, Holder: rs.holder}
+	}
+	rs.holder = user
+	rs.grab = gp
+	return nil
+}
+
+// ReleaseRake frees a rake the user holds.
+func (e *Environment) ReleaseRake(user int64, id int32) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rs, ok := e.rakes[id]
+	if !ok {
+		return fmt.Errorf("env: no rake %d", id)
+	}
+	if rs.holder != user {
+		return fmt.Errorf("env: user %d does not hold rake %d", user, id)
+	}
+	rs.holder = 0
+	rs.grab = integrate.GrabNone
+	return nil
+}
+
+// ReleaseAll frees every rake the user holds and forgets the user's
+// pose — called when a workstation disconnects so its locks cannot
+// wedge the shared session.
+func (e *Environment) ReleaseAll(user int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, rs := range e.rakes {
+		if rs.holder == user {
+			rs.holder = 0
+			rs.grab = integrate.GrabNone
+		}
+	}
+	delete(e.users, user)
+}
+
+// MoveRake moves the grabbed point of a rake the user holds.
+func (e *Environment) MoveRake(user int64, id int32, to vmath.Vec3) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rs, ok := e.rakes[id]
+	if !ok {
+		return fmt.Errorf("env: no rake %d", id)
+	}
+	if rs.holder != user {
+		if rs.holder == 0 {
+			return fmt.Errorf("env: rake %d not grabbed", id)
+		}
+		return &ErrLocked{RakeID: id, Holder: rs.holder}
+	}
+	return rs.rake.MoveGrab(rs.grab, to)
+}
+
+// SetRakeSeeds changes the seed count of a rake the user holds (or a
+// free rake).
+func (e *Environment) SetRakeSeeds(user int64, id int32, numSeeds int) error {
+	if numSeeds < 1 {
+		return fmt.Errorf("env: seeds %d < 1", numSeeds)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rs, ok := e.rakes[id]
+	if !ok {
+		return fmt.Errorf("env: no rake %d", id)
+	}
+	if rs.holder != 0 && rs.holder != user {
+		return &ErrLocked{RakeID: id, Holder: rs.holder}
+	}
+	rs.rake.NumSeeds = numSeeds
+	return nil
+}
+
+// SetRakeTool changes the visualization tool of a rake the user holds
+// (or a free rake) — "The type and number of seedpoints in a
+// particular rake is determined by the user" (Sec 2.1).
+func (e *Environment) SetRakeTool(user int64, id int32, tool integrate.ToolKind) error {
+	if tool != integrate.ToolStreamline && tool != integrate.ToolParticlePath &&
+		tool != integrate.ToolStreakline {
+		return fmt.Errorf("env: unknown tool %d", tool)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rs, ok := e.rakes[id]
+	if !ok {
+		return fmt.Errorf("env: no rake %d", id)
+	}
+	if rs.holder != 0 && rs.holder != user {
+		return &ErrLocked{RakeID: id, Holder: rs.holder}
+	}
+	rs.rake.Tool = tool
+	return nil
+}
+
+// RakeSnapshot is an immutable copy of one rake's state for transfer
+// to workstations.
+type RakeSnapshot struct {
+	Rake   integrate.Rake
+	Holder int64
+	Grab   integrate.GrabPoint
+}
+
+// Rakes returns snapshots of all rakes, ordered by id.
+func (e *Environment) Rakes() []RakeSnapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]RakeSnapshot, 0, len(e.rakes))
+	for _, rs := range e.rakes {
+		out = append(out, RakeSnapshot{Rake: *rs.rake, Holder: rs.holder, Grab: rs.grab})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rake.ID < out[j].Rake.ID })
+	return out
+}
+
+// Rake returns a snapshot of one rake.
+func (e *Environment) Rake(id int32) (RakeSnapshot, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rs, ok := e.rakes[id]
+	if !ok {
+		return RakeSnapshot{}, false
+	}
+	return RakeSnapshot{Rake: *rs.rake, Holder: rs.holder, Grab: rs.grab}, true
+}
+
+// SetUserPose records a user's tracked head and hand.
+func (e *Environment) SetUserPose(user int64, pose UserPose) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.users[user] = pose
+}
+
+// Users returns the poses of all users keyed by session id.
+func (e *Environment) Users() map[int64]UserPose {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[int64]UserPose, len(e.users))
+	for id, p := range e.users {
+		out[id] = p
+	}
+	return out
+}

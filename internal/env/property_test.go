@@ -1,0 +1,142 @@
+package env
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/integrate"
+	"repro/internal/vmath"
+)
+
+// TestRandomOpsInvariants drives the environment through thousands of
+// random operations from several users and checks the structural
+// invariants after every step:
+//
+//  1. at most one holder per rake, and a holder is always a user that
+//     successfully grabbed and has not released;
+//  2. playback time stays within [0, NumSteps-1];
+//  3. rake ids are unique and rakes never lose their seeds.
+func TestRandomOpsInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	e := New(20)
+	e.SetPlaying(true)
+
+	// Model: which user we believe holds each rake.
+	holder := map[int32]int64{}
+	var ids []int32
+	users := []int64{1, 2, 3, 4}
+
+	for step := 0; step < 5000; step++ {
+		user := users[rng.Intn(len(users))]
+		switch op := rng.Intn(10); op {
+		case 0: // add
+			id, err := e.AddRake(randVec(rng), randVec(rng), 1+rng.Intn(10), integrate.ToolStreamline)
+			if err != nil {
+				t.Fatalf("add: %v", err)
+			}
+			ids = append(ids, id)
+		case 1: // remove (maybe held)
+			if len(ids) == 0 {
+				continue
+			}
+			id := ids[rng.Intn(len(ids))]
+			err := e.RemoveRake(user, id)
+			if h, held := holder[id]; held && h != user {
+				if err == nil {
+					t.Fatalf("step %d: user %d removed rake %d held by %d", step, user, id, h)
+				}
+			} else if err == nil {
+				delete(holder, id)
+				ids = removeID(ids, id)
+			}
+		case 2, 3: // grab
+			if len(ids) == 0 {
+				continue
+			}
+			id := ids[rng.Intn(len(ids))]
+			err := e.GrabRake(user, id, integrate.GrabCenter)
+			if h, held := holder[id]; held && h != user {
+				if err == nil {
+					t.Fatalf("step %d: user %d stole rake %d from %d", step, user, id, h)
+				}
+			} else if err != nil {
+				t.Fatalf("step %d: free grab failed: %v", step, err)
+			} else {
+				holder[id] = user
+			}
+		case 4, 5: // move
+			if len(ids) == 0 {
+				continue
+			}
+			id := ids[rng.Intn(len(ids))]
+			err := e.MoveRake(user, id, randVec(rng))
+			shouldWork := holder[id] == user
+			if shouldWork && err != nil {
+				t.Fatalf("step %d: holder move failed: %v", step, err)
+			}
+			if !shouldWork && err == nil {
+				t.Fatalf("step %d: non-holder move succeeded", step)
+			}
+		case 6: // release
+			if len(ids) == 0 {
+				continue
+			}
+			id := ids[rng.Intn(len(ids))]
+			err := e.ReleaseRake(user, id)
+			if holder[id] == user {
+				if err != nil {
+					t.Fatalf("step %d: holder release failed: %v", step, err)
+				}
+				delete(holder, id)
+			} else if err == nil {
+				t.Fatalf("step %d: non-holder release succeeded", step)
+			}
+		case 7: // disconnect: all of user's locks release
+			e.ReleaseAll(user)
+			for id, h := range holder {
+				if h == user {
+					delete(holder, id)
+				}
+			}
+		case 8: // time control
+			e.SetSpeed(rng.Float32()*6 - 3)
+			e.AdvanceTime()
+		case 9: // seek
+			e.SeekTime(rng.Float32()*40 - 10)
+		}
+
+		// Invariants.
+		ts := e.Time()
+		if ts.Current < 0 || ts.Current > float32(ts.NumSteps-1) {
+			t.Fatalf("step %d: time %v out of [0, %d]", step, ts.Current, ts.NumSteps-1)
+		}
+		seen := map[int32]bool{}
+		for _, snap := range e.Rakes() {
+			if seen[snap.Rake.ID] {
+				t.Fatalf("step %d: duplicate rake id %d", step, snap.Rake.ID)
+			}
+			seen[snap.Rake.ID] = true
+			if snap.Rake.NumSeeds < 1 {
+				t.Fatalf("step %d: rake %d lost its seeds", step, snap.Rake.ID)
+			}
+			if want := holder[snap.Rake.ID]; snap.Holder != want {
+				t.Fatalf("step %d: rake %d holder %d, model says %d",
+					step, snap.Rake.ID, snap.Holder, want)
+			}
+		}
+	}
+}
+
+func randVec(rng *rand.Rand) vmath.Vec3 {
+	return vmath.V3(rng.Float32()*20-10, rng.Float32()*20-10, rng.Float32()*20-10)
+}
+
+func removeID(ids []int32, id int32) []int32 {
+	out := ids[:0]
+	for _, v := range ids {
+		if v != id {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package field
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/vmath"
+)
+
+// fineGrid is a Cartesian grid over [0, 2pi]^3 fine enough for
+// second-order gradients.
+func fineGrid(t testing.TB, n int) *grid.Grid {
+	t.Helper()
+	g, err := grid.NewCartesian(n, n, n, vmath.AABB{
+		Min: vmath.V3(0, 0, 0),
+		Max: vmath.V3(2*math.Pi, 2*math.Pi, 2*math.Pi),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func sampleAnalytic(g *grid.Grid, f func(p vmath.Vec3) vmath.Vec3) *Field {
+	out := NewField(g.NI, g.NJ, g.NK, Physical)
+	for k := 0; k < g.NK; k++ {
+		for j := 0; j < g.NJ; j++ {
+			for i := 0; i < g.NI; i++ {
+				out.SetAt(i, j, k, f(g.At(i, j, k)))
+			}
+		}
+	}
+	return out
+}
+
+func TestVorticityUniformFlowIsZero(t *testing.T) {
+	g := fineGrid(t, 9)
+	f := sampleAnalytic(g, func(vmath.Vec3) vmath.Vec3 { return vmath.V3(3, -1, 2) })
+	w, err := Vorticity(g, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.U {
+		v := vmath.Vec3{X: w.U[i], Y: w.V[i], Z: w.W[i]}
+		if v.Len() > 1e-4 {
+			t.Fatalf("uniform flow vorticity %v at node %d", v, i)
+		}
+	}
+}
+
+func TestVorticitySolidRotation(t *testing.T) {
+	// Solid-body rotation omega about Z: u = omega x r has curl
+	// (0, 0, 2 omega) everywhere.
+	g := fineGrid(t, 9)
+	const omega = 0.7
+	center := vmath.V3(math.Pi, math.Pi, math.Pi)
+	f := sampleAnalytic(g, func(p vmath.Vec3) vmath.Vec3 {
+		d := p.Sub(center)
+		return vmath.V3(-omega*d.Y, omega*d.X, 0)
+	})
+	w, err := Vorticity(g, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check interior nodes (boundaries use one-sided differences but
+	// the field is linear, so they are exact too).
+	got := w.At(4, 4, 4)
+	if !got.ApproxEqual(vmath.V3(0, 0, 2*omega), 1e-3) {
+		t.Errorf("solid rotation curl = %v, want (0,0,%v)", got, 2*omega)
+	}
+}
+
+func TestVorticityBeltramiProperty(t *testing.T) {
+	// The ABC flow is a Beltrami field: curl(u) = u exactly. Check the
+	// numerical curl approaches the velocity on a fine grid, interior
+	// nodes only (one-sided boundary stencils are first order).
+	const n = 33
+	g := fineGrid(t, n)
+	abc := func(p vmath.Vec3) vmath.Vec3 {
+		return vmath.Vec3{
+			X: float32(math.Sin(float64(p.Z)) + math.Cos(float64(p.Y))),
+			Y: float32(math.Sin(float64(p.X)) + math.Cos(float64(p.Z))),
+			Z: float32(math.Sin(float64(p.Y)) + math.Cos(float64(p.X))),
+		}
+	}
+	f := sampleAnalytic(g, abc)
+	w, err := Vorticity(g, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxErr float32
+	for k := 2; k < n-2; k++ {
+		for j := 2; j < n-2; j++ {
+			for i := 2; i < n-2; i++ {
+				diff := w.At(i, j, k).Sub(f.At(i, j, k)).Len()
+				if diff > maxErr {
+					maxErr = diff
+				}
+			}
+		}
+	}
+	// Second-order central differences at h = 2pi/32: truncation
+	// error ~ h^2/6 * |u'''| ~ 0.0064; allow some slack.
+	if maxErr > 0.03 {
+		t.Errorf("Beltrami curl error %v, want < 0.03", maxErr)
+	}
+}
+
+func TestVorticityValidation(t *testing.T) {
+	g := fineGrid(t, 5)
+	gc := NewField(5, 5, 5, GridCoords)
+	if _, err := Vorticity(g, gc); err == nil {
+		t.Error("grid-coordinate field accepted")
+	}
+	small := NewField(3, 3, 3, Physical)
+	if _, err := Vorticity(g, small); err == nil {
+		t.Error("mismatched dims accepted")
+	}
+}
+
+func TestDivergenceStatsSolenoidalVsRadial(t *testing.T) {
+	g := fineGrid(t, 17)
+	// Solenoidal: solid rotation has zero divergence.
+	center := vmath.V3(math.Pi, math.Pi, math.Pi)
+	sol := sampleAnalytic(g, func(p vmath.Vec3) vmath.Vec3 {
+		d := p.Sub(center)
+		return vmath.V3(-d.Y, d.X, 0)
+	})
+	meanSol, _, err := DivergenceStats(g, sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Radial: div(r) = 3 everywhere.
+	rad := sampleAnalytic(g, func(p vmath.Vec3) vmath.Vec3 {
+		return p.Sub(center)
+	})
+	meanRad, maxRad, err := DivergenceStats(g, rad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meanSol > 1e-3 {
+		t.Errorf("solenoidal mean divergence %v", meanSol)
+	}
+	if math.Abs(meanRad-3) > 1e-3 || math.Abs(maxRad-3) > 1e-3 {
+		t.Errorf("radial divergence mean=%v max=%v, want 3", meanRad, maxRad)
+	}
+}
+
+func TestVorticityOnCurvilinearGrid(t *testing.T) {
+	// Solid rotation sampled on the tapered-cylinder O-grid must still
+	// produce curl ~ (0, 0, 2 omega) — the Jacobian chain rule handles
+	// the curvilinear coordinates.
+	g, err := grid.NewTaperedCylinder(grid.TaperedCylinderSpec{
+		NI: 24, NJ: 48, NK: 8, R0: 1, R1: 0.5, Router: 10, Span: 12, Stretch: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const omega = 0.5
+	f := sampleAnalytic(g, func(p vmath.Vec3) vmath.Vec3 {
+		return vmath.V3(-omega*p.Y, omega*p.X, 0)
+	})
+	w, err := Vorticity(g, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample interior nodes away from the periodic cut.
+	for _, node := range [][3]int{{12, 10, 4}, {6, 20, 3}, {18, 30, 5}} {
+		got := w.At(node[0], node[1], node[2])
+		if !got.ApproxEqual(vmath.V3(0, 0, 2*omega), 0.05) {
+			t.Errorf("node %v curl = %v, want (0,0,%v)", node, got, 2*omega)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Package field represents the velocity data of unsteady flowfields.
+//
+// A flowfield (§1.1 of the paper) is the time-dependent velocity
+// vector part of a CFD solution: a sequence of timesteps, each a 3-D
+// velocity vector field sampled at the nodes of a curvilinear grid.
+// Velocities may be stored in physical coordinates (as a solver
+// produces them) or pre-converted to grid coordinates (as the
+// windtunnel integrates them, §2.1).
+package field
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+	"repro/internal/vmath"
+)
+
+// CoordSystem records which coordinate system a field's velocity
+// vectors are expressed in.
+type CoordSystem uint8
+
+const (
+	// Physical velocity: units of physical length per unit time.
+	Physical CoordSystem = iota
+	// GridCoords velocity: units of grid cells per unit time, the
+	// paper's integration-friendly representation.
+	GridCoords
+)
+
+func (c CoordSystem) String() string {
+	switch c {
+	case Physical:
+		return "physical"
+	case GridCoords:
+		return "grid"
+	default:
+		return fmt.Sprintf("CoordSystem(%d)", uint8(c))
+	}
+}
+
+// Field is one timestep of velocity data on an NI x NJ x NK node grid,
+// stored as separate component arrays (structure-of-arrays) so the
+// vectorized compute engine can stream whole components.
+type Field struct {
+	NI, NJ, NK int
+	Coords     CoordSystem
+	U, V, W    []float32
+}
+
+// NewField allocates a zero field of the given dimensions.
+func NewField(ni, nj, nk int, coords CoordSystem) *Field {
+	n := ni * nj * nk
+	return &Field{
+		NI: ni, NJ: nj, NK: nk,
+		Coords: coords,
+		U:      make([]float32, n),
+		V:      make([]float32, n),
+		W:      make([]float32, n),
+	}
+}
+
+// NumNodes returns the number of sample points.
+func (f *Field) NumNodes() int { return f.NI * f.NJ * f.NK }
+
+// SizeBytes returns the in-memory/on-disk payload size of the field:
+// three 4-byte components per node, the figure Table 2 is built on.
+func (f *Field) SizeBytes() int64 { return int64(f.NumNodes()) * 12 }
+
+// Index returns the linear index of node (i, j, k).
+func (f *Field) Index(i, j, k int) int { return (k*f.NJ+j)*f.NI + i }
+
+// At returns the velocity at node (i, j, k).
+func (f *Field) At(i, j, k int) vmath.Vec3 {
+	idx := f.Index(i, j, k)
+	return vmath.Vec3{X: f.U[idx], Y: f.V[idx], Z: f.W[idx]}
+}
+
+// SetAt sets the velocity at node (i, j, k).
+func (f *Field) SetAt(i, j, k int, v vmath.Vec3) {
+	idx := f.Index(i, j, k)
+	f.U[idx], f.V[idx], f.W[idx] = v.X, v.Y, v.Z
+}
+
+// Sample returns the velocity at grid coordinate gc by trilinear
+// interpolation over g, which must share the field's dimensions.
+func (f *Field) Sample(g *grid.Grid, gc vmath.Vec3) vmath.Vec3 {
+	return vmath.Vec3{
+		X: g.Trilerp(f.U, gc),
+		Y: g.Trilerp(f.V, gc),
+		Z: g.Trilerp(f.W, gc),
+	}
+}
+
+// MatchesGrid reports whether the field's dimensions equal the grid's.
+func (f *Field) MatchesGrid(g *grid.Grid) bool {
+	return f.NI == g.NI && f.NJ == g.NJ && f.NK == g.NK
+}
+
+// Validate checks dimensional invariants and that all samples are
+// finite.
+func (f *Field) Validate() error {
+	n := f.NumNodes()
+	if len(f.U) != n || len(f.V) != n || len(f.W) != n {
+		return fmt.Errorf("field: component arrays have %d/%d/%d entries, want %d",
+			len(f.U), len(f.V), len(f.W), n)
+	}
+	for i := 0; i < n; i++ {
+		v := vmath.Vec3{X: f.U[i], Y: f.V[i], Z: f.W[i]}
+		if !v.IsFinite() {
+			return fmt.Errorf("field: node %d has non-finite velocity %v", i, v)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of f.
+func (f *Field) Clone() *Field {
+	c := NewField(f.NI, f.NJ, f.NK, f.Coords)
+	copy(c.U, f.U)
+	copy(c.V, f.V)
+	copy(c.W, f.W)
+	return c
+}
+
+// MaxSpeed returns the largest velocity magnitude in the field, used
+// to pick stable integration step sizes.
+func (f *Field) MaxSpeed() float32 {
+	var maxSq float32
+	for i := range f.U {
+		sq := f.U[i]*f.U[i] + f.V[i]*f.V[i] + f.W[i]*f.W[i]
+		if sq > maxSq {
+			maxSq = sq
+		}
+	}
+	return float32(math.Sqrt(float64(maxSq)))
+}
+
+// ToGridCoords converts a physical-coordinate field to grid
+// coordinates by applying the inverse grid Jacobian at every node:
+// u_grid = J^-1 u_phys. This is the paper's §2.1 preprocessing step
+// that lets all integration happen with pure array lookups.
+func ToGridCoords(f *Field, g *grid.Grid) (*Field, error) {
+	if f.Coords == GridCoords {
+		return nil, fmt.Errorf("field: already in grid coordinates")
+	}
+	if !f.MatchesGrid(g) {
+		return nil, fmt.Errorf("field: dims %dx%dx%d do not match grid %dx%dx%d",
+			f.NI, f.NJ, f.NK, g.NI, g.NJ, g.NK)
+	}
+	out := NewField(f.NI, f.NJ, f.NK, GridCoords)
+	for k := 0; k < f.NK; k++ {
+		for j := 0; j < f.NJ; j++ {
+			for i := 0; i < f.NI; i++ {
+				gc := vmath.Vec3{X: float32(i), Y: float32(j), Z: float32(k)}
+				cols := g.Jacobian(gc)
+				ugrid, ok := solveJacobian(cols, f.At(i, j, k))
+				if !ok {
+					// Degenerate cell (e.g. collapsed pole line):
+					// leave the velocity zero rather than poisoning
+					// paths with huge values.
+					continue
+				}
+				out.SetAt(i, j, k, ugrid)
+			}
+		}
+	}
+	return out, nil
+}
+
+func solveJacobian(cols [3]vmath.Vec3, b vmath.Vec3) (vmath.Vec3, bool) {
+	det := cols[0].Dot(cols[1].Cross(cols[2]))
+	if det < 1e-12 && det > -1e-12 {
+		return vmath.Vec3{}, false
+	}
+	inv := 1 / det
+	return vmath.Vec3{
+		X: b.Dot(cols[1].Cross(cols[2])) * inv,
+		Y: cols[0].Dot(b.Cross(cols[2])) * inv,
+		Z: cols[0].Dot(cols[1].Cross(b)) * inv,
+	}, true
+}

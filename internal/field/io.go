@@ -1,0 +1,172 @@
+package field
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/grid"
+)
+
+// Binary formats. Both are little-endian, mirroring the paper's note
+// that the Convex was run with IEEE floating point (a compile-time
+// option) specifically so the SGI and the Convex could share data
+// without conversion.
+//
+// Timestep file:
+//	magic  uint32 = 0x56575431 ("VWT1")
+//	ni, nj, nk uint32
+//	coords uint8 (0 = physical, 1 = grid)
+//	pad    [3]uint8
+//	u, v, w each ni*nj*nk float32
+//
+// Grid file:
+//	magic  uint32 = 0x56575447 ("VWTG")
+//	ni, nj, nk uint32
+//	x, y, z each ni*nj*nk float32
+
+const (
+	fieldMagic = 0x56575431
+	gridMagic  = 0x56575447
+	// maxDim guards against allocating absurd buffers from a corrupt
+	// header before reading the payload.
+	maxDim = 1 << 14
+)
+
+// WriteField writes f in timestep binary format.
+func WriteField(w io.Writer, f *Field) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	hdr := [4]uint32{fieldMagic, uint32(f.NI), uint32(f.NJ), uint32(f.NK)}
+	if err := binary.Write(bw, binary.LittleEndian, hdr[:]); err != nil {
+		return fmt.Errorf("field: write header: %w", err)
+	}
+	flags := [4]uint8{uint8(f.Coords)}
+	if _, err := bw.Write(flags[:]); err != nil {
+		return fmt.Errorf("field: write flags: %w", err)
+	}
+	for _, comp := range [][]float32{f.U, f.V, f.W} {
+		if err := writeFloats(bw, comp); err != nil {
+			return fmt.Errorf("field: write payload: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadField reads a timestep written by WriteField.
+func ReadField(r io.Reader) (*Field, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [4]uint32
+	if err := binary.Read(br, binary.LittleEndian, hdr[:]); err != nil {
+		return nil, fmt.Errorf("field: read header: %w", err)
+	}
+	if hdr[0] != fieldMagic {
+		return nil, fmt.Errorf("field: bad magic %#x", hdr[0])
+	}
+	ni, nj, nk := int(hdr[1]), int(hdr[2]), int(hdr[3])
+	if err := checkDims(ni, nj, nk); err != nil {
+		return nil, err
+	}
+	var flags [4]uint8
+	if _, err := io.ReadFull(br, flags[:]); err != nil {
+		return nil, fmt.Errorf("field: read flags: %w", err)
+	}
+	coords := CoordSystem(flags[0])
+	if coords != Physical && coords != GridCoords {
+		return nil, fmt.Errorf("field: unknown coordinate system %d", flags[0])
+	}
+	f := NewField(ni, nj, nk, coords)
+	for _, comp := range [][]float32{f.U, f.V, f.W} {
+		if err := readFloats(br, comp); err != nil {
+			return nil, fmt.Errorf("field: read payload: %w", err)
+		}
+	}
+	return f, nil
+}
+
+// WriteGrid writes g in grid binary format.
+func WriteGrid(w io.Writer, g *grid.Grid) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	hdr := [4]uint32{gridMagic, uint32(g.NI), uint32(g.NJ), uint32(g.NK)}
+	if err := binary.Write(bw, binary.LittleEndian, hdr[:]); err != nil {
+		return fmt.Errorf("field: write grid header: %w", err)
+	}
+	for _, comp := range [][]float32{g.X, g.Y, g.Z} {
+		if err := writeFloats(bw, comp); err != nil {
+			return fmt.Errorf("field: write grid payload: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadGrid reads a grid written by WriteGrid.
+func ReadGrid(r io.Reader) (*grid.Grid, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [4]uint32
+	if err := binary.Read(br, binary.LittleEndian, hdr[:]); err != nil {
+		return nil, fmt.Errorf("field: read grid header: %w", err)
+	}
+	if hdr[0] != gridMagic {
+		return nil, fmt.Errorf("field: bad grid magic %#x", hdr[0])
+	}
+	ni, nj, nk := int(hdr[1]), int(hdr[2]), int(hdr[3])
+	if err := checkDims(ni, nj, nk); err != nil {
+		return nil, err
+	}
+	g, err := grid.New(ni, nj, nk)
+	if err != nil {
+		return nil, err
+	}
+	for _, comp := range [][]float32{g.X, g.Y, g.Z} {
+		if err := readFloats(br, comp); err != nil {
+			return nil, fmt.Errorf("field: read grid payload: %w", err)
+		}
+	}
+	return g, nil
+}
+
+func checkDims(ni, nj, nk int) error {
+	if ni < 2 || nj < 2 || nk < 2 || ni > maxDim || nj > maxDim || nk > maxDim {
+		return fmt.Errorf("field: unreasonable dimensions %dx%dx%d", ni, nj, nk)
+	}
+	return nil
+}
+
+// writeFloats streams a float32 slice little-endian without the
+// reflection overhead of binary.Write on large slices.
+func writeFloats(w io.Writer, a []float32) error {
+	var buf [4096]byte
+	for len(a) > 0 {
+		n := len(buf) / 4
+		if n > len(a) {
+			n = len(a)
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(a[i]))
+		}
+		if _, err := w.Write(buf[:4*n]); err != nil {
+			return err
+		}
+		a = a[n:]
+	}
+	return nil
+}
+
+func readFloats(r io.Reader, a []float32) error {
+	var buf [4096]byte
+	for len(a) > 0 {
+		n := len(buf) / 4
+		if n > len(a) {
+			n = len(a)
+		}
+		if _, err := io.ReadFull(r, buf[:4*n]); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			a[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+		a = a[n:]
+	}
+	return nil
+}

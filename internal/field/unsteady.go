@@ -1,0 +1,94 @@
+package field
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/vmath"
+)
+
+// Unsteady is an in-memory unsteady flowfield: a grid plus an ordered
+// sequence of velocity timesteps separated by a uniform time interval
+// DT (in flow time units). The tapered cylinder dataset in the paper
+// has 800 timesteps of ~1.5 MB each.
+type Unsteady struct {
+	Grid  *grid.Grid
+	Steps []*Field
+	DT    float32
+}
+
+// NewUnsteady validates that every timestep matches the grid and
+// returns the assembled dataset.
+func NewUnsteady(g *grid.Grid, steps []*Field, dt float32) (*Unsteady, error) {
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("field: unsteady dataset needs at least one timestep")
+	}
+	if dt <= 0 {
+		return nil, fmt.Errorf("field: non-positive timestep interval %g", dt)
+	}
+	coords := steps[0].Coords
+	for i, s := range steps {
+		if !s.MatchesGrid(g) {
+			return nil, fmt.Errorf("field: timestep %d dims %dx%dx%d do not match grid %dx%dx%d",
+				i, s.NI, s.NJ, s.NK, g.NI, g.NJ, g.NK)
+		}
+		if s.Coords != coords {
+			return nil, fmt.Errorf("field: timestep %d coord system %v differs from %v", i, s.Coords, coords)
+		}
+	}
+	return &Unsteady{Grid: g, Steps: steps, DT: dt}, nil
+}
+
+// NumSteps returns the number of timesteps.
+func (u *Unsteady) NumSteps() int { return len(u.Steps) }
+
+// Step returns timestep t clamped into range.
+func (u *Unsteady) Step(t int) *Field {
+	if t < 0 {
+		t = 0
+	}
+	if t >= len(u.Steps) {
+		t = len(u.Steps) - 1
+	}
+	return u.Steps[t]
+}
+
+// SizeBytes returns the total velocity payload across all timesteps.
+func (u *Unsteady) SizeBytes() int64 {
+	var total int64
+	for _, s := range u.Steps {
+		total += s.SizeBytes()
+	}
+	return total
+}
+
+// SampleAtTime samples velocity at grid coordinate gc at continuous
+// time index t (in timesteps), linearly interpolating between the two
+// bracketing timesteps. t outside the dataset clamps to the ends.
+func (u *Unsteady) SampleAtTime(gc vmath.Vec3, t float32) vmath.Vec3 {
+	if t <= 0 {
+		return u.Steps[0].Sample(u.Grid, gc)
+	}
+	last := float32(len(u.Steps) - 1)
+	if t >= last {
+		return u.Steps[len(u.Steps)-1].Sample(u.Grid, gc)
+	}
+	t0 := int(t)
+	frac := t - float32(t0)
+	a := u.Steps[t0].Sample(u.Grid, gc)
+	b := u.Steps[t0+1].Sample(u.Grid, gc)
+	return a.Lerp(b, frac)
+}
+
+// ToGridCoords converts every timestep to grid coordinates.
+func (u *Unsteady) ToGridCoords() (*Unsteady, error) {
+	steps := make([]*Field, len(u.Steps))
+	for i, s := range u.Steps {
+		conv, err := ToGridCoords(s, u.Grid)
+		if err != nil {
+			return nil, fmt.Errorf("field: timestep %d: %w", i, err)
+		}
+		steps[i] = conv
+	}
+	return &Unsteady{Grid: u.Grid, Steps: steps, DT: u.DT}, nil
+}

@@ -1,0 +1,211 @@
+// Package integrate implements the windtunnel's visualization tools:
+// streamlines, particle paths, and streaklines (§2.1 of the paper),
+// plus the seed-point rakes that control them.
+//
+// All integration happens in grid coordinates (the paper's key
+// optimization): a Sampler returns velocity in units of grid cells per
+// flow-time unit, so each step is pure array arithmetic. Results are
+// converted back to physical coordinates by direct trilinear lookup of
+// node positions.
+package integrate
+
+import (
+	"fmt"
+
+	"repro/internal/field"
+	"repro/internal/grid"
+	"repro/internal/vmath"
+)
+
+// Sampler supplies grid-coordinate velocity at a grid coordinate and a
+// continuous time index (in timesteps).
+type Sampler interface {
+	SampleVelocity(gc vmath.Vec3, t float32) vmath.Vec3
+	// Grid returns the grid defining the computational domain.
+	Grid() *grid.Grid
+}
+
+// SteadySampler samples a single timestep; time is ignored. Streamline
+// computation uses it: "integrate the particle position without
+// incrementing the current timestep".
+type SteadySampler struct {
+	F *field.Field
+	G *grid.Grid
+}
+
+// SampleVelocity implements Sampler.
+func (s SteadySampler) SampleVelocity(gc vmath.Vec3, _ float32) vmath.Vec3 {
+	return s.F.Sample(s.G, gc)
+}
+
+// Grid implements Sampler.
+func (s SteadySampler) Grid() *grid.Grid { return s.G }
+
+// UnsteadySampler samples an unsteady dataset with linear time
+// interpolation. Particle paths use it: "incrementing the timestep
+// with each integration".
+type UnsteadySampler struct {
+	U *field.Unsteady
+}
+
+// SampleVelocity implements Sampler.
+func (s UnsteadySampler) SampleVelocity(gc vmath.Vec3, t float32) vmath.Vec3 {
+	return s.U.SampleAtTime(gc, t)
+}
+
+// Grid implements Sampler.
+func (s UnsteadySampler) Grid() *grid.Grid { return s.U.Grid }
+
+// Method selects the integration scheme.
+type Method uint8
+
+const (
+	// Euler is first-order forward Euler: one field access per step.
+	Euler Method = iota
+	// RK2 is the paper's scheme (§5.3): second-order Runge-Kutta
+	// (midpoint), two field accesses per step.
+	RK2
+	// RK4 is classical fourth-order Runge-Kutta: four field accesses.
+	RK4
+)
+
+func (m Method) String() string {
+	switch m {
+	case Euler:
+		return "euler"
+	case RK2:
+		return "rk2"
+	case RK4:
+		return "rk4"
+	default:
+		return fmt.Sprintf("Method(%d)", uint8(m))
+	}
+}
+
+// Step advances one particle at grid coordinate gc by time step h
+// (flow-time units expressed in timestep counts) using the method. The
+// returned position is NOT bounds checked; callers decide termination.
+func Step(m Method, s Sampler, gc vmath.Vec3, t, h float32) vmath.Vec3 {
+	switch m {
+	case Euler:
+		return gc.Add(s.SampleVelocity(gc, t).Scale(h))
+	case RK2:
+		k1 := s.SampleVelocity(gc, t)
+		mid := gc.Add(k1.Scale(h / 2))
+		k2 := s.SampleVelocity(mid, t+h/2)
+		return gc.Add(k2.Scale(h))
+	case RK4:
+		k1 := s.SampleVelocity(gc, t)
+		k2 := s.SampleVelocity(gc.Add(k1.Scale(h/2)), t+h/2)
+		k3 := s.SampleVelocity(gc.Add(k2.Scale(h/2)), t+h/2)
+		k4 := s.SampleVelocity(gc.Add(k3.Scale(h)), t+h)
+		sum := k1.Add(k2.Scale(2)).Add(k3.Scale(2)).Add(k4)
+		return gc.Add(sum.Scale(h / 6))
+	default:
+		panic(fmt.Sprintf("integrate: unknown method %d", m))
+	}
+}
+
+// Options configures path computation.
+type Options struct {
+	Method   Method
+	StepSize float32 // integration step in timestep units; sign = direction
+	MaxSteps int     // maximum points after the seed
+	// MinSpeed terminates integration when grid-coordinate speed drops
+	// below it (stagnation); zero uses a small default.
+	MinSpeed float32
+}
+
+// DefaultOptions matches the paper's configuration: RK2, 200-point
+// paths.
+func DefaultOptions() Options {
+	return Options{Method: RK2, StepSize: 0.25, MaxSteps: 200, MinSpeed: 1e-6}
+}
+
+// EffectiveMinSpeed returns MinSpeed or its small default.
+func (o Options) EffectiveMinSpeed() float32 {
+	if o.MinSpeed > 0 {
+		return o.MinSpeed
+	}
+	return 1e-6
+}
+
+// Validate reports configuration errors.
+func (o Options) Validate() error {
+	if o.StepSize == 0 {
+		return fmt.Errorf("integrate: zero step size")
+	}
+	if o.MaxSteps < 1 {
+		return fmt.Errorf("integrate: MaxSteps %d < 1", o.MaxSteps)
+	}
+	return nil
+}
+
+// Streamline integrates the instantaneous field at fixed time t from
+// the seed (grid coordinates), returning the path in grid coordinates.
+// The path includes the seed and stops at the domain boundary, at
+// stagnation, or after MaxSteps points.
+func Streamline(s Sampler, seed vmath.Vec3, t float32, o Options) []vmath.Vec3 {
+	g := s.Grid()
+	path := make([]vmath.Vec3, 0, o.MaxSteps+1)
+	gc := seed
+	if !g.InBounds(gc) {
+		return path
+	}
+	path = append(path, gc)
+	for n := 0; n < o.MaxSteps; n++ {
+		if s.SampleVelocity(gc, t).Len() < o.EffectiveMinSpeed() {
+			break
+		}
+		next := Step(o.Method, s, gc, t, o.StepSize)
+		if !g.InBounds(next) || !next.IsFinite() {
+			break
+		}
+		path = append(path, next)
+		gc = next
+	}
+	return path
+}
+
+// ParticlePath integrates through time from the seed starting at time
+// t0, incrementing time by StepSize each step — a "time exposure
+// photograph" of one particle. The path stops at the domain boundary,
+// at the dataset's time bounds, or after MaxSteps points.
+func ParticlePath(s Sampler, seed vmath.Vec3, t0 float32, maxTime float32, o Options) []vmath.Vec3 {
+	g := s.Grid()
+	path := make([]vmath.Vec3, 0, o.MaxSteps+1)
+	gc := seed
+	if !g.InBounds(gc) {
+		return path
+	}
+	path = append(path, gc)
+	t := t0
+	for n := 0; n < o.MaxSteps; n++ {
+		tNext := t + o.StepSize
+		if o.StepSize > 0 && tNext > maxTime {
+			break
+		}
+		if o.StepSize < 0 && tNext < 0 {
+			break
+		}
+		next := Step(o.Method, s, gc, t, o.StepSize)
+		if !g.InBounds(next) || !next.IsFinite() {
+			break
+		}
+		path = append(path, next)
+		gc = next
+		t = tNext
+	}
+	return path
+}
+
+// ToPhysical converts a grid-coordinate path to physical coordinates
+// using direct trilinear lookup — the cheap reverse conversion the
+// paper relies on.
+func ToPhysical(g *grid.Grid, path []vmath.Vec3) []vmath.Vec3 {
+	out := make([]vmath.Vec3, len(path))
+	for i, gc := range path {
+		out[i] = g.PhysAt(gc)
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package netsim
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// tcpPair returns a connected loopback TCP pair.
+func tcpPair(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { client.Close(); r.c.Close() })
+	return client, r.c
+}
+
+func TestPassThrough(t *testing.T) {
+	a, b := tcpPair(t)
+	ca := Link{}.Wrap(a)
+	msg := []byte("hello windtunnel")
+	go func() {
+		if _, err := ca.Write(msg); err != nil {
+			t.Error(err)
+		}
+	}()
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Errorf("got %q", buf)
+	}
+	_, written := ca.Stats()
+	if written != int64(len(msg)) {
+		t.Errorf("bytesWritten = %d, want %d", written, len(msg))
+	}
+}
+
+func TestBandwidthPacing(t *testing.T) {
+	a, b := tcpPair(t)
+	// 1 MB/s link; send 100 KB => should take >= ~95 ms.
+	ca := Link{BandwidthBytesPerSec: 1 << 20}.Wrap(a)
+	payload := make([]byte, 100*1024)
+	done := make(chan time.Duration, 1)
+	go func() {
+		start := time.Now()
+		for sent := 0; sent < len(payload); {
+			n, err := ca.Write(payload[sent : sent+4096])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			sent += n
+		}
+		done <- time.Since(start)
+	}()
+	if _, err := io.ReadFull(b, make([]byte, len(payload))); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := <-done
+	want := time.Duration(float64(len(payload)) / float64(1<<20) * float64(time.Second))
+	if elapsed < want*8/10 {
+		t.Errorf("100KB over 1MB/s link took %v, want >= %v", elapsed, want)
+	}
+	if elapsed > want*3 {
+		t.Errorf("pacing too slow: %v for budget %v", elapsed, want)
+	}
+}
+
+func TestUnlimitedLinkIsFast(t *testing.T) {
+	a, b := tcpPair(t)
+	ca := Link{}.Wrap(a)
+	payload := make([]byte, 1<<20)
+	start := time.Now()
+	go func() {
+		for sent := 0; sent < len(payload); {
+			n, err := ca.Write(payload[sent:])
+			if err != nil {
+				return
+			}
+			sent += n
+		}
+	}()
+	if _, err := io.ReadFull(b, make([]byte, len(payload))); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("unthrottled 1MB took %v", elapsed)
+	}
+}
+
+func TestLatency(t *testing.T) {
+	a, b := tcpPair(t)
+	ca := Link{Latency: 20 * time.Millisecond}.Wrap(a)
+	start := time.Now()
+	go ca.Write([]byte("x"))
+	if _, err := io.ReadFull(b, make([]byte, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 18*time.Millisecond {
+		t.Errorf("latency not applied: %v", elapsed)
+	}
+}
+
+func TestPipe(t *testing.T) {
+	a, b := Pipe(Link{})
+	go a.Write([]byte("ping"))
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "ping" {
+		t.Errorf("got %q", buf)
+	}
+	read, _ := b.Stats()
+	if read != 4 {
+		t.Errorf("reader stats = %d", read)
+	}
+}
+
+func TestLinkConstantsMatchPaper(t *testing.T) {
+	if UltraNetVME != 13*1024*1024 {
+		t.Errorf("UltraNetVME = %d", UltraNetVME)
+	}
+	if UltraNetActual != 1*1024*1024 {
+		t.Errorf("UltraNetActual = %d", UltraNetActual)
+	}
+	if UltraNetRated != 100*1024*1024 {
+		t.Errorf("UltraNetRated = %d", UltraNetRated)
+	}
+}

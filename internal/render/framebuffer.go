@@ -1,0 +1,135 @@
+// Package render is the software rendering substrate standing in for
+// the SGI VGX pipeline: a z-buffered line/point rasterizer over a
+// framebuffer, with the exact red/blue writemask anaglyph scheme §3
+// describes — left eye in shades of pure red, right eye in shades of
+// pure blue drawn under a writemask that protects the red bit planes,
+// with the z-buffer (but not the color planes) cleared between eyes.
+package render
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Framebuffer is an RGB color buffer with a z-buffer. Depth follows
+// OpenGL convention: smaller z is nearer after projection, the buffer
+// clears to +Inf.
+type Framebuffer struct {
+	W, H int
+	// Pix is packed RGB, 3 bytes per pixel, row-major from the top.
+	Pix []uint8
+	// Z is the depth buffer.
+	Z []float32
+}
+
+// NewFramebuffer allocates a cleared framebuffer.
+func NewFramebuffer(w, h int) (*Framebuffer, error) {
+	if w < 1 || h < 1 {
+		return nil, fmt.Errorf("render: bad framebuffer size %dx%d", w, h)
+	}
+	f := &Framebuffer{W: w, H: h, Pix: make([]uint8, w*h*3), Z: make([]float32, w*h)}
+	f.ClearZ()
+	return f, nil
+}
+
+// Clear fills the color planes and resets depth.
+func (f *Framebuffer) Clear(r, g, b uint8) {
+	for i := 0; i < len(f.Pix); i += 3 {
+		f.Pix[i], f.Pix[i+1], f.Pix[i+2] = r, g, b
+	}
+	f.ClearZ()
+}
+
+// ClearZ resets only the z-buffer — "the Z-buffer bit planes are
+// cleared between the drawing of the left- and right-eye images, but
+// the color (red) bit planes are not" (§3).
+func (f *Framebuffer) ClearZ() {
+	inf := float32(math.Inf(1))
+	for i := range f.Z {
+		f.Z[i] = inf
+	}
+}
+
+// ChannelMask selects which color planes a draw may write — the VGX
+// "writemask".
+type ChannelMask uint8
+
+// Mask bits.
+const (
+	MaskR ChannelMask = 1 << iota
+	MaskG
+	MaskB
+	MaskAll = MaskR | MaskG | MaskB
+)
+
+// Color is an RGB intensity.
+type Color struct {
+	R, G, B uint8
+}
+
+// setPixel writes a depth-tested pixel under the mask. Additive draws
+// saturate-add into the surviving channels instead of replacing them,
+// which is how smoke accumulates.
+func (f *Framebuffer) setPixel(x, y int, z float32, c Color, mask ChannelMask, additive bool) {
+	if x < 0 || x >= f.W || y < 0 || y >= f.H {
+		return
+	}
+	zi := y*f.W + x
+	if z > f.Z[zi] {
+		return
+	}
+	f.Z[zi] = z
+	pi := zi * 3
+	if mask&MaskR != 0 {
+		f.Pix[pi] = blend(f.Pix[pi], c.R, additive)
+	}
+	if mask&MaskG != 0 {
+		f.Pix[pi+1] = blend(f.Pix[pi+1], c.G, additive)
+	}
+	if mask&MaskB != 0 {
+		f.Pix[pi+2] = blend(f.Pix[pi+2], c.B, additive)
+	}
+}
+
+func blend(dst, src uint8, additive bool) uint8 {
+	if !additive {
+		return src
+	}
+	sum := int(dst) + int(src)
+	if sum > 255 {
+		return 255
+	}
+	return uint8(sum)
+}
+
+// At returns the pixel color at (x, y).
+func (f *Framebuffer) At(x, y int) Color {
+	pi := (y*f.W + x) * 3
+	return Color{f.Pix[pi], f.Pix[pi+1], f.Pix[pi+2]}
+}
+
+// CountLit returns how many pixels have any channel above the
+// threshold — used by figure tests to assert something was drawn.
+func (f *Framebuffer) CountLit(threshold uint8) int {
+	var n int
+	for i := 0; i < len(f.Pix); i += 3 {
+		if f.Pix[i] > threshold || f.Pix[i+1] > threshold || f.Pix[i+2] > threshold {
+			n++
+		}
+	}
+	return n
+}
+
+// WritePPM writes the color planes as a binary PPM (P6) image.
+func (f *Framebuffer) WritePPM(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := fmt.Fprintf(bw, "P6\n%d %d\n255\n", f.W, f.H); err != nil {
+		return fmt.Errorf("render: write ppm header: %w", err)
+	}
+	if _, err := bw.Write(f.Pix); err != nil {
+		return fmt.Errorf("render: write ppm pixels: %w", err)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,152 @@
+package render
+
+import (
+	"repro/internal/vmath"
+)
+
+// Renderer rasterizes 3-D lines and points into a framebuffer through
+// a model-view-projection transform.
+type Renderer struct {
+	FB   *Framebuffer
+	mask ChannelMask
+	mvp  vmath.Mat4
+	// Additive selects saturating-add blending (smoke) instead of
+	// replace.
+	Additive bool
+
+	// depth cueing state (see depthcue.go).
+	cueOn    bool
+	cueFloor float32
+}
+
+// NewRenderer wraps a framebuffer with an identity transform and full
+// write mask.
+func NewRenderer(fb *Framebuffer) *Renderer {
+	return &Renderer{FB: fb, mask: MaskAll, mvp: vmath.Identity()}
+}
+
+// SetCamera sets the transform as projection * view.
+func (r *Renderer) SetCamera(view, proj vmath.Mat4) {
+	r.mvp = proj.Mul(view)
+}
+
+// SetMVP sets the full transform directly.
+func (r *Renderer) SetMVP(m vmath.Mat4) { r.mvp = m }
+
+// SetMask sets the channel writemask for subsequent draws.
+func (r *Renderer) SetMask(m ChannelMask) { r.mask = m }
+
+// clipVert is a transformed vertex in homogeneous clip space.
+type clipVert struct {
+	p vmath.Vec3
+	w float32
+}
+
+const nearEps = 1e-5
+
+// Point draws a single 3-D point.
+func (r *Renderer) Point(p vmath.Vec3, c Color) {
+	v, w := r.mvp.TransformPointW(p)
+	if w < nearEps {
+		return
+	}
+	inv := 1 / w
+	x, y, z := v.X*inv, v.Y*inv, v.Z*inv
+	if x < -1 || x > 1 || y < -1 || y > 1 || z < -1 || z > 1 {
+		return
+	}
+	sx, sy := r.toScreen(x, y)
+	r.FB.setPixel(sx, sy, z, r.cue(c, z), r.mask, r.Additive)
+}
+
+// Points draws many points.
+func (r *Renderer) Points(pts []vmath.Vec3, c Color) {
+	for _, p := range pts {
+		r.Point(p, c)
+	}
+}
+
+// Polyline draws connected line segments through pts.
+func (r *Renderer) Polyline(pts []vmath.Vec3, c Color) {
+	for i := 1; i < len(pts); i++ {
+		r.Line(pts[i-1], pts[i], c)
+	}
+}
+
+// Line draws one 3-D line segment with near-plane clipping and
+// z-buffered DDA rasterization.
+func (r *Renderer) Line(a, b vmath.Vec3, c Color) {
+	pa, wa := r.mvp.TransformPointW(a)
+	pb, wb := r.mvp.TransformPointW(b)
+	va := clipVert{pa, wa}
+	vb := clipVert{pb, wb}
+
+	// Clip against the near plane w > nearEps.
+	if va.w < nearEps && vb.w < nearEps {
+		return
+	}
+	if va.w < nearEps {
+		va = clipToNear(vb, va)
+	} else if vb.w < nearEps {
+		vb = clipToNear(va, vb)
+	}
+
+	// Perspective divide.
+	ax, ay, az := va.p.X/va.w, va.p.Y/va.w, va.p.Z/va.w
+	bx, by, bz := vb.p.X/vb.w, vb.p.Y/vb.w, vb.p.Z/vb.w
+
+	// Trivial reject when both ends share an outside half-space.
+	if (ax < -1 && bx < -1) || (ax > 1 && bx > 1) ||
+		(ay < -1 && by < -1) || (ay > 1 && by > 1) ||
+		(az < -1 && bz < -1) || (az > 1 && bz > 1) {
+		return
+	}
+
+	x0, y0 := r.toScreenF(ax, ay)
+	x1, y1 := r.toScreenF(bx, by)
+	dx, dy := x1-x0, y1-y0
+	steps := int(maxf(absf(dx), absf(dy))) + 1
+	for s := 0; s <= steps; s++ {
+		t := float32(s) / float32(steps)
+		x := x0 + t*dx
+		y := y0 + t*dy
+		z := az + t*(bz-az)
+		if z < -1 || z > 1 {
+			continue
+		}
+		r.FB.setPixel(int(x), int(y), z, r.cue(c, z), r.mask, r.Additive)
+	}
+}
+
+// clipToNear returns the intersection of segment inside->outside with
+// the near plane, keeping the inside vertex fixed.
+func clipToNear(inside, outside clipVert) clipVert {
+	t := (inside.w - nearEps) / (inside.w - outside.w)
+	return clipVert{
+		p: inside.p.Lerp(outside.p, t),
+		w: nearEps,
+	}
+}
+
+func (r *Renderer) toScreen(x, y float32) (int, int) {
+	fx, fy := r.toScreenF(x, y)
+	return int(fx), int(fy)
+}
+
+func (r *Renderer) toScreenF(x, y float32) (float32, float32) {
+	return (x + 1) / 2 * float32(r.FB.W-1), (1 - y) / 2 * float32(r.FB.H-1)
+}
+
+func absf(f float32) float32 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+func maxf(a, b float32) float32 {
+	if a > b {
+		return a
+	}
+	return b
+}

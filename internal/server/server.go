@@ -1,0 +1,418 @@
+// Package server implements the distributed windtunnel's remote host —
+// the role the Convex C3240 plays in the paper. It owns the dataset
+// (in memory or streamed from disk with prefetch), the authoritative
+// shared virtual environment, and the visualization computation; it
+// accepts user commands over dlib and returns environment state plus
+// computed geometry (figure 8).
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/compute"
+	"repro/internal/dlib"
+	"repro/internal/env"
+	"repro/internal/field"
+	"repro/internal/grid"
+	"repro/internal/integrate"
+	"repro/internal/store"
+	"repro/internal/vmath"
+	"repro/internal/wire"
+)
+
+// Config assembles a windtunnel server.
+type Config struct {
+	// Store supplies the dataset. Wrap a Disk store in a Prefetcher to
+	// get the paper's overlapped-load pipeline.
+	Store store.Store
+	// Engine computes visualization geometry; nil uses the parallel
+	// engine with GOMAXPROCS workers.
+	Engine compute.Engine
+	// Options sets integration parameters; zero value uses
+	// integrate.DefaultOptions (RK2, 200-point paths).
+	Options integrate.Options
+	// MaxStreakParticles bounds each streakline rake's particle count;
+	// 0 means 20,000.
+	MaxStreakParticles int
+	// Prefetch enables next-timestep prefetching when Store is (or
+	// wraps) I/O-bound storage.
+	Prefetch bool
+}
+
+// Stats is a snapshot of server-side performance counters.
+type Stats struct {
+	Frames       int64         // geometry recomputation rounds
+	Points       int64         // total path points produced
+	ComputeTime  time.Duration // cumulative visualization compute time
+	LoadTime     time.Duration // cumulative timestep load wait
+	BytesShipped int64         // encoded FrameReply bytes
+}
+
+// Server is the remote-host application layered on a dlib server.
+type Server struct {
+	d   *dlib.Server
+	cfg Config
+	env *env.Environment
+
+	prefetcher *store.Prefetcher
+	// window keeps the particle-path timestep range resident for
+	// I/O-backed stores (§5.1: "the current timestep plus the maximum
+	// particle path length").
+	window *store.Window
+
+	mu sync.Mutex // guards everything below
+	// cur is the loaded timestep backing streamline/streak
+	// computation.
+	cur      *field.Field
+	curStep  int
+	streaks  map[int32]*integrate.Streak
+	cache    *frameCache
+	stats    Stats
+	unsteady *field.Unsteady // non-nil when the store is fully resident
+}
+
+// frameCache holds one computed round of shared state: every session
+// fetches the same reply until someone needs a fresh round.
+type frameCache struct {
+	reply      wire.FrameReply
+	encoded    []byte
+	consumedBy map[int64]bool
+}
+
+// New builds the application and registers its procedures on a fresh
+// dlib server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("server: nil store")
+	}
+	if cfg.Engine == nil {
+		cfg.Engine = compute.Parallel{}
+	}
+	if cfg.Options.MaxSteps == 0 {
+		cfg.Options = integrate.DefaultOptions()
+	}
+	if err := cfg.Options.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxStreakParticles == 0 {
+		cfg.MaxStreakParticles = 20000
+	}
+	s := &Server{
+		d:       dlib.NewServer(),
+		cfg:     cfg,
+		env:     env.New(cfg.Store.NumSteps()),
+		streaks: make(map[int32]*integrate.Streak),
+	}
+	if mem, ok := cfg.Store.(*store.Memory); ok {
+		s.unsteady = mem.Unsteady()
+	}
+	if cfg.Prefetch {
+		s.prefetcher = store.NewPrefetcher(cfg.Store)
+	}
+	if s.unsteady == nil {
+		// I/O-backed store: keep a particle-path window resident.
+		w, err := store.NewWindow(cfg.Store, cfg.Options.MaxSteps+1)
+		if err != nil {
+			return nil, err
+		}
+		s.window = w
+	}
+	s.d.Register(wire.ProcHello, s.handleHello)
+	s.d.Register(wire.ProcFrame, s.handleFrame)
+	s.d.Register(wire.ProcWhoAmI, func(ctx *dlib.Ctx, _ []byte) ([]byte, error) {
+		var out [8]byte
+		binary.LittleEndian.PutUint64(out[:], uint64(ctx.Session.ID))
+		return out[:], nil
+	})
+	s.d.OnDisconnect = func(id int64) { s.env.ReleaseAll(id) }
+	return s, nil
+}
+
+// Dlib returns the underlying dlib server for Serve/Close.
+func (s *Server) Dlib() *dlib.Server { return s.d }
+
+// Env returns the shared environment (for local/in-process use, e.g.
+// the stand-alone windtunnel mode and tests).
+func (s *Server) Env() *env.Environment { return s.env }
+
+// Stats returns a snapshot of the performance counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func (s *Server) handleHello(_ *dlib.Ctx, _ []byte) ([]byte, error) {
+	g := s.cfg.Store.Grid()
+	b := g.Bounds()
+	return wire.EncodeDatasetInfo(wire.DatasetInfo{
+		NI: uint32(g.NI), NJ: uint32(g.NJ), NK: uint32(g.NK),
+		NumSteps:  uint32(s.cfg.Store.NumSteps()),
+		DT:        s.cfg.Store.DT(),
+		BoundsMin: b.Min,
+		BoundsMax: b.Max,
+	}), nil
+}
+
+// handleFrame is the once-per-frame exchange. dlib guarantees serial
+// execution, so handler-side state needs no extra locking against
+// other calls — the mutex protects against Stats() readers only.
+func (s *Server) handleFrame(ctx *dlib.Ctx, payload []byte) ([]byte, error) {
+	u, err := wire.DecodeClientUpdate(payload)
+	if err != nil {
+		return nil, err
+	}
+	user := ctx.Session.ID
+	s.env.SetUserPose(user, env.UserPose{Head: u.Head, Hand: u.Hand, Gesture: u.Gesture})
+	// Command failures (e.g. grabbing a held rake) must not kill the
+	// frame; the client learns the outcome from the returned state.
+	for _, cmd := range u.Commands {
+		s.applyCommand(user, cmd)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// A new round is computed when this session has already seen the
+	// current one, or when it just issued commands — the user must see
+	// the effect of their own interaction within this frame (§1.2's
+	// 1/8-second command-to-display loop).
+	if s.cache == nil || s.cache.consumedBy[user] || len(u.Commands) > 0 {
+		if err := s.recomputeLocked(); err != nil {
+			return nil, err
+		}
+	}
+	s.cache.consumedBy[user] = true
+	s.stats.BytesShipped += int64(len(s.cache.encoded))
+	return s.cache.encoded, nil
+}
+
+// applyCommand executes one user command against the environment.
+// Errors are deliberately swallowed after the conflict rules run:
+// "possible conflicting commands from different workstations are
+// easily handled ... by a 'first come first served' rule."
+func (s *Server) applyCommand(user int64, c wire.Command) {
+	switch c.Kind {
+	case wire.CmdAddRake:
+		s.env.AddRake(c.P0, c.P1, int(c.NumSeeds), integrate.ToolKind(c.Tool))
+	case wire.CmdRemoveRake:
+		if s.env.RemoveRake(user, c.Rake) == nil {
+			s.mu.Lock()
+			delete(s.streaks, c.Rake)
+			s.mu.Unlock()
+		}
+	case wire.CmdGrab:
+		s.env.GrabRake(user, c.Rake, integrate.GrabPoint(c.Grab))
+	case wire.CmdRelease:
+		s.env.ReleaseRake(user, c.Rake)
+	case wire.CmdMove:
+		s.env.MoveRake(user, c.Rake, c.Pos)
+	case wire.CmdSetSeeds:
+		s.env.SetRakeSeeds(user, c.Rake, int(c.NumSeeds))
+	case wire.CmdSetPlaying:
+		s.env.SetPlaying(c.Flag != 0)
+	case wire.CmdSetSpeed:
+		s.env.SetSpeed(c.Value)
+	case wire.CmdSeek:
+		s.env.SeekTime(c.Value)
+	case wire.CmdSetLoop:
+		s.env.SetLoop(c.Flag != 0)
+	case wire.CmdSetTool:
+		if s.env.SetRakeTool(user, c.Rake, integrate.ToolKind(c.Tool)) == nil {
+			// Tool changes orphan any streak state.
+			s.mu.Lock()
+			delete(s.streaks, c.Rake)
+			s.mu.Unlock()
+		}
+	}
+}
+
+// recomputeLocked advances time, loads the needed timestep, computes
+// all visualization geometry, and encodes the shared reply. Caller
+// holds s.mu.
+func (s *Server) recomputeLocked() error {
+	ts := s.env.AdvanceTime()
+	step := ts.Step()
+
+	loadStart := time.Now()
+	if s.cur == nil || step != s.curStep {
+		f, err := s.loadStep(step)
+		if err != nil {
+			return fmt.Errorf("server: load step %d: %w", step, err)
+		}
+		s.cur = f
+		s.curStep = step
+	}
+	loadTime := time.Since(loadStart)
+
+	// Overlap: kick off the prefetch of the next step along the
+	// playback direction while this frame computes (figure 8's
+	// right-hand process).
+	if s.prefetcher != nil {
+		next := step + 1
+		if ts.Speed < 0 {
+			next = step - 1
+		}
+		if ts.Loop && next >= s.cfg.Store.NumSteps() {
+			next = 0
+		}
+		if ts.Loop && next < 0 {
+			next = s.cfg.Store.NumSteps() - 1
+		}
+		s.prefetcher.Prefetch(next)
+	}
+
+	computeStart := time.Now()
+	g := s.cfg.Store.Grid()
+	batch := compute.SteadyBatch{F: s.cur, G: g}
+	reply := wire.FrameReply{
+		Time: wire.TimeStatus{
+			Current:  ts.Current,
+			Speed:    ts.Speed,
+			Playing:  ts.Playing,
+			Loop:     ts.Loop,
+			NumSteps: uint32(ts.NumSteps),
+		},
+	}
+	for id, pose := range s.env.Users() {
+		reply.Users = append(reply.Users, wire.UserState{
+			ID: id, Head: pose.Head, Hand: pose.Hand, Gesture: pose.Gesture,
+		})
+	}
+
+	var totalPoints int64
+	for _, snap := range s.env.Rakes() {
+		rake := snap.Rake
+		reply.Rakes = append(reply.Rakes, wire.RakeState{
+			ID: rake.ID, P0: rake.P0, P1: rake.P1,
+			NumSeeds: uint32(rake.NumSeeds),
+			Tool:     uint8(rake.Tool),
+			Holder:   snap.Holder,
+			Grab:     uint8(snap.Grab),
+		})
+		seeds := rake.SeedsGrid(g)
+		if len(seeds) == 0 {
+			continue
+		}
+		geo := wire.Geometry{Rake: rake.ID, Tool: uint8(rake.Tool)}
+		switch rake.Tool {
+		case integrate.ToolStreamline:
+			paths, st := s.cfg.Engine.Streamlines(batch, seeds, ts.Current, s.cfg.Options)
+			geo.Lines = toPhysicalLines(g, paths)
+			totalPoints += st.Points + int64(len(paths))
+		case integrate.ToolParticlePath:
+			sampler := s.timeSampler(step)
+			paths, st := s.cfg.Engine.ParticlePaths(sampler, seeds, ts.Current,
+				float32(ts.NumSteps-1), s.cfg.Options)
+			geo.Lines = toPhysicalLines(g, paths)
+			totalPoints += st.Points + int64(len(paths))
+		case integrate.ToolStreakline:
+			streak := s.streaks[rake.ID]
+			if streak == nil {
+				streak = integrate.NewStreak(s.cfg.MaxStreakParticles)
+				s.streaks[rake.ID] = streak
+			}
+			streak.Advance(batch, seeds, ts.Current, s.cfg.Options.StepSize, s.cfg.Options.Method)
+			lines := streak.PolylineBySeed(rake.NumSeeds)
+			geo.Lines = toPhysicalLines(g, lines)
+			totalPoints += int64(len(streak.Particles))
+		}
+		reply.Geometry = append(reply.Geometry, geo)
+	}
+	computeTime := time.Since(computeStart)
+
+	s.stats.Frames++
+	s.stats.Points += totalPoints
+	s.stats.ComputeTime += computeTime
+	s.stats.LoadTime += loadTime
+	reply.ComputeNanos = computeTime.Nanoseconds()
+	reply.LoadNanos = loadTime.Nanoseconds()
+
+	s.cache = &frameCache{
+		reply:      reply,
+		encoded:    wire.EncodeFrameReply(reply),
+		consumedBy: make(map[int64]bool),
+	}
+	return nil
+}
+
+// loadStep fetches a timestep through the prefetcher when present.
+func (s *Server) loadStep(step int) (*field.Field, error) {
+	if s.prefetcher != nil {
+		return s.prefetcher.LoadStep(step)
+	}
+	return s.cfg.Store.LoadStep(step)
+}
+
+// timeSampler returns an unsteady sampler for particle paths starting
+// at timestep. With a resident dataset it samples with time
+// interpolation; for I/O-backed stores it slides the resident window
+// over [step, step+MaxSteps] first (§5.1's strategy), then samples
+// through it.
+func (s *Server) timeSampler(step int) integrate.Sampler {
+	if s.unsteady != nil {
+		return integrate.UnsteadySampler{U: s.unsteady}
+	}
+	src := s.cfg.Store
+	if s.window != nil {
+		// A failed slide degrades to on-demand loads; the sampler
+		// still works.
+		_ = s.window.SetBase(step)
+		src = s.window
+	}
+	return &storeSampler{st: src, cache: make(map[int]*field.Field)}
+}
+
+// storeSampler samples an I/O-backed store with linear time
+// interpolation, caching loaded steps for the duration of one
+// computation (particle paths revisit the same bracketing steps for
+// every seed).
+type storeSampler struct {
+	st    store.Store
+	cache map[int]*field.Field
+}
+
+// Grid implements integrate.Sampler.
+func (ss *storeSampler) Grid() *grid.Grid { return ss.st.Grid() }
+
+// SampleVelocity implements integrate.Sampler.
+func (ss *storeSampler) SampleVelocity(gc vmath.Vec3, t float32) vmath.Vec3 {
+	last := ss.st.NumSteps() - 1
+	if t <= 0 {
+		return ss.step(0).Sample(ss.st.Grid(), gc)
+	}
+	if t >= float32(last) {
+		return ss.step(last).Sample(ss.st.Grid(), gc)
+	}
+	t0 := int(t)
+	frac := t - float32(t0)
+	a := ss.step(t0).Sample(ss.st.Grid(), gc)
+	b := ss.step(t0+1).Sample(ss.st.Grid(), gc)
+	return a.Lerp(b, frac)
+}
+
+// step loads (and caches) timestep t; on load failure it returns an
+// empty field, terminating paths at stagnation rather than crashing
+// the frame.
+func (ss *storeSampler) step(t int) *field.Field {
+	if f, ok := ss.cache[t]; ok {
+		return f
+	}
+	f, err := ss.st.LoadStep(t)
+	if err != nil {
+		g := ss.st.Grid()
+		f = field.NewField(g.NI, g.NJ, g.NK, field.GridCoords)
+	}
+	ss.cache[t] = f
+	return f
+}
+
+func toPhysicalLines(g *grid.Grid, lines [][]vmath.Vec3) [][]vmath.Vec3 {
+	out := make([][]vmath.Vec3, len(lines))
+	for i, l := range lines {
+		out[i] = integrate.ToPhysical(g, l)
+	}
+	return out
+}

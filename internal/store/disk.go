@@ -1,0 +1,237 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/field"
+	"repro/internal/grid"
+)
+
+// Dataset directory layout:
+//
+//	<dir>/grid.vwt              grid file (field.WriteGrid)
+//	<dir>/step_000000.vwt ...   one timestep file per step
+//	<dir>/meta.vwt              dt and step count (tiny text file)
+
+// stepFileName returns the timestep file name for step t.
+func stepFileName(t int) string { return fmt.Sprintf("step_%06d.vwt", t) }
+
+// WriteDataset writes an in-memory dataset to dir in the on-disk
+// layout. dir is created if needed.
+func WriteDataset(dir string, u *field.Unsteady) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: create dataset dir: %w", err)
+	}
+	gf, err := os.Create(filepath.Join(dir, "grid.vwt"))
+	if err != nil {
+		return fmt.Errorf("store: create grid file: %w", err)
+	}
+	if err := field.WriteGrid(gf, u.Grid); err != nil {
+		gf.Close()
+		return err
+	}
+	if err := gf.Close(); err != nil {
+		return err
+	}
+	for t, step := range u.Steps {
+		sf, err := os.Create(filepath.Join(dir, stepFileName(t)))
+		if err != nil {
+			return fmt.Errorf("store: create step file %d: %w", t, err)
+		}
+		if err := field.WriteField(sf, step); err != nil {
+			sf.Close()
+			return fmt.Errorf("store: write step %d: %w", t, err)
+		}
+		if err := sf.Close(); err != nil {
+			return err
+		}
+	}
+	meta := fmt.Sprintf("steps %d\ndt %g\n", len(u.Steps), u.DT)
+	if err := os.WriteFile(filepath.Join(dir, "meta.vwt"), []byte(meta), 0o644); err != nil {
+		return fmt.Errorf("store: write meta: %w", err)
+	}
+	return nil
+}
+
+// DiskOptions configures a Disk store.
+type DiskOptions struct {
+	// BandwidthBytesPerSec throttles reads to simulate a particular
+	// disk subsystem (the paper's Convex measured 30-50 MB/s). Zero
+	// means unthrottled.
+	BandwidthBytesPerSec int64
+}
+
+// Disk is a Store reading timesteps from a dataset directory, with an
+// optional bandwidth throttle and load statistics. It models §5.1's
+// "data must reside on a mass storage device" regime.
+type Disk struct {
+	dir      string
+	g        *grid.Grid
+	numSteps int
+	dt       float32
+	opts     DiskOptions
+
+	bytesRead atomic.Int64
+	loads     atomic.Int64
+	loadNanos atomic.Int64
+}
+
+// OpenDisk opens a dataset directory written by WriteDataset.
+func OpenDisk(dir string, opts DiskOptions) (*Disk, error) {
+	gf, err := os.Open(filepath.Join(dir, "grid.vwt"))
+	if err != nil {
+		return nil, fmt.Errorf("store: open grid: %w", err)
+	}
+	g, err := field.ReadGrid(gf)
+	gf.Close()
+	if err != nil {
+		return nil, err
+	}
+	metaBytes, err := os.ReadFile(filepath.Join(dir, "meta.vwt"))
+	if err != nil {
+		return nil, fmt.Errorf("store: read meta: %w", err)
+	}
+	var numSteps int
+	var dt float32
+	if _, err := fmt.Sscanf(string(metaBytes), "steps %d\ndt %g", &numSteps, &dt); err != nil {
+		return nil, fmt.Errorf("store: parse meta: %w", err)
+	}
+	if numSteps < 1 || dt <= 0 {
+		return nil, fmt.Errorf("store: bad meta: steps=%d dt=%g", numSteps, dt)
+	}
+	return &Disk{dir: dir, g: g, numSteps: numSteps, dt: dt, opts: opts}, nil
+}
+
+// Grid implements Store.
+func (d *Disk) Grid() *grid.Grid { return d.g }
+
+// NumSteps implements Store.
+func (d *Disk) NumSteps() int { return d.numSteps }
+
+// DT implements Store.
+func (d *Disk) DT() float32 { return d.dt }
+
+// Close implements Store.
+func (d *Disk) Close() error { return nil }
+
+// LoadStep implements Store, reading the step file and applying the
+// bandwidth throttle.
+func (d *Disk) LoadStep(t int) (*field.Field, error) {
+	if t < 0 || t >= d.numSteps {
+		return nil, fmt.Errorf("store: timestep %d out of range [0, %d)", t, d.numSteps)
+	}
+	start := time.Now()
+	path := filepath.Join(d.dir, stepFileName(t))
+	sf, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: open step %d: %w", t, err)
+	}
+	f, err := field.ReadField(sf)
+	sf.Close()
+	if err != nil {
+		return nil, fmt.Errorf("store: read step %d: %w", t, err)
+	}
+	n := f.SizeBytes()
+	if bw := d.opts.BandwidthBytesPerSec; bw > 0 {
+		// Model a disk delivering bw bytes/sec: the load may not
+		// complete before size/bw seconds have passed.
+		budget := time.Duration(float64(n) / float64(bw) * float64(time.Second))
+		if elapsed := time.Since(start); elapsed < budget {
+			time.Sleep(budget - elapsed)
+		}
+	}
+	d.bytesRead.Add(n)
+	d.loads.Add(1)
+	d.loadNanos.Add(int64(time.Since(start)))
+	return f, nil
+}
+
+// Stats reports cumulative load statistics.
+func (d *Disk) Stats() (loads int64, bytesRead int64, totalTime time.Duration) {
+	return d.loads.Load(), d.bytesRead.Load(), time.Duration(d.loadNanos.Load())
+}
+
+// Prefetcher overlaps timestep loading with computation, the paper's
+// figure-8 architecture: "The timestep required for the next
+// computation is loaded into a buffer" while the current one is used.
+// It prefetches a single step ahead along a caller-provided stride
+// (time can run backward in the windtunnel).
+type Prefetcher struct {
+	src Store
+
+	mu      sync.Mutex
+	pending map[int]chan prefetchResult
+
+	hits, misses atomic.Int64
+}
+
+type prefetchResult struct {
+	f   *field.Field
+	err error
+}
+
+// NewPrefetcher wraps src.
+func NewPrefetcher(src Store) *Prefetcher {
+	return &Prefetcher{src: src, pending: make(map[int]chan prefetchResult)}
+}
+
+// Grid implements Store.
+func (p *Prefetcher) Grid() *grid.Grid { return p.src.Grid() }
+
+// NumSteps implements Store.
+func (p *Prefetcher) NumSteps() int { return p.src.NumSteps() }
+
+// DT implements Store.
+func (p *Prefetcher) DT() float32 { return p.src.DT() }
+
+// Close implements Store.
+func (p *Prefetcher) Close() error { return p.src.Close() }
+
+// Prefetch starts loading timestep t in the background if it is in
+// range and not already in flight.
+func (p *Prefetcher) Prefetch(t int) {
+	if t < 0 || t >= p.src.NumSteps() {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.pending[t]; ok {
+		return
+	}
+	ch := make(chan prefetchResult, 1)
+	p.pending[t] = ch
+	go func() {
+		f, err := p.src.LoadStep(t)
+		ch <- prefetchResult{f, err}
+	}()
+}
+
+// LoadStep implements Store: a previously prefetched step is awaited
+// (usually already done — that is the overlap win); anything else
+// loads synchronously.
+func (p *Prefetcher) LoadStep(t int) (*field.Field, error) {
+	p.mu.Lock()
+	ch, ok := p.pending[t]
+	if ok {
+		delete(p.pending, t)
+	}
+	p.mu.Unlock()
+	if ok {
+		p.hits.Add(1)
+		res := <-ch
+		return res.f, res.err
+	}
+	p.misses.Add(1)
+	return p.src.LoadStep(t)
+}
+
+// Stats reports how many loads were served from prefetch vs
+// synchronously.
+func (p *Prefetcher) Stats() (hits, misses int64) {
+	return p.hits.Load(), p.misses.Load()
+}

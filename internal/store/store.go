@@ -1,0 +1,145 @@
+// Package store manages access to unsteady flowfield timesteps,
+// reproducing §5.1's data-management strategies: datasets fully
+// resident in (the remote host's large) memory, datasets streamed from
+// disk with a bandwidth budget, double-buffered prefetching so disk
+// I/O overlaps computation (figure 8), and the in-memory window of
+// future timesteps that particle paths require.
+package store
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/field"
+	"repro/internal/grid"
+)
+
+// Store supplies the grid and timesteps of one dataset. LoadStep may
+// block on I/O; implementations must be safe for concurrent use.
+type Store interface {
+	// Grid returns the dataset's grid.
+	Grid() *grid.Grid
+	// NumSteps returns the number of timesteps.
+	NumSteps() int
+	// DT returns the flow-time interval between timesteps.
+	DT() float32
+	// LoadStep returns timestep t. Implementations may return a shared
+	// pointer; callers must not modify the field.
+	LoadStep(t int) (*field.Field, error)
+	// Close releases resources.
+	Close() error
+}
+
+// Memory is a Store over a fully resident dataset — the stand-alone
+// windtunnel's only mode, and the distributed windtunnel's fast path
+// when the dataset fits in the remote host's gigabyte of memory.
+type Memory struct {
+	u *field.Unsteady
+}
+
+// NewMemory wraps an in-memory dataset.
+func NewMemory(u *field.Unsteady) *Memory { return &Memory{u: u} }
+
+// Grid implements Store.
+func (m *Memory) Grid() *grid.Grid { return m.u.Grid }
+
+// NumSteps implements Store.
+func (m *Memory) NumSteps() int { return m.u.NumSteps() }
+
+// DT implements Store.
+func (m *Memory) DT() float32 { return m.u.DT }
+
+// LoadStep implements Store.
+func (m *Memory) LoadStep(t int) (*field.Field, error) {
+	if t < 0 || t >= m.u.NumSteps() {
+		return nil, fmt.Errorf("store: timestep %d out of range [0, %d)", t, m.u.NumSteps())
+	}
+	return m.u.Steps[t], nil
+}
+
+// Close implements Store.
+func (m *Memory) Close() error { return nil }
+
+// Unsteady returns the underlying dataset.
+func (m *Memory) Unsteady() *field.Unsteady { return m.u }
+
+// Window keeps a contiguous window of timesteps resident, backed by
+// any Store. Particle paths "require a different timestep for every
+// point in the path", so the windtunnel keeps the current timestep
+// plus the maximum particle path length in memory (§5.1).
+type Window struct {
+	src  Store
+	size int
+
+	mu    sync.Mutex
+	base  int
+	steps map[int]*field.Field
+}
+
+// NewWindow wraps src with a resident window of size timesteps.
+func NewWindow(src Store, size int) (*Window, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("store: window size %d < 1", size)
+	}
+	return &Window{src: src, size: size, steps: make(map[int]*field.Field)}, nil
+}
+
+// Grid implements Store.
+func (w *Window) Grid() *grid.Grid { return w.src.Grid() }
+
+// NumSteps implements Store.
+func (w *Window) NumSteps() int { return w.src.NumSteps() }
+
+// DT implements Store.
+func (w *Window) DT() float32 { return w.src.DT() }
+
+// Close implements Store.
+func (w *Window) Close() error { return w.src.Close() }
+
+// SetBase slides the window so it covers [base, base+size), evicting
+// steps that fell out and loading steps that entered.
+func (w *Window) SetBase(base int) error {
+	if base < 0 {
+		base = 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for t := range w.steps {
+		if t < base || t >= base+w.size {
+			delete(w.steps, t)
+		}
+	}
+	w.base = base
+	hi := min(base+w.size, w.src.NumSteps())
+	for t := base; t < hi; t++ {
+		if _, ok := w.steps[t]; ok {
+			continue
+		}
+		f, err := w.src.LoadStep(t)
+		if err != nil {
+			return fmt.Errorf("store: window load step %d: %w", t, err)
+		}
+		w.steps[t] = f
+	}
+	return nil
+}
+
+// LoadStep implements Store: resident steps return immediately, other
+// steps fall through to the source.
+func (w *Window) LoadStep(t int) (*field.Field, error) {
+	w.mu.Lock()
+	f, ok := w.steps[t]
+	w.mu.Unlock()
+	if ok {
+		return f, nil
+	}
+	return w.src.LoadStep(t)
+}
+
+// Resident reports whether timestep t is in the window.
+func (w *Window) Resident(t int) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, ok := w.steps[t]
+	return ok
+}

@@ -1,0 +1,382 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/field"
+	"repro/internal/grid"
+	"repro/internal/vmath"
+)
+
+// makeDataset builds a small in-memory dataset whose step t has
+// constant U = t, so loads are verifiable.
+func makeDataset(t testing.TB, numSteps int) *field.Unsteady {
+	t.Helper()
+	g, err := grid.NewCartesian(8, 8, 4, vmath.AABB{
+		Min: vmath.V3(0, 0, 0), Max: vmath.V3(7, 7, 3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := make([]*field.Field, numSteps)
+	for s := range steps {
+		f := field.NewField(8, 8, 4, field.GridCoords)
+		for i := range f.U {
+			f.U[i] = float32(s)
+		}
+		steps[s] = f
+	}
+	u, err := field.NewUnsteady(g, steps, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func checkStep(t *testing.T, f *field.Field, want float32) {
+	t.Helper()
+	if f.U[0] != want {
+		t.Fatalf("step payload U[0] = %v, want %v", f.U[0], want)
+	}
+}
+
+func TestMemoryStore(t *testing.T) {
+	m := NewMemory(makeDataset(t, 5))
+	if m.NumSteps() != 5 || m.DT() != 0.1 {
+		t.Fatalf("metadata: steps=%d dt=%v", m.NumSteps(), m.DT())
+	}
+	f, err := m.LoadStep(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkStep(t, f, 3)
+	if _, err := m.LoadStep(-1); err == nil {
+		t.Error("negative step accepted")
+	}
+	if _, err := m.LoadStep(5); err == nil {
+		t.Error("overflow step accepted")
+	}
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	u := makeDataset(t, 4)
+	if err := WriteDataset(dir, u); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenDisk(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.NumSteps() != 4 || absf(d.DT()-0.1) > 1e-6 {
+		t.Fatalf("metadata: steps=%d dt=%v", d.NumSteps(), d.DT())
+	}
+	if d.Grid().NI != 8 || d.Grid().NK != 4 {
+		t.Fatalf("grid dims %dx%dx%d", d.Grid().NI, d.Grid().NJ, d.Grid().NK)
+	}
+	for s := 0; s < 4; s++ {
+		f, err := d.LoadStep(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkStep(t, f, float32(s))
+	}
+	loads, bytes, _ := d.Stats()
+	if loads != 4 {
+		t.Errorf("loads = %d, want 4", loads)
+	}
+	wantBytes := int64(4) * u.Steps[0].SizeBytes()
+	if bytes != wantBytes {
+		t.Errorf("bytesRead = %d, want %d", bytes, wantBytes)
+	}
+}
+
+func TestDiskRejectsMissingDataset(t *testing.T) {
+	if _, err := OpenDisk(t.TempDir(), DiskOptions{}); err == nil {
+		t.Error("empty dir accepted")
+	}
+}
+
+func TestDiskOutOfRange(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteDataset(dir, makeDataset(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenDisk(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.LoadStep(2); err == nil {
+		t.Error("out-of-range step accepted")
+	}
+}
+
+func TestDiskBandwidthThrottle(t *testing.T) {
+	dir := t.TempDir()
+	u := makeDataset(t, 2)
+	if err := WriteDataset(dir, u); err != nil {
+		t.Fatal(err)
+	}
+	// Step size is 8*8*4*12 = 3072 bytes. At 100 KB/s a load takes
+	// >= ~30 ms.
+	d, err := OpenDisk(dir, DiskOptions{BandwidthBytesPerSec: 100 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := d.LoadStep(0); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("throttled load took %v, want >= ~30ms", elapsed)
+	}
+}
+
+func TestWindowResidency(t *testing.T) {
+	m := NewMemory(makeDataset(t, 10))
+	w, err := NewWindow(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetBase(2); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		step int
+		want bool
+	}{{1, false}, {2, true}, {3, true}, {4, true}, {5, false}} {
+		if got := w.Resident(tc.step); got != tc.want {
+			t.Errorf("Resident(%d) = %v, want %v", tc.step, got, tc.want)
+		}
+	}
+	// Sliding forward evicts and loads.
+	if err := w.SetBase(4); err != nil {
+		t.Fatal(err)
+	}
+	if w.Resident(2) || !w.Resident(6) {
+		t.Error("window did not slide")
+	}
+	// Non-resident steps still load through.
+	f, err := w.LoadStep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkStep(t, f, 0)
+}
+
+func TestWindowClampsEnd(t *testing.T) {
+	m := NewMemory(makeDataset(t, 4))
+	w, _ := NewWindow(m, 10)
+	if err := w.SetBase(2); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Resident(3) || w.Resident(4) {
+		t.Error("window end clamping wrong")
+	}
+}
+
+func TestNewWindowValidation(t *testing.T) {
+	m := NewMemory(makeDataset(t, 2))
+	if _, err := NewWindow(m, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+// slowStore wraps Memory with a fixed delay, to observe prefetch
+// overlap deterministically.
+type slowStore struct {
+	*Memory
+	delay time.Duration
+}
+
+func (s slowStore) LoadStep(t int) (*field.Field, error) {
+	time.Sleep(s.delay)
+	return s.Memory.LoadStep(t)
+}
+
+func TestPrefetcherOverlapsLoads(t *testing.T) {
+	src := slowStore{NewMemory(makeDataset(t, 10)), 30 * time.Millisecond}
+	p := NewPrefetcher(src)
+	p.Prefetch(1)
+	time.Sleep(40 * time.Millisecond) // let the background load finish
+	start := time.Now()
+	f, err := p.LoadStep(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkStep(t, f, 1)
+	if elapsed := time.Since(start); elapsed > 15*time.Millisecond {
+		t.Errorf("prefetched load took %v, want ~0", elapsed)
+	}
+	hits, misses := p.Stats()
+	if hits != 1 || misses != 0 {
+		t.Errorf("stats hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestPrefetcherMissFallsThrough(t *testing.T) {
+	p := NewPrefetcher(NewMemory(makeDataset(t, 5)))
+	f, err := p.LoadStep(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkStep(t, f, 2)
+	hits, misses := p.Stats()
+	if hits != 0 || misses != 1 {
+		t.Errorf("stats hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestPrefetcherIgnoresOutOfRange(t *testing.T) {
+	p := NewPrefetcher(NewMemory(makeDataset(t, 3)))
+	p.Prefetch(-1)
+	p.Prefetch(3)
+	// Must not leave pending entries that a LoadStep would wait on.
+	if _, err := p.LoadStep(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefetcherConcurrentAccess(t *testing.T) {
+	p := NewPrefetcher(NewMemory(makeDataset(t, 20)))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for s := 0; s < 20; s++ {
+				p.Prefetch(s)
+				f, err := p.LoadStep(s)
+				if err != nil {
+					t.Errorf("worker %d step %d: %v", w, s, err)
+					return
+				}
+				if f.U[0] != float32(s) {
+					t.Errorf("worker %d step %d wrong payload", w, s)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func absf(f float32) float32 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+func BenchmarkDiskLoadStep(b *testing.B) {
+	dir := b.TempDir()
+	g, _ := grid.NewCartesian(64, 64, 32, vmath.AABB{
+		Min: vmath.V3(0, 0, 0), Max: vmath.V3(1, 1, 1),
+	})
+	f := field.NewField(64, 64, 32, field.GridCoords)
+	u, _ := field.NewUnsteady(g, []*field.Field{f}, 0.1)
+	if err := WriteDataset(dir, u); err != nil {
+		b.Fatal(err)
+	}
+	d, err := OpenDisk(dir, DiskOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(f.SizeBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.LoadStep(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestOpenDiskRejectsCorruptMeta(t *testing.T) {
+	dir := t.TempDir()
+	u := makeDataset(t, 2)
+	if err := WriteDataset(dir, u); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "meta.vwt"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDisk(dir, DiskOptions{}); err == nil {
+		t.Error("corrupt meta accepted")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "meta.vwt"), []byte("steps 0\ndt 0.1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDisk(dir, DiskOptions{}); err == nil {
+		t.Error("zero steps accepted")
+	}
+}
+
+func TestDiskMissingStepFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteDataset(dir, makeDataset(t, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "step_000001.vwt")); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenDisk(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.LoadStep(1); err == nil {
+		t.Error("missing step file loaded")
+	}
+	if _, err := d.LoadStep(0); err != nil {
+		t.Errorf("intact step failed: %v", err)
+	}
+}
+
+func TestWindowPropagatesLoadError(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteDataset(dir, makeDataset(t, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "step_000002.vwt")); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenDisk(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWindow(d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetBase(1); err == nil {
+		t.Error("window slide over missing step succeeded")
+	}
+}
+
+func TestWindowNegativeBaseClamps(t *testing.T) {
+	w, err := NewWindow(NewMemory(makeDataset(t, 5)), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetBase(-7); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Resident(0) {
+		t.Error("clamped base did not load step 0")
+	}
+}
+
+func TestMemoryUnsteadyAccessor(t *testing.T) {
+	u := makeDataset(t, 2)
+	m := NewMemory(u)
+	if m.Unsteady() != u {
+		t.Error("Unsteady accessor broken")
+	}
+	if m.Close() != nil {
+		t.Error("Close failed")
+	}
+}

@@ -1,0 +1,220 @@
+package vr
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/vmath"
+)
+
+// Gesture is a recognized hand shape. The windtunnel grabs rakes with
+// a fist and releases by opening the hand.
+type Gesture uint8
+
+const (
+	// GestureUnknown is anything the recognizer cannot classify.
+	GestureUnknown Gesture = iota
+	// GestureOpen is a flat hand: release.
+	GestureOpen
+	// GestureFist is a closed hand: grab.
+	GestureFist
+	// GesturePoint is index extended, others curled: select/menu.
+	GesturePoint
+)
+
+func (g Gesture) String() string {
+	switch g {
+	case GestureOpen:
+		return "open"
+	case GestureFist:
+		return "fist"
+	case GesturePoint:
+		return "point"
+	default:
+		return "unknown"
+	}
+}
+
+// Fingers indexes the five digits.
+const (
+	Thumb = iota
+	Index
+	Middle
+	Ring
+	Little
+	NumFingers
+)
+
+// FingerBends holds the knuckle and middle joint bend of each finger,
+// as the DataGlove's "specially treated optical fibers" measure them
+// (radians, 0 = straight).
+type FingerBends [NumFingers][2]float32
+
+// Calibration maps raw fiber readings to normalized bends. "The glove
+// requires recalibration for each user" (§3): flat and fist reference
+// poses are recorded per user.
+type Calibration struct {
+	Flat FingerBends
+	Fist FingerBends
+}
+
+// DefaultCalibration assumes ideal fibers: flat = 0, fist = 1.6 rad at
+// every joint.
+func DefaultCalibration() Calibration {
+	var c Calibration
+	for f := 0; f < NumFingers; f++ {
+		c.Fist[f][0] = 1.6
+		c.Fist[f][1] = 1.6
+	}
+	return c
+}
+
+// Validate rejects calibrations whose fist pose does not clearly
+// differ from flat.
+func (c Calibration) Validate() error {
+	for f := 0; f < NumFingers; f++ {
+		for j := 0; j < 2; j++ {
+			if c.Fist[f][j]-c.Flat[f][j] < 0.2 {
+				return fmt.Errorf("vr: calibration finger %d joint %d has range %g < 0.2",
+					f, j, c.Fist[f][j]-c.Flat[f][j])
+			}
+		}
+	}
+	return nil
+}
+
+// normalize maps a raw reading to [0, 1] (0 = flat, 1 = fist).
+func (c Calibration) normalize(f, j int, raw float32) float32 {
+	lo, hi := c.Flat[f][j], c.Fist[f][j]
+	v := (raw - lo) / (hi - lo)
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Glove is the instrumented glove: finger bends plus the Polhemus
+// tracker giving hand position and orientation.
+type Glove struct {
+	Calib   Calibration
+	Tracker *Polhemus
+
+	bends FingerBends
+}
+
+// NewGlove returns a glove with the given calibration and tracker.
+func NewGlove(c Calibration, tracker *Polhemus) (*Glove, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &Glove{Calib: c, Tracker: tracker}, nil
+}
+
+// SetBends records raw fiber readings.
+func (g *Glove) SetBends(b FingerBends) { g.bends = b }
+
+// fingerCurl returns the mean normalized bend of one finger.
+func (g *Glove) fingerCurl(f int) float32 {
+	return (g.Calib.normalize(f, 0, g.bends[f][0]) + g.Calib.normalize(f, 1, g.bends[f][1])) / 2
+}
+
+// Recognize classifies the current bends. "These finger joint angles
+// are combined and interpreted as gestures" (§3). Thumb is ignored —
+// DataGlove thumb readings were notoriously unreliable.
+func (g *Glove) Recognize() Gesture {
+	const curled, straight = 0.6, 0.35
+	idx := g.fingerCurl(Index)
+	others := [3]float32{g.fingerCurl(Middle), g.fingerCurl(Ring), g.fingerCurl(Little)}
+	allCurled := idx > curled
+	allStraight := idx < straight
+	othersCurled := true
+	for _, c := range others {
+		if c <= curled {
+			othersCurled = false
+		}
+		if c >= straight {
+			allStraight = false
+		}
+		if c <= curled {
+			allCurled = false
+		}
+	}
+	switch {
+	case allCurled:
+		return GestureFist
+	case allStraight:
+		return GestureOpen
+	case idx < straight && othersCurled:
+		return GesturePoint
+	default:
+		return GestureUnknown
+	}
+}
+
+// PoseFist sets raw bends for a grab using the calibration's fist
+// reference — test and script helper.
+func (g *Glove) PoseFist() { g.bends = g.Calib.Fist }
+
+// PoseOpen sets raw bends for an open hand.
+func (g *Glove) PoseOpen() { g.bends = g.Calib.Flat }
+
+// PosePoint sets raw bends for a point (index flat, others fisted).
+func (g *Glove) PosePoint() {
+	b := g.Calib.Fist
+	b[Index] = g.Calib.Flat[Index]
+	g.bends = b
+}
+
+// Polhemus models the 3Space magnetic tracker: absolute position and
+// orientation relative to a source, with noise that grows with
+// distance and a hard range limit — "the polhemus tracker has limited
+// accuracy and is sensitive to the ambient electromagnetic
+// environment" (§3).
+type Polhemus struct {
+	// Source is the transmitter location.
+	Source vmath.Vec3
+	// Range is the maximum usable distance from the source.
+	Range float32
+	// NoiseStd is the positional noise sigma at 1 unit distance; noise
+	// scales linearly with distance.
+	NoiseStd float32
+	// rng drives the noise; deterministic given a seed.
+	rng *rand.Rand
+}
+
+// NewPolhemus returns a tracker with a deterministic noise stream.
+func NewPolhemus(source vmath.Vec3, rangeLimit, noiseStd float32, seed int64) *Polhemus {
+	return &Polhemus{
+		Source: source, Range: rangeLimit, NoiseStd: noiseStd,
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// ErrOutOfRange reports a hand outside the tracker's usable volume.
+var ErrOutOfRange = fmt.Errorf("vr: hand outside tracker range")
+
+// Sense returns the sensed position and orientation for the true hand
+// pose, with distance-scaled noise, or ErrOutOfRange.
+func (p *Polhemus) Sense(truePos vmath.Vec3, trueOrient vmath.Quat) (vmath.Vec3, vmath.Quat, error) {
+	d := truePos.Dist(p.Source)
+	if d > p.Range {
+		return vmath.Vec3{}, vmath.QuatIdentity(), ErrOutOfRange
+	}
+	sigma := p.NoiseStd * (1 + d)
+	sensed := truePos.Add(vmath.V3(
+		p.gauss(sigma), p.gauss(sigma), p.gauss(sigma)))
+	// Orientation noise: a small random-axis rotation.
+	axis := vmath.V3(p.gauss(1), p.gauss(1), p.gauss(1))
+	if axis.Len() < 1e-6 {
+		axis = vmath.V3(0, 1, 0)
+	}
+	jitter := vmath.AxisAngle(axis, p.gauss(sigma*0.1))
+	return sensed, jitter.Mul(trueOrient).Normalized(), nil
+}
+
+func (p *Polhemus) gauss(sigma float32) float32 {
+	return float32(p.rng.NormFloat64()) * sigma
+}

@@ -1,0 +1,224 @@
+package vr
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vmath"
+)
+
+func TestBoomJointLimits(t *testing.T) {
+	b := NewBoom()
+	var a [NumBoomJoints]float32
+	if err := b.SetAngles(a); err != nil {
+		t.Fatalf("zero pose rejected: %v", err)
+	}
+	a[BasePitch] = 5 // far beyond the 1.2 limit
+	if err := b.SetAngles(a); err == nil {
+		t.Error("out-of-limit angle accepted")
+	}
+	// A rejected set must not corrupt state.
+	if b.Angles()[BasePitch] != 0 {
+		t.Error("failed SetAngles mutated state")
+	}
+}
+
+func TestBoomNeutralPose(t *testing.T) {
+	b := NewBoom()
+	// All angles zero: head sits BaseHeight up and Arm1+Arm2 along -Z.
+	p := b.HeadPosition()
+	want := vmath.V3(0, b.BaseHeight, -(b.Arm1 + b.Arm2))
+	if !p.ApproxEqual(want, 1e-5) {
+		t.Errorf("neutral head at %v, want %v", p, want)
+	}
+}
+
+func TestBoomYawSweep(t *testing.T) {
+	b := NewBoom()
+	var a [NumBoomJoints]float32
+	a[BaseYaw] = math.Pi / 2
+	if err := b.SetAngles(a); err != nil {
+		t.Fatal(err)
+	}
+	// Yaw 90 degrees: the arm that pointed -Z now points -X.
+	p := b.HeadPosition()
+	want := vmath.V3(-(b.Arm1 + b.Arm2), b.BaseHeight, 0)
+	if !p.ApproxEqual(want, 1e-4) {
+		t.Errorf("yawed head at %v, want %v", p, want)
+	}
+}
+
+func TestBoomHeadMatrixInvertsToView(t *testing.T) {
+	b := NewBoom()
+	var a [NumBoomJoints]float32
+	a[BaseYaw], a[BasePitch], a[ElbowPitch] = 0.4, 0.2, 0.7
+	a[WristYaw], a[WristPitch], a[WristRoll] = -0.3, 0.5, 0.2
+	if err := b.SetAngles(a); err != nil {
+		t.Fatal(err)
+	}
+	view, err := b.ViewMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// View must map the head position to the origin.
+	got := view.TransformPoint(b.HeadPosition())
+	if got.Len() > 1e-4 {
+		t.Errorf("view(headPos) = %v, want origin", got)
+	}
+}
+
+func TestBoomEyeOffsets(t *testing.T) {
+	b := NewBoom()
+	l, r := b.EyeOffsets(0.064)
+	if d := l.Dist(r); absf(d-0.064) > 1e-5 {
+		t.Errorf("eye separation = %v", d)
+	}
+}
+
+func TestGestureRecognition(t *testing.T) {
+	g, err := NewGlove(DefaultCalibration(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.PoseFist()
+	if got := g.Recognize(); got != GestureFist {
+		t.Errorf("fist pose = %v", got)
+	}
+	g.PoseOpen()
+	if got := g.Recognize(); got != GestureOpen {
+		t.Errorf("open pose = %v", got)
+	}
+	g.PosePoint()
+	if got := g.Recognize(); got != GesturePoint {
+		t.Errorf("point pose = %v", got)
+	}
+	// Half-curled everything: unknown.
+	var half FingerBends
+	for f := 0; f < NumFingers; f++ {
+		half[f][0], half[f][1] = 0.8, 0.8
+	}
+	g.SetBends(half)
+	if got := g.Recognize(); got != GestureUnknown {
+		t.Errorf("ambiguous pose = %v", got)
+	}
+}
+
+func TestCalibrationPerUser(t *testing.T) {
+	// A user whose "flat" has residual curl: raw bends that would read
+	// as half-curled with default calibration still read open.
+	var c Calibration
+	for f := 0; f < NumFingers; f++ {
+		c.Flat[f][0], c.Flat[f][1] = 0.5, 0.5
+		c.Fist[f][0], c.Fist[f][1] = 1.4, 1.4
+	}
+	g, err := NewGlove(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SetBends(c.Flat)
+	if got := g.Recognize(); got != GestureOpen {
+		t.Errorf("calibrated flat = %v", got)
+	}
+	g.SetBends(c.Fist)
+	if got := g.Recognize(); got != GestureFist {
+		t.Errorf("calibrated fist = %v", got)
+	}
+}
+
+func TestCalibrationValidate(t *testing.T) {
+	var c Calibration // fist == flat == 0
+	if err := c.Validate(); err == nil {
+		t.Error("degenerate calibration accepted")
+	}
+	if _, err := NewGlove(c, nil); err == nil {
+		t.Error("NewGlove accepted degenerate calibration")
+	}
+}
+
+func TestPolhemusRangeLimit(t *testing.T) {
+	p := NewPolhemus(vmath.V3(0, 0, 0), 2, 0.001, 1)
+	if _, _, err := p.Sense(vmath.V3(5, 0, 0), vmath.QuatIdentity()); err != ErrOutOfRange {
+		t.Errorf("far hand err = %v, want ErrOutOfRange", err)
+	}
+	if _, _, err := p.Sense(vmath.V3(1, 0, 0), vmath.QuatIdentity()); err != nil {
+		t.Errorf("near hand err = %v", err)
+	}
+}
+
+func TestPolhemusNoiseGrowsWithDistance(t *testing.T) {
+	near := NewPolhemus(vmath.V3(0, 0, 0), 100, 0.01, 7)
+	far := NewPolhemus(vmath.V3(0, 0, 0), 100, 0.01, 7)
+	var nearErr, farErr float64
+	const n = 500
+	for i := 0; i < n; i++ {
+		pn, _, _ := near.Sense(vmath.V3(0.5, 0, 0), vmath.QuatIdentity())
+		pf, _, _ := far.Sense(vmath.V3(50, 0, 0), vmath.QuatIdentity())
+		nearErr += float64(pn.Dist(vmath.V3(0.5, 0, 0)))
+		farErr += float64(pf.Dist(vmath.V3(50, 0, 0)))
+	}
+	if farErr/n <= nearErr/n {
+		t.Errorf("noise did not grow with distance: near %v far %v", nearErr/n, farErr/n)
+	}
+}
+
+func TestPolhemusDeterministic(t *testing.T) {
+	a := NewPolhemus(vmath.V3(0, 0, 0), 10, 0.01, 42)
+	b := NewPolhemus(vmath.V3(0, 0, 0), 10, 0.01, 42)
+	pa, _, _ := a.Sense(vmath.V3(1, 1, 1), vmath.QuatIdentity())
+	pb, _, _ := b.Sense(vmath.V3(1, 1, 1), vmath.QuatIdentity())
+	if pa != pb {
+		t.Error("same seed produced different noise")
+	}
+}
+
+func TestScriptedUserCycle(t *testing.T) {
+	u, err := NewScriptedUser(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawFist, sawOpen bool
+	var lastHead vmath.Mat4
+	headMoved := false
+	for i := 0; i < u.CyclePeriod*2; i++ {
+		p := u.Step()
+		switch p.Gesture {
+		case GestureFist:
+			sawFist = true
+		case GestureOpen:
+			sawOpen = true
+		}
+		if i > 0 && !p.Head.ApproxEqual(lastHead, 1e-7) {
+			headMoved = true
+		}
+		lastHead = p.Head
+		if !p.Hand.IsFinite() {
+			t.Fatalf("frame %d: non-finite hand %v", i, p.Hand)
+		}
+	}
+	if !sawFist || !sawOpen {
+		t.Errorf("gesture cycle incomplete: fist=%v open=%v", sawFist, sawOpen)
+	}
+	if !headMoved {
+		t.Error("head never moved")
+	}
+	if u.Frame() != u.CyclePeriod*2 {
+		t.Errorf("frame count = %d", u.Frame())
+	}
+}
+
+func absf(f float32) float32 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+func BenchmarkBoomHeadMatrix(b *testing.B) {
+	boom := NewBoom()
+	var a [NumBoomJoints]float32
+	a[BaseYaw] = 0.5
+	boom.SetAngles(a)
+	for i := 0; i < b.N; i++ {
+		_ = boom.HeadMatrix()
+	}
+}

@@ -1,0 +1,217 @@
+package wire
+
+import "repro/internal/vmath"
+
+// EncodePoints appends pts at 12 bytes/point to dst and returns the
+// extended slice.
+func EncodePoints(dst []byte, pts []vmath.Vec3) []byte {
+	e := encoder{buf: dst}
+	for _, p := range pts {
+		e.vec3(p)
+	}
+	return e.buf
+}
+
+// DecodePoints parses n points from buf.
+func DecodePoints(buf []byte, n int) ([]vmath.Vec3, error) {
+	d := decoder{buf: buf}
+	out := make([]vmath.Vec3, n)
+	for i := range out {
+		out[i] = d.vec3()
+	}
+	return out, d.err
+}
+
+// EncodeClientUpdate marshals a ClientUpdate.
+func EncodeClientUpdate(u ClientUpdate) []byte {
+	var e encoder
+	e.mat4(u.Head)
+	e.vec3(u.Hand)
+	e.u8(u.Gesture)
+	e.u32(uint32(len(u.Commands)))
+	for _, c := range u.Commands {
+		e.u8(uint8(c.Kind))
+		e.i32(c.Rake)
+		e.u8(c.Grab)
+		e.u8(c.Tool)
+		e.u32(c.NumSeeds)
+		e.u8(c.Flag)
+		e.f32(c.Value)
+		e.vec3(c.P0)
+		e.vec3(c.P1)
+		e.vec3(c.Pos)
+	}
+	return e.buf
+}
+
+// DecodeClientUpdate unmarshals a ClientUpdate.
+func DecodeClientUpdate(buf []byte) (ClientUpdate, error) {
+	d := decoder{buf: buf}
+	var u ClientUpdate
+	u.Head = d.mat4()
+	u.Hand = d.vec3()
+	u.Gesture = d.u8()
+	const commandBytes = 52
+	n := d.countSized(maxCommands, commandBytes)
+	if d.err != nil {
+		return ClientUpdate{}, d.err
+	}
+	u.Commands = make([]Command, n)
+	for i := range u.Commands {
+		c := &u.Commands[i]
+		c.Kind = CmdKind(d.u8())
+		c.Rake = d.i32()
+		c.Grab = d.u8()
+		c.Tool = d.u8()
+		c.NumSeeds = d.u32()
+		c.Flag = d.u8()
+		c.Value = d.f32()
+		c.P0 = d.vec3()
+		c.P1 = d.vec3()
+		c.Pos = d.vec3()
+	}
+	return u, d.err
+}
+
+// EncodeFrameReply marshals a FrameReply.
+func EncodeFrameReply(r FrameReply) []byte {
+	e := encoder{buf: make([]byte, 0, 256+r.TotalPoints()*PointBytes)}
+	e.f32(r.Time.Current)
+	e.f32(r.Time.Speed)
+	e.bool(r.Time.Playing)
+	e.bool(r.Time.Loop)
+	e.u32(r.Time.NumSteps)
+	e.i64(r.ComputeNanos)
+	e.i64(r.LoadNanos)
+
+	e.u32(uint32(len(r.Users)))
+	for _, u := range r.Users {
+		e.i64(u.ID)
+		e.mat4(u.Head)
+		e.vec3(u.Hand)
+		e.u8(u.Gesture)
+	}
+	e.u32(uint32(len(r.Rakes)))
+	for _, rk := range r.Rakes {
+		e.i32(rk.ID)
+		e.vec3(rk.P0)
+		e.vec3(rk.P1)
+		e.u32(rk.NumSeeds)
+		e.u8(rk.Tool)
+		e.i64(rk.Holder)
+		e.u8(rk.Grab)
+	}
+	e.u32(uint32(len(r.Geometry)))
+	for _, g := range r.Geometry {
+		e.i32(g.Rake)
+		e.u8(g.Tool)
+		e.u32(uint32(len(g.Lines)))
+		for _, line := range g.Lines {
+			e.u32(uint32(len(line)))
+			e.buf = EncodePoints(e.buf, line)
+		}
+	}
+	return e.buf
+}
+
+// DecodeFrameReply unmarshals a FrameReply.
+func DecodeFrameReply(buf []byte) (FrameReply, error) {
+	d := decoder{buf: buf}
+	var r FrameReply
+	r.Time.Current = d.f32()
+	r.Time.Speed = d.f32()
+	r.Time.Playing = d.bool()
+	r.Time.Loop = d.bool()
+	r.Time.NumSteps = d.u32()
+	r.ComputeNanos = d.i64()
+	r.LoadNanos = d.i64()
+
+	const userBytes = 85
+	nUsers := d.countSized(maxEntities, userBytes)
+	if d.err != nil {
+		return FrameReply{}, d.err
+	}
+	r.Users = make([]UserState, nUsers)
+	for i := range r.Users {
+		u := &r.Users[i]
+		u.ID = d.i64()
+		u.Head = d.mat4()
+		u.Hand = d.vec3()
+		u.Gesture = d.u8()
+	}
+	const rakeBytes = 42
+	nRakes := d.countSized(maxEntities, rakeBytes)
+	if d.err != nil {
+		return FrameReply{}, d.err
+	}
+	r.Rakes = make([]RakeState, nRakes)
+	for i := range r.Rakes {
+		rk := &r.Rakes[i]
+		rk.ID = d.i32()
+		rk.P0 = d.vec3()
+		rk.P1 = d.vec3()
+		rk.NumSeeds = d.u32()
+		rk.Tool = d.u8()
+		rk.Holder = d.i64()
+		rk.Grab = d.u8()
+	}
+	nGeom := d.countSized(maxEntities, 9) // id + tool + line count minimum
+	if d.err != nil {
+		return FrameReply{}, d.err
+	}
+	r.Geometry = make([]Geometry, nGeom)
+	var totalPoints int
+	for i := range r.Geometry {
+		g := &r.Geometry[i]
+		g.Rake = d.i32()
+		g.Tool = d.u8()
+		nLines := d.countSized(maxEntities, 4)
+		if d.err != nil {
+			return FrameReply{}, d.err
+		}
+		g.Lines = make([][]vmath.Vec3, nLines)
+		for l := range g.Lines {
+			nPts := d.countSized(maxPoints, PointBytes)
+			if d.err != nil {
+				return FrameReply{}, d.err
+			}
+			totalPoints += nPts
+			if totalPoints > maxPoints {
+				return FrameReply{}, d.errf("too many total points")
+			}
+			line := make([]vmath.Vec3, nPts)
+			for p := range line {
+				line[p] = d.vec3()
+			}
+			g.Lines[l] = line
+		}
+	}
+	return r, d.err
+}
+
+// EncodeDatasetInfo marshals a DatasetInfo.
+func EncodeDatasetInfo(i DatasetInfo) []byte {
+	var e encoder
+	e.u32(i.NI)
+	e.u32(i.NJ)
+	e.u32(i.NK)
+	e.u32(i.NumSteps)
+	e.f32(i.DT)
+	e.vec3(i.BoundsMin)
+	e.vec3(i.BoundsMax)
+	return e.buf
+}
+
+// DecodeDatasetInfo unmarshals a DatasetInfo.
+func DecodeDatasetInfo(buf []byte) (DatasetInfo, error) {
+	d := decoder{buf: buf}
+	var i DatasetInfo
+	i.NI = d.u32()
+	i.NJ = d.u32()
+	i.NK = d.u32()
+	i.NumSteps = d.u32()
+	i.DT = d.f32()
+	i.BoundsMin = d.vec3()
+	i.BoundsMax = d.vec3()
+	return i, d.err
+}

@@ -1,0 +1,70 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/vmath"
+)
+
+// Fuzz targets: the decoders parse bytes straight off the network, so
+// they must never panic or over-allocate on malformed input. Run with
+// `go test -fuzz FuzzDecodeClientUpdate ./internal/wire` to explore;
+// the seed corpus below runs as part of the normal test suite.
+
+func FuzzDecodeClientUpdate(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeClientUpdate(ClientUpdate{
+		Head: vmath.Identity(),
+		Hand: vmath.V3(1, 2, 3),
+		Commands: []Command{
+			{Kind: CmdGrab, Rake: 1, Grab: 1},
+			{Kind: CmdAddRake, NumSeeds: 5, P0: vmath.V3(1, 0, 0)},
+		},
+	}))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		u, err := DecodeClientUpdate(data)
+		if err != nil {
+			return
+		}
+		// A successful decode must re-encode without panicking and the
+		// command list must respect the decoder's own bound.
+		if len(u.Commands) > 4096 {
+			t.Fatalf("decoder allowed %d commands", len(u.Commands))
+		}
+		_ = EncodeClientUpdate(u)
+	})
+}
+
+func FuzzDecodeFrameReply(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeFrameReply(FrameReply{
+		Time:  TimeStatus{Current: 1, NumSteps: 10},
+		Rakes: []RakeState{{ID: 1, NumSeeds: 3}},
+		Geometry: []Geometry{{
+			Rake:  1,
+			Lines: [][]vmath.Vec3{{{X: 1}, {Y: 2}}},
+		}},
+	}))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeFrameReply(data)
+		if err != nil {
+			return
+		}
+		if r.TotalPoints() > maxPoints {
+			t.Fatalf("decoder allowed %d points", r.TotalPoints())
+		}
+		_ = EncodeFrameReply(r)
+	})
+}
+
+func FuzzDecodeDatasetInfo(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeDatasetInfo(DatasetInfo{NI: 64, NJ: 64, NK: 32, NumSteps: 800, DT: 0.05}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if i, err := DecodeDatasetInfo(data); err == nil {
+			_ = EncodeDatasetInfo(i)
+		}
+	})
+}
