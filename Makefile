@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build test race vet chaos fuzz ci bench
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full suite under the race detector, chaos tests included.
+race:
+	$(GO) test -race ./...
+
+# Just the fault-injection suites: deterministic scripted schedules in
+# dlib/client/server plus the netsim fault layer and redial client.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos|Fault|Redial|Resilien' ./...
+
+# Short fuzz passes over the wire framing and the client read path.
+fuzz:
+	$(GO) test -fuzz FuzzReadFrame -fuzztime 30s ./internal/dlib/
+	$(GO) test -fuzz FuzzClientRead -fuzztime 30s ./internal/dlib/
+
+# The gate a change must pass before merging.
+ci: vet race
+
+bench:
+	$(GO) test -bench . -benchmem ./...

@@ -7,6 +7,7 @@
 package client
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sync"
@@ -36,35 +37,41 @@ type Config struct {
 type Stats struct {
 	NetFrames    int64
 	RenderFrames int64
-	NetTime      time.Duration
-	BytesDown    int64
+	// NetErrors counts failed network frames (stall, reset, partition);
+	// in resilient mode these are survived, not fatal.
+	NetErrors int64
+	NetTime   time.Duration
+	BytesDown int64
 }
 
 // Workstation is one user's machine.
 type Workstation struct {
-	c      *dlib.Client
-	info   wire.DatasetInfo
-	selfID int64
+	c      dlib.Caller
+	redial *dlib.RedialClient // non-nil in resilient mode
 
 	mu      sync.Mutex
+	info    wire.DatasetInfo
+	selfID  int64
 	latest  wire.FrameReply
 	haveOne bool
 	pending []wire.Command
+	lastErr error
 
 	fb  *render.Framebuffer
 	rig render.StereoRig
 
 	netFrames    atomic.Int64
 	renderFrames atomic.Int64
+	netErrors    atomic.Int64
 	netNanos     atomic.Int64
 	bytesDown    atomic.Int64
 
 	interact Interactor
 }
 
-// New connects the application layer over an established dlib client:
-// it fetches the dataset info and prepares the renderer.
-func New(c *dlib.Client, cfg Config) (*Workstation, error) {
+// newWorkstation builds the renderer side; the caller wires the
+// network side.
+func newWorkstation(cfg Config) (*Workstation, error) {
 	if cfg.FrameW == 0 {
 		cfg.FrameW, cfg.FrameH = 640, 512
 	}
@@ -74,32 +81,13 @@ func New(c *dlib.Client, cfg Config) (*Workstation, error) {
 	if cfg.FOV == 0 {
 		cfg.FOV = 1.5
 	}
-	out, err := c.Call(wire.ProcHello, nil)
-	if err != nil {
-		return nil, fmt.Errorf("client: hello: %w", err)
-	}
-	info, err := wire.DecodeDatasetInfo(out)
-	if err != nil {
-		return nil, err
-	}
-	idBytes, err := c.Call(wire.ProcWhoAmI, nil)
-	if err != nil {
-		return nil, fmt.Errorf("client: whoami: %w", err)
-	}
-	if len(idBytes) != 8 {
-		return nil, fmt.Errorf("client: whoami reply of %d bytes", len(idBytes))
-	}
-	selfID := int64(binary.LittleEndian.Uint64(idBytes))
 	fb, err := render.NewFramebuffer(cfg.FrameW, cfg.FrameH)
 	if err != nil {
 		return nil, err
 	}
 	aspect := float32(cfg.FrameW) / float32(cfg.FrameH)
 	return &Workstation{
-		c:      c,
-		info:   info,
-		selfID: selfID,
-		fb:     fb,
+		fb: fb,
 		rig: render.StereoRig{
 			IPD:  cfg.IPD,
 			Proj: vmath.Perspective(cfg.FOV, aspect, 0.05, 500),
@@ -107,8 +95,110 @@ func New(c *dlib.Client, cfg Config) (*Workstation, error) {
 	}, nil
 }
 
+// handshake runs the connect-time exchange: dataset info, then our
+// session identity. It reruns on every reconnect, because dlib session
+// state dies with the connection.
+func handshake(c dlib.Caller) (wire.DatasetInfo, int64, error) {
+	out, err := c.Call(wire.ProcHello, nil)
+	if err != nil {
+		return wire.DatasetInfo{}, 0, fmt.Errorf("client: hello: %w", err)
+	}
+	info, err := wire.DecodeDatasetInfo(out)
+	if err != nil {
+		return wire.DatasetInfo{}, 0, err
+	}
+	idBytes, err := c.Call(wire.ProcWhoAmI, nil)
+	if err != nil {
+		return wire.DatasetInfo{}, 0, fmt.Errorf("client: whoami: %w", err)
+	}
+	if len(idBytes) != 8 {
+		return wire.DatasetInfo{}, 0, fmt.Errorf("client: whoami reply of %d bytes", len(idBytes))
+	}
+	return info, int64(binary.LittleEndian.Uint64(idBytes)), nil
+}
+
+// New connects the application layer over an established dlib client:
+// it fetches the dataset info and prepares the renderer.
+func New(c *dlib.Client, cfg Config) (*Workstation, error) {
+	w, err := newWorkstation(cfg)
+	if err != nil {
+		return nil, err
+	}
+	info, selfID, err := handshake(c)
+	if err != nil {
+		return nil, err
+	}
+	w.c = c
+	w.info = info
+	w.selfID = selfID
+	return w, nil
+}
+
+// NewResilient connects the workstation over a redial-capable client:
+// on connection loss the network layer reconnects with capped
+// exponential backoff and replays the handshake, resyncing the session
+// identity, while the render loop keeps drawing the last good geometry
+// (figure 9's decoupling, extended to failures). ropts.OnConnect is
+// overridden; ropts.CallTimeout defaults to 2s so a stalled link can
+// never freeze the network goroutine.
+func NewResilient(dial dlib.DialFunc, cfg Config, ropts dlib.RedialOptions) (*Workstation, error) {
+	w, err := newWorkstation(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if ropts.CallTimeout <= 0 {
+		ropts.CallTimeout = 2 * time.Second
+	}
+	ropts.OnConnect = func(c *dlib.Client) error {
+		info, selfID, err := handshake(c)
+		if err != nil {
+			return err
+		}
+		w.mu.Lock()
+		w.info = info
+		w.selfID = selfID
+		w.mu.Unlock()
+		return nil
+	}
+	r := dlib.NewRedialClient(dial, ropts)
+	if err := r.Connect(context.Background()); err != nil {
+		return nil, err
+	}
+	w.c = r
+	w.redial = r
+	return w, nil
+}
+
 // Info returns the dataset description received at connect time.
-func (w *Workstation) Info() wire.DatasetInfo { return w.info }
+func (w *Workstation) Info() wire.DatasetInfo {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.info
+}
+
+// SelfID returns our session id on the server; it changes after a
+// reconnect (sessions are per-connection).
+func (w *Workstation) SelfID() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.selfID
+}
+
+// Reconnects returns how many times the network layer has redialed
+// (always 0 for a non-resilient workstation).
+func (w *Workstation) Reconnects() int64 {
+	if w.redial == nil {
+		return 0
+	}
+	return w.redial.Redials()
+}
+
+// LastNetError returns the most recent NetStep failure, or nil.
+func (w *Workstation) LastNetError() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastErr
+}
 
 // Framebuffer exposes the display for PPM dumps and tests.
 func (w *Workstation) Framebuffer() *render.Framebuffer { return w.fb }
@@ -152,6 +242,15 @@ func (w *Workstation) NetStep(pose vr.Pose) error {
 	start := time.Now()
 	out, err := w.c.Call(wire.ProcFrame, payload)
 	if err != nil {
+		// Degrade, don't desync: the commands this frame carried were
+		// never acknowledged, so put them back at the head of the queue
+		// to replay after the network layer reconnects. The latest good
+		// state is untouched — the render loop keeps drawing it.
+		w.netErrors.Add(1)
+		w.mu.Lock()
+		w.pending = append(append([]wire.Command{}, cmds...), w.pending...)
+		w.lastErr = err
+		w.mu.Unlock()
 		return fmt.Errorf("client: frame call: %w", err)
 	}
 	reply, err := wire.DecodeFrameReply(out)
@@ -165,6 +264,7 @@ func (w *Workstation) NetStep(pose vr.Pose) error {
 	w.mu.Lock()
 	w.latest = reply
 	w.haveOne = true
+	w.lastErr = nil
 	w.mu.Unlock()
 	return nil
 }
@@ -181,7 +281,7 @@ func (w *Workstation) RenderFrame(head vmath.Mat4) error {
 		return nil
 	}
 	err := w.rig.RenderAnaglyph(w.fb, head, func(r *render.Renderer) {
-		drawScene(r, state, w.selfID)
+		drawScene(r, state, w.SelfID())
 	})
 	if err != nil {
 		return err
@@ -256,6 +356,7 @@ func (w *Workstation) Stats() Stats {
 	return Stats{
 		NetFrames:    w.netFrames.Load(),
 		RenderFrames: w.renderFrames.Load(),
+		NetErrors:    w.netErrors.Load(),
 		NetTime:      time.Duration(w.netNanos.Load()),
 		BytesDown:    w.bytesDown.Load(),
 	}
@@ -283,8 +384,14 @@ func (w *Workstation) RunDecoupled(user *vr.ScriptedUser, netFrames int) (netHz,
 			head = pose.Head
 			poseMu.Unlock()
 			if e := w.NetStep(pose); e != nil {
-				netErr = e
-				return
+				// A resilient workstation degrades instead of dying:
+				// the redial layer heals the link on a later round
+				// while the render loop below keeps drawing the last
+				// good geometry.
+				if w.redial == nil {
+					netErr = e
+					return
+				}
 			}
 		}
 	}()

@@ -128,6 +128,82 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+// TestParseCommandErrorTable pins the diagnostic each error class
+// produces, so a typo at the console tells the user what to fix:
+// unknown verbs name the verb, arity errors show the usage line, and
+// malformed numbers quote the offending token.
+func TestParseCommandErrorTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		line    string
+		wantMsg string
+	}{
+		// Unknown verbs.
+		{"unknown verb", "explode now", `unknown command "explode"`},
+		{"unknown rake subcommand", "rake launch 1", `unknown rake subcommand "launch"`},
+		{"unknown tool", "rake add 0,0,0 1,1,1 5 warp", `unknown tool "warp"`},
+		{"unknown grab point", "grab 1 middle", `bad grab point "middle"`},
+		// Bad arity.
+		{"rake add missing tool", "rake add 0,0,0 1,1,1 5", "rake add P0 P1 N TOOL"},
+		{"rake add extra arg", "rake add 0,0,0 1,1,1 5 streamline extra", "rake add P0 P1 N TOOL"},
+		{"rake bare", "rake", "rake add|rm|seeds"},
+		{"grab missing point", "grab 1", "grab ID center|end0|end1"},
+		{"release extra", "release 1 2", "release ID"},
+		{"move missing pos", "move 1", "move ID X,Y,Z"},
+		{"play two speeds", "play 1 2", "play [SPEED]"},
+		{"seek bare", "seek", "seek T"},
+		{"loop bare", "loop", "loop on|off"},
+		{"empty line", "", "empty command"},
+		// Malformed numbers.
+		{"vector arity", "rake add 1,2 3,4,5 5 streamline", `bad vector "1,2"`},
+		{"vector component", "move 1 1,two,3", `bad vector component "two"`},
+		{"seed count word", "rake add 0,0,0 1,1,1 many streamline", `bad seed count "many"`},
+		{"seed count zero", "rake seeds 1 0", `bad seed count "0"`},
+		{"rake id word", "grab x center", `bad rake id "x"`},
+		{"rake id negative", "release -1", `bad rake id "-1"`},
+		{"speed word", "play fast", `bad speed "fast"`},
+		{"seek word", "seek soon", `bad time "soon"`},
+		{"loop maybe", "loop maybe", "loop on|off"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseCommand(tc.line)
+			if err == nil {
+				t.Fatalf("%q accepted", tc.line)
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Errorf("error %q does not mention %q", err, tc.wantMsg)
+			}
+		})
+	}
+}
+
+// TestParseScriptErrorTable: script-level failures carry the line
+// number of the bad command past comments and blank lines.
+func TestParseScriptErrorTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		script  string
+		wantMsg string
+	}{
+		{"bad verb on line 2", "stop\nbroken line here\n", `line 2: client: unknown command "broken"`},
+		{"bad number after comments", "# intro\n\nseek soon\n", `line 3: client: bad time "soon"`},
+		{"arity after good lines", "stop\nloop on\ngrab 1\n", "line 3: client: grab ID center|end0|end1"},
+		{"comment does not hide error", "play 1 # then\nrake add 1,2 3,4,5 5 streamline\n", `line 2: client: bad vector "1,2"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseScript(strings.NewReader(tc.script))
+			if err == nil {
+				t.Fatal("script accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Errorf("error %q does not contain %q", err, tc.wantMsg)
+			}
+		})
+	}
+}
+
 func TestParseScript(t *testing.T) {
 	script := `
 # set the scene

@@ -1,12 +1,21 @@
 package dlib
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
+
+// ErrClientClosed is returned by calls started after Close.
+var ErrClientClosed = errors.New("dlib: client closed")
+
+// errAborted is the fallback when a call dies without a recorded
+// transport error (should not happen in practice).
+var errAborted = errors.New("dlib: call aborted")
 
 // Client is a dlib client connection. It is safe for concurrent use;
 // calls are matched to replies by request id, so multiple goroutines
@@ -14,6 +23,12 @@ import (
 // connection.
 type Client struct {
 	conn net.Conn
+
+	// Timeout, when non-zero, bounds every Call/Go that is not already
+	// carrying a context deadline. §1.2 demands the full command loop
+	// complete in 1/8 s; a client that can block forever on a stalled
+	// link (the UltraNet of §5.1) can never meet that.
+	Timeout time.Duration
 
 	writeMu sync.Mutex
 
@@ -73,20 +88,61 @@ func (c *Client) fail(err error) {
 	}
 }
 
-// Call invokes proc with payload and blocks for the reply.
+// Err returns the terminal transport error, or nil while the
+// connection is healthy. A non-nil result means every future call will
+// fail; redial-capable callers use this to decide to reconnect.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	if c.closed {
+		return ErrClientClosed
+	}
+	return nil
+}
+
+// callCtx applies the default Timeout when ctx carries no deadline.
+func (c *Client) callCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if _, has := ctx.Deadline(); !has && c.Timeout > 0 {
+		return context.WithTimeout(ctx, c.Timeout)
+	}
+	return ctx, func() {}
+}
+
+// Call invokes proc with payload and blocks for the reply, bounded by
+// the client's default Timeout (if set).
 func (c *Client) Call(proc string, payload []byte) ([]byte, error) {
-	ch, err := c.start(proc, payload)
+	return c.CallContext(context.Background(), proc, payload)
+}
+
+// CallContext invokes proc with payload and blocks for the reply or
+// the context. On expiry it returns ctx's error and abandons the call;
+// a late reply is discarded by the read loop. The deadline bounds the
+// caller even when the transport is wedged by a stall or partition —
+// the blocked read stays behind on its goroutine and dies with the
+// connection.
+func (c *Client) CallContext(ctx context.Context, proc string, payload []byte) ([]byte, error) {
+	ctx, cancel := c.callCtx(ctx)
+	defer cancel()
+	id, ch, err := c.start(proc, payload)
 	if err != nil {
 		return nil, err
 	}
-	return c.wait(proc, ch)
+	return c.wait(ctx, proc, id, ch)
 }
 
 // Go starts a call and returns a function that blocks for its result,
 // letting callers overlap computation with network time (the paper's
 // figure 8/9 pipelines).
 func (c *Client) Go(proc string, payload []byte) func() ([]byte, error) {
-	ch, err := c.start(proc, payload)
+	return c.GoContext(context.Background(), proc, payload)
+}
+
+// GoContext is Go with a context bounding the eventual wait.
+func (c *Client) GoContext(ctx context.Context, proc string, payload []byte) func() ([]byte, error) {
+	id, ch, err := c.start(proc, payload)
 	if err != nil {
 		return func() ([]byte, error) { return nil, err }
 	}
@@ -94,21 +150,25 @@ func (c *Client) Go(proc string, payload []byte) func() ([]byte, error) {
 	var out []byte
 	var resErr error
 	return func() ([]byte, error) {
-		once.Do(func() { out, resErr = c.wait(proc, ch) })
+		once.Do(func() {
+			wctx, cancel := c.callCtx(ctx)
+			defer cancel()
+			out, resErr = c.wait(wctx, proc, id, ch)
+		})
 		return out, resErr
 	}
 }
 
-func (c *Client) start(proc string, payload []byte) (chan frame, error) {
+func (c *Client) start(proc string, payload []byte) (uint64, chan frame, error) {
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
 		c.mu.Unlock()
-		return nil, err
+		return 0, nil, err
 	}
 	if c.closed {
 		c.mu.Unlock()
-		return nil, errors.New("dlib: client closed")
+		return 0, nil, ErrClientClosed
 	}
 	c.nextID++
 	id := c.nextID
@@ -123,21 +183,37 @@ func (c *Client) start(proc string, payload []byte) (chan frame, error) {
 		c.mu.Lock()
 		delete(c.waiting, id)
 		c.mu.Unlock()
-		return nil, fmt.Errorf("dlib: send %s: %w", proc, err)
+		return 0, nil, fmt.Errorf("dlib: send %s: %w", proc, err)
 	}
-	return ch, nil
+	return id, ch, nil
 }
 
-func (c *Client) wait(proc string, ch chan frame) ([]byte, error) {
-	f, ok := <-ch
-	if !ok {
+// wait blocks for the reply frame, the context, or connection failure.
+// When fail() closes the waiting channel, the stored transport error —
+// not a zero frame — is what the caller sees.
+func (c *Client) wait(ctx context.Context, proc string, id uint64, ch chan frame) ([]byte, error) {
+	var f frame
+	var ok bool
+	select {
+	case f, ok = <-ch:
+	case <-ctx.Done():
+		// Abandon the call: deregister so a late reply is dropped. The
+		// reply may already be in flight on the buffered channel; prefer
+		// it, since the work was done.
 		c.mu.Lock()
-		err := c.err
+		delete(c.waiting, id)
 		c.mu.Unlock()
-		if err == nil {
-			err = errors.New("dlib: call aborted")
+		select {
+		case f, ok = <-ch:
+			if !ok {
+				return nil, c.abortErr()
+			}
+		default:
+			return nil, fmt.Errorf("dlib: call %s: %w", proc, ctx.Err())
 		}
-		return nil, err
+	}
+	if !ok {
+		return nil, c.abortErr()
 	}
 	switch f.kind {
 	case frameReply:
@@ -149,9 +225,25 @@ func (c *Client) wait(proc string, ch chan frame) ([]byte, error) {
 	}
 }
 
+// abortErr is the error for a call whose waiting channel was closed by
+// fail().
+func (c *Client) abortErr() error {
+	c.mu.Lock()
+	err := c.err
+	c.mu.Unlock()
+	if err == nil {
+		err = errAborted
+	}
+	return err
+}
+
 // Close shuts the connection down; outstanding calls fail.
 func (c *Client) Close() error {
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
 	c.closed = true
 	c.mu.Unlock()
 	return c.conn.Close()

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -66,6 +67,23 @@ type Server struct {
 
 	// dispatchMu serializes handler execution.
 	dispatchMu sync.Mutex
+
+	// IdleTimeout, when non-zero, reaps sessions that send no call for
+	// the duration: the connection is closed and OnDisconnect runs, so
+	// a partitioned workstation cannot hold rake locks forever (§5.1's
+	// first-come-first-served environment must not wedge on a ghost).
+	IdleTimeout time.Duration
+	// WriteTimeout, when non-zero, bounds each reply write; a client
+	// that stops draining its socket is disconnected instead of
+	// pinning the connection goroutine.
+	WriteTimeout time.Duration
+	// HandlerTimeout, when non-zero, bounds each handler execution:
+	// the caller gets an error reply once it elapses. The runaway
+	// handler keeps the serial dispatch lock until it actually returns
+	// (Go cannot preempt it), but the network side stays responsive.
+	HandlerTimeout time.Duration
+
+	reaped atomic.Int64
 
 	// Shared is server-global state available to handlers (the shared
 	// virtual environment lives here). Access it only from handlers;
@@ -174,9 +192,17 @@ func (s *Server) serveConn(conn net.Conn) {
 	var writeMu sync.Mutex
 	ctx := &Ctx{Session: sess, Server: s}
 	for {
+		if s.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+		}
 		f, err := readFrame(conn)
 		if err != nil {
-			if s.Logf != nil && !errors.Is(err, net.ErrClosed) {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				s.reaped.Add(1)
+				if s.Logf != nil {
+					s.Logf("dlib: session %d reaped after %v idle", sess.ID, s.IdleTimeout)
+				}
+			} else if s.Logf != nil && !errors.Is(err, net.ErrClosed) {
 				s.Logf("dlib: session %d read: %v", sess.ID, err)
 			}
 			return
@@ -188,14 +214,24 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		reply := s.dispatch(ctx, f)
+		if s.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+		}
 		writeMu.Lock()
 		err = writeFrame(conn, reply)
 		writeMu.Unlock()
 		if err != nil {
+			if s.Logf != nil {
+				s.Logf("dlib: session %d write: %v", sess.ID, err)
+			}
 			return
 		}
 	}
 }
+
+// ReapedSessions returns how many sessions the idle timeout has
+// disconnected.
+func (s *Server) ReapedSessions() int64 { return s.reaped.Load() }
 
 // dispatch runs one call under the global serial lock.
 func (s *Server) dispatch(ctx *Ctx, f frame) frame {
@@ -206,15 +242,52 @@ func (s *Server) dispatch(ctx *Ctx, f frame) frame {
 		return frame{kind: frameError, id: f.id, payload: []byte("unknown procedure " + f.proc)}
 	}
 	s.dispatchMu.Lock()
-	defer s.dispatchMu.Unlock()
 	s.calls.Add(1)
 	start := time.Now()
-	out, err := safeCall(h, ctx, f.payload)
-	s.metrics.record(f.proc, time.Since(start), len(f.payload), len(out), err != nil)
-	if err != nil {
-		return frame{kind: frameError, id: f.id, payload: []byte(err.Error())}
+
+	if s.HandlerTimeout <= 0 {
+		out, err := safeCall(h, ctx, f.payload)
+		s.metrics.record(f.proc, time.Since(start), len(f.payload), len(out), err != nil)
+		s.dispatchMu.Unlock()
+		if err != nil {
+			return frame{kind: frameError, id: f.id, payload: []byte(err.Error())}
+		}
+		return frame{kind: frameReply, id: f.id, payload: out}
 	}
-	return frame{kind: frameReply, id: f.id, payload: out}
+
+	// Bounded execution: run the handler aside and wait at most
+	// HandlerTimeout. On expiry the caller gets an error reply now; the
+	// goroutine releases the dispatch lock whenever the handler truly
+	// finishes, preserving the serial-execution invariant.
+	type result struct {
+		out []byte
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		out, err := safeCall(h, ctx, f.payload)
+		done <- result{out, err}
+	}()
+	select {
+	case res := <-done:
+		s.metrics.record(f.proc, time.Since(start), len(f.payload), len(res.out), res.err != nil)
+		s.dispatchMu.Unlock()
+		if res.err != nil {
+			return frame{kind: frameError, id: f.id, payload: []byte(res.err.Error())}
+		}
+		return frame{kind: frameReply, id: f.id, payload: res.out}
+	case <-time.After(s.HandlerTimeout):
+		s.metrics.record(f.proc, time.Since(start), len(f.payload), 0, true)
+		if s.Logf != nil {
+			s.Logf("dlib: %s exceeded handler timeout %v", f.proc, s.HandlerTimeout)
+		}
+		go func() {
+			<-done // wait out the straggler, then free serial dispatch
+			s.dispatchMu.Unlock()
+		}()
+		return frame{kind: frameError, id: f.id,
+			payload: []byte(fmt.Sprintf("%s timed out after %v", f.proc, s.HandlerTimeout))}
+	}
 }
 
 // safeCall shields the server from handler panics.

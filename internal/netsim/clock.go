@@ -1,0 +1,85 @@
+package netsim
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for fault injection so chaos tests can run
+// scheduled stalls without wall-clock sleeps. The zero plan uses the
+// real clock; tests inject a ManualClock and advance it explicitly.
+type Clock interface {
+	// After returns a channel that delivers once d has elapsed.
+	After(d time.Duration) <-chan time.Time
+}
+
+// realClock delegates to the time package.
+type realClock struct{}
+
+// After implements Clock.
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// RealClock is the wall clock.
+var RealClock Clock = realClock{}
+
+// ManualClock is a deterministic clock: time only moves when Advance
+// is called. Safe for concurrent use.
+type ManualClock struct {
+	mu      sync.Mutex
+	now     time.Duration // elapsed virtual time since construction
+	waiters []*manualWaiter
+}
+
+type manualWaiter struct {
+	deadline time.Duration
+	ch       chan time.Time
+}
+
+// NewManualClock returns a clock frozen at virtual time zero.
+func NewManualClock() *ManualClock { return &ManualClock{} }
+
+// After implements Clock: the returned channel fires when Advance has
+// moved virtual time past d from now.
+func (c *ManualClock) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d <= 0 {
+		ch <- time.Time{}
+		return ch
+	}
+	c.waiters = append(c.waiters, &manualWaiter{deadline: c.now + d, ch: ch})
+	return ch
+}
+
+// Advance moves virtual time forward, firing every waiter whose
+// deadline has passed.
+func (c *ManualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now += d
+	kept := c.waiters[:0]
+	for _, w := range c.waiters {
+		if w.deadline <= c.now {
+			w.ch <- time.Time{}
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	c.waiters = kept
+}
+
+// Elapsed returns the current virtual time.
+func (c *ManualClock) Elapsed() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Waiters returns how many After channels are pending — tests spin on
+// this to know a stalled operation has parked before advancing time.
+func (c *ManualClock) Waiters() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.waiters)
+}

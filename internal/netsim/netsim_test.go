@@ -3,6 +3,7 @@ package netsim
 import (
 	"bytes"
 	"io"
+	"math/rand"
 	"net"
 	"testing"
 	"time"
@@ -87,6 +88,74 @@ func TestBandwidthPacing(t *testing.T) {
 	}
 	if elapsed > want*3 {
 		t.Errorf("pacing too slow: %v for budget %v", elapsed, want)
+	}
+}
+
+// TestBandwidthPacingProperty is the pacing contract as a property:
+// for seeded random write-size mixes — tiny commands, mid-size frames,
+// bulk segments — the achieved rate stays within ±10% of the link
+// budget (plus a fixed scheduler allowance on the fast side).
+func TestBandwidthPacingProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing property")
+	}
+	const bw = int64(2 << 20) // 2 MB/s keeps each trial ~100ms
+	for _, seed := range []int64{1, 42, 1992} {
+		seed := seed
+		t.Run(time.Duration(seed).String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			var sizes []int
+			total := 0
+			for total < 200*1024 {
+				// Mix three regimes the windtunnel traffic actually has.
+				var n int
+				switch rng.Intn(3) {
+				case 0:
+					n = 1 + rng.Intn(64) // command-sized
+				case 1:
+					n = 256 + rng.Intn(4096) // frame-sized
+				default:
+					n = 8*1024 + rng.Intn(32*1024) // segment-sized
+				}
+				sizes = append(sizes, n)
+				total += n
+			}
+			a, b := tcpPair(t)
+			ca := Link{BandwidthBytesPerSec: bw}.Wrap(a)
+			go func() {
+				if _, err := io.Copy(io.Discard, b); err != nil {
+					return
+				}
+			}()
+			buf := make([]byte, 64*1024)
+			start := time.Now()
+			for _, n := range sizes {
+				for sent := 0; sent < n; {
+					chunk := n - sent
+					if chunk > len(buf) {
+						chunk = len(buf)
+					}
+					m, err := ca.Write(buf[:chunk])
+					if err != nil {
+						t.Fatal(err)
+					}
+					sent += m
+				}
+			}
+			elapsed := time.Since(start)
+			ideal := time.Duration(float64(total) / float64(bw) * float64(time.Second))
+			// Never more than 10% faster than the budget allows; never
+			// more than 10% slower plus a fixed allowance for scheduler
+			// wakeup latency across many sleeps.
+			if elapsed < ideal*9/10 {
+				t.Errorf("seed %d: %d bytes in %v, >10%% over budget (ideal %v)",
+					seed, total, elapsed, ideal)
+			}
+			if slack := 150 * time.Millisecond; elapsed > ideal*11/10+slack {
+				t.Errorf("seed %d: %d bytes in %v, >10%% under budget (ideal %v)",
+					seed, total, elapsed, ideal)
+			}
+		})
 	}
 }
 

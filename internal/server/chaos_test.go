@@ -1,0 +1,192 @@
+// Chaos suite for the windtunnel server: scripted faults between a
+// workstation and the remote host must end with the shared environment
+// consistent — above all, §5.1's first-come-first-served rake locks
+// must be released when their holder's connection dies, however it
+// dies.
+package server
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/dlib"
+	"repro/internal/integrate"
+	"repro/internal/netsim"
+	"repro/internal/vmath"
+	"repro/internal/wire"
+)
+
+// grabUpdate is a frame payload that creates rake 1 and grabs it.
+func addAndGrab() wire.ClientUpdate {
+	return wire.ClientUpdate{Commands: []wire.Command{
+		{Kind: wire.CmdAddRake, P0: vmath.V3(2, 2, 2), P1: vmath.V3(12, 2, 2),
+			NumSeeds: 5, Tool: uint8(integrate.ToolStreamline)},
+		{Kind: wire.CmdGrab, Rake: 1, Grab: uint8(integrate.GrabCenter)},
+	}}
+}
+
+// waitRakeFree polls until rake id has no holder.
+func waitRakeFree(t *testing.T, s *Server, id int32) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if snap, ok := s.Env().Rake(id); ok && snap.Holder == 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	snap, _ := s.Env().Rake(id)
+	t.Fatalf("rake %d still held by %d", id, snap.Holder)
+}
+
+// TestChaosKilledClientReleasesRakeLocks is the acceptance scenario: a
+// client killed mid-session (socket torn down, no goodbye) releases
+// its rake locks, and a second client can grab them first-come-first-
+// served.
+func TestChaosKilledClientReleasesRakeLocks(t *testing.T) {
+	s, c1, addr := startTestServer(t, Config{Store: testDataset(t, 4)})
+
+	r1 := frame(t, c1, addAndGrab())
+	if len(r1.Rakes) != 1 || r1.Rakes[0].Holder == 0 {
+		t.Fatalf("grab did not take: %+v", r1.Rakes)
+	}
+	holder1 := r1.Rakes[0].Holder
+
+	// Kill the holder abruptly.
+	c1.Close()
+	waitRakeFree(t, s, 1)
+
+	// A second user walks up and grabs the same rake.
+	c2, err := dlib.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	r2 := frame(t, c2, wire.ClientUpdate{Commands: []wire.Command{
+		{Kind: wire.CmdGrab, Rake: 1, Grab: uint8(integrate.GrabEnd0)},
+	}})
+	if len(r2.Rakes) != 1 || r2.Rakes[0].Holder == 0 || r2.Rakes[0].Holder == holder1 {
+		t.Fatalf("second client could not take over: %+v (first holder %d)",
+			r2.Rakes, holder1)
+	}
+}
+
+// TestChaosResetDuringRakeGrab scripts the reset deterministically: the
+// server-side connection executes 5 ops serving the grab frame (three
+// reads for the pipelined call frame, two writes for the reply), then
+// resets on op 6 — the instant it waits for the next call. The lock
+// must come free and a fresh session must win it.
+func TestChaosResetDuringRakeGrab(t *testing.T) {
+	s, err := New(Config{Store: testDataset(t, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Dlib().Close()
+
+	a, b := net.Pipe()
+	plan := &netsim.FaultPlan{Faults: []netsim.Fault{
+		{Kind: netsim.FaultReset, AtOp: 6},
+	}}
+	go s.Dlib().ServeConn(plan.Wrap(b))
+	c1 := dlib.NewClient(a)
+	c1.Timeout = 2 * time.Second
+	defer c1.Close()
+
+	r1 := frame(t, c1, addAndGrab())
+	if len(r1.Rakes) != 1 || r1.Rakes[0].Holder == 0 {
+		t.Fatalf("grab did not take: %+v", r1.Rakes)
+	}
+
+	// The scripted reset fires as the server reads for the next frame;
+	// its disconnect hook must free the lock.
+	waitRakeFree(t, s, 1)
+
+	a2, b2 := net.Pipe()
+	go s.Dlib().ServeConn(b2)
+	c2 := dlib.NewClient(a2)
+	c2.Timeout = 2 * time.Second
+	defer c2.Close()
+	r2 := frame(t, c2, wire.ClientUpdate{Commands: []wire.Command{
+		{Kind: wire.CmdGrab, Rake: 1, Grab: uint8(integrate.GrabCenter)},
+	}})
+	if len(r2.Rakes) != 1 || r2.Rakes[0].Holder == 0 {
+		t.Fatalf("takeover after reset failed: %+v", r2.Rakes)
+	}
+	if r2.Rakes[0].Holder == r1.Rakes[0].Holder {
+		t.Fatalf("holder did not change across sessions: %d", r2.Rakes[0].Holder)
+	}
+}
+
+// TestChaosPartitionedHolderIsReaped: the holder does not die — it
+// partitions. Only the server's idle reaper can free its locks then.
+func TestChaosPartitionedHolderIsReaped(t *testing.T) {
+	s, err := New(Config{Store: testDataset(t, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Dlib().IdleTimeout = 50 * time.Millisecond
+	defer s.Dlib().Close()
+
+	a, b := net.Pipe()
+	go s.Dlib().ServeConn(b)
+	c1 := dlib.NewClient(a)
+	c1.Timeout = 2 * time.Second
+	defer c1.Close()
+
+	r1 := frame(t, c1, addAndGrab())
+	if r1.Rakes[0].Holder == 0 {
+		t.Fatal("grab did not take")
+	}
+	// Go silent: the workstation is partitioned, the socket is alive.
+	// The reaper must notice and release the lock.
+	waitRakeFree(t, s, 1)
+	if s.Dlib().ReapedSessions() == 0 {
+		t.Error("lock freed but session not recorded as reaped")
+	}
+
+	// FCFS: a live second user now wins the rake.
+	a2, b2 := net.Pipe()
+	go s.Dlib().ServeConn(b2)
+	c2 := dlib.NewClient(a2)
+	c2.Timeout = 2 * time.Second
+	defer c2.Close()
+	r2 := frame(t, c2, wire.ClientUpdate{Commands: []wire.Command{
+		{Kind: wire.CmdGrab, Rake: 1, Grab: uint8(integrate.GrabCenter)},
+	}})
+	if r2.Rakes[0].Holder == 0 {
+		t.Fatal("second client could not grab after reap")
+	}
+}
+
+// TestChaosFCFSHeldRakeStaysHeld: faults on OTHER sessions must not
+// loosen a live holder's lock — first come, first served means the
+// second client keeps failing while the first is alive.
+func TestChaosFCFSHeldRakeStaysHeld(t *testing.T) {
+	s, c1, addr := startTestServer(t, Config{Store: testDataset(t, 4)})
+	r1 := frame(t, c1, addAndGrab())
+	holder := r1.Rakes[0].Holder
+	if holder == 0 {
+		t.Fatal("grab did not take")
+	}
+
+	// A rival session grabs, fails (FCFS), then dies by reset.
+	c2, err := dlib.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := frame(t, c2, wire.ClientUpdate{Commands: []wire.Command{
+		{Kind: wire.CmdGrab, Rake: 1, Grab: uint8(integrate.GrabCenter)},
+	}})
+	if r2.Rakes[0].Holder != holder {
+		t.Fatalf("rival stole a held rake: %+v", r2.Rakes)
+	}
+	c2.Close()
+
+	// The holder's lock survives the rival's death.
+	time.Sleep(20 * time.Millisecond)
+	snap, ok := s.Env().Rake(1)
+	if !ok || snap.Holder != holder {
+		t.Fatalf("holder lost lock after rival disconnect: %+v", snap)
+	}
+}
