@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet chaos fuzz ci bench
+.PHONY: all build test race vet chaos fuzz ci bench bench-smoke
 
 all: build test
 
@@ -28,7 +28,12 @@ fuzz:
 	$(GO) test -fuzz FuzzClientRead -fuzztime 30s ./internal/dlib/
 
 # The gate a change must pass before merging.
-ci: vet race
+ci: vet race bench-smoke
 
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# One fast pass over the frame-pipeline benchmark, so ci notices an
+# allocation or latency regression without the full bench suite.
+bench-smoke:
+	$(GO) test -run xxx -bench BenchmarkServerMultiRakeFrame -benchmem -benchtime 200x .

@@ -314,6 +314,97 @@ func wireFloats(dst []byte, a []float32) []byte {
 	return wire.EncodePoints(dst, pts)
 }
 
+// BenchmarkServerMultiRakeFrame measures one server frame round with 8
+// streamline rakes resident: "steady" leaves every rake untouched
+// frame after frame (the examination regime — playback paused, user
+// looking), "move-one" drags a single rake while the other 7 stay
+// still (the interaction regime). Run with -benchmem: steady-state
+// frames should do near-zero allocation once the server memoizes
+// unchanged rakes and reuses its encode buffers.
+func BenchmarkServerMultiRakeFrame(b *testing.B) {
+	u := benchDataset(b)
+	setup := func(b *testing.B) (*dlib.Client, []int32) {
+		b.Helper()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv, err := core.Serve(ln, store.NewMemory(u), core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { srv.Dlib().Close() })
+		c, err := dlib.Dial(ln.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { c.Close() })
+		var cmds []wire.Command
+		for i := 0; i < 8; i++ {
+			y := 0.3 + 0.08*float32(i)
+			cmds = append(cmds, wire.Command{
+				Kind: wire.CmdAddRake,
+				P0:   vmath.V3(-3, y, 1), P1: vmath.V3(-3, y, 14),
+				NumSeeds: 32, Tool: uint8(integrate.ToolStreamline),
+			})
+		}
+		out, err := c.Call(wire.ProcFrame, wire.EncodeClientUpdate(wire.ClientUpdate{Commands: cmds}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := wire.DecodeFrameReply(out)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rakes) != 8 || len(r.Geometry) != 8 {
+			b.Fatalf("setup: %d rakes, %d geometry", len(r.Rakes), len(r.Geometry))
+		}
+		ids := make([]int32, len(r.Rakes))
+		for i, rk := range r.Rakes {
+			ids[i] = rk.ID
+		}
+		return c, ids
+	}
+
+	b.Run("steady", func(b *testing.B) {
+		c, _ := setup(b)
+		empty := wire.EncodeClientUpdate(wire.ClientUpdate{})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Call(wire.ProcFrame, empty); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("move-one", func(b *testing.B) {
+		c, ids := setup(b)
+		if _, err := c.Call(wire.ProcFrame, wire.EncodeClientUpdate(wire.ClientUpdate{
+			Commands: []wire.Command{{
+				Kind: wire.CmdGrab, Rake: ids[0], Grab: uint8(integrate.GrabCenter),
+			}},
+		})); err != nil {
+			b.Fatal(err)
+		}
+		moves := [2][]byte{
+			wire.EncodeClientUpdate(wire.ClientUpdate{Commands: []wire.Command{{
+				Kind: wire.CmdMove, Rake: ids[0], Pos: vmath.V3(-3, 0.31, 7.5),
+			}}}),
+			wire.EncodeClientUpdate(wire.ClientUpdate{Commands: []wire.Command{{
+				Kind: wire.CmdMove, Rake: ids[0], Pos: vmath.V3(-3, 0.29, 7.5),
+			}}}),
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Call(wire.ProcFrame, moves[i%2]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkAblationIntegrators times one integration step per scheme.
 func BenchmarkAblationIntegrators(b *testing.B) {
 	u := benchDataset(b)

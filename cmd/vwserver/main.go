@@ -8,6 +8,7 @@
 //
 //	vwserver -data data/cyl -listen :9040
 //	vwserver -data data/cyl -resident=false -diskbw 30 -prefetch
+//	vwserver -data data/cyl -debug localhost:6060   # expvar + pprof
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"repro/internal/compute"
 	"repro/internal/core"
 	"repro/internal/field"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -36,6 +38,8 @@ func main() {
 		prefetch = flag.Bool("prefetch", true, "overlap next-timestep loads with computation when streaming")
 		workers  = flag.Int("workers", 0, "computation worker count (0 = GOMAXPROCS)")
 		vector   = flag.Bool("vector", false, "use the vectorized (SoA batch) engine")
+		maxSeeds = flag.Int("maxseeds", 0, "per-rake seed count cap enforced on client commands (0 = default 4096)")
+		debug    = flag.String("debug", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address, e.g. localhost:6060 (empty = disabled)")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -75,14 +79,25 @@ func main() {
 		log.Fatal(err)
 	}
 	srv, err := core.Serve(ln, st, core.Options{
-		Engine:   engine,
-		Prefetch: !*resident && *prefetch,
+		Engine:          engine,
+		Prefetch:        !*resident && *prefetch,
+		MaxSeedsPerRake: *maxSeeds,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("serving %d-step dataset on %s (engine %s, resident=%v)",
 		st.NumSteps(), ln.Addr(), engine.Name(), *resident)
+
+	if *debug != "" {
+		obs.Publish("vwserver.frames", srv.Recorder())
+		dbg, err := obs.ServeDebug(*debug)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dbg.Close()
+		log.Printf("debug endpoint on http://%s/debug/vars (pprof under /debug/pprof/)", dbg.Addr())
+	}
 
 	// Periodic stats until interrupted.
 	stop := make(chan os.Signal, 1)
@@ -102,6 +117,7 @@ func main() {
 				(s.LoadTime / time.Duration(s.Frames)).Round(time.Microsecond),
 				float64(s.BytesShipped)/(1<<20),
 				srv.Dlib().NumSessions())
+			log.Printf("  pipeline: %s", srv.Recorder().Snapshot())
 			for _, proc := range srv.Dlib().ProcNames() {
 				ps := srv.Dlib().ProcStats()[proc]
 				log.Printf("  %-12s calls=%d mean=%v max=%v out=%.1fMB errs=%d",

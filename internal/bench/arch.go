@@ -12,6 +12,7 @@ import (
 	"repro/internal/field"
 	"repro/internal/integrate"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/vmath"
 )
@@ -31,12 +32,12 @@ func Fig8Pipeline(u *field.Unsteady, diskBW int64, frames int) (*Table, error) {
 	}
 	t := &Table{
 		Title: "Figure 8: remote pipeline — synchronous load vs prefetch overlap",
-		Note: fmt.Sprintf("disk throttled to %d MB/s, %d frames of playback, timestep %d bytes",
+		Note: fmt.Sprintf("disk throttled to %d MB/s, %d frames of playback, timestep %d bytes; per-stage means from the server's frame recorder",
 			diskBW/(1<<20), frames, u.Steps[0].SizeBytes()),
-		Header: []string{"configuration", "mean frame time", "achieved fps"},
+		Header: []string{"configuration", "mean frame time", "achieved fps", "load", "integrate", "encode"},
 	}
 	for _, prefetch := range []bool{false, true} {
-		mean, err := runPipeline(dir, diskBW, frames, prefetch)
+		mean, stages, err := runPipeline(dir, diskBW, frames, prefetch)
 		if err != nil {
 			return nil, err
 		}
@@ -45,28 +46,31 @@ func Fig8Pipeline(u *field.Unsteady, diskBW int64, frames int) (*Table, error) {
 			name = "prefetch overlap"
 		}
 		t.AddRow(name, mean.Round(100*time.Microsecond).String(),
-			fmt.Sprintf("%.1f", 1/mean.Seconds()))
+			fmt.Sprintf("%.1f", 1/mean.Seconds()),
+			stages.AvgLoad().Round(10*time.Microsecond).String(),
+			stages.AvgIntegrate().Round(10*time.Microsecond).String(),
+			stages.AvgEncode().Round(10*time.Microsecond).String())
 	}
 	return t, nil
 }
 
-func runPipeline(dir string, diskBW int64, frames int, prefetch bool) (time.Duration, error) {
+func runPipeline(dir string, diskBW int64, frames int, prefetch bool) (time.Duration, obs.Snapshot, error) {
 	disk, err := store.OpenDisk(dir, store.DiskOptions{BandwidthBytesPerSec: diskBW})
 	if err != nil {
-		return 0, err
+		return 0, obs.Snapshot{}, err
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return 0, err
+		return 0, obs.Snapshot{}, err
 	}
 	srv, err := core.Serve(ln, disk, core.Options{Prefetch: prefetch})
 	if err != nil {
-		return 0, err
+		return 0, obs.Snapshot{}, err
 	}
 	defer srv.Dlib().Close()
 	sess, err := core.Connect(ln.Addr().String(), nil, core.Options{FrameW: 64, FrameH: 64})
 	if err != nil {
-		return 0, err
+		return 0, obs.Snapshot{}, err
 	}
 	defer sess.Close()
 	// A heavy rake makes the visualization computation comparable to
@@ -76,15 +80,29 @@ func runPipeline(dir string, diskBW int64, frames int, prefetch bool) (time.Dura
 	sess.Play(1)
 	// Warmup frame creates the rake and primes the pipeline.
 	if _, err := sess.Frame(); err != nil {
-		return 0, err
+		return 0, obs.Snapshot{}, err
 	}
+	before := srv.Recorder().Snapshot()
 	start := time.Now()
 	for i := 0; i < frames; i++ {
 		if _, err := sess.Frame(); err != nil {
-			return 0, err
+			return 0, obs.Snapshot{}, err
 		}
 	}
-	return time.Since(start) / time.Duration(frames), nil
+	mean := time.Since(start) / time.Duration(frames)
+	after := srv.Recorder().Snapshot()
+	stages := obs.Snapshot{
+		Frames:        after.Frames - before.Frames,
+		FramesReused:  after.FramesReused - before.FramesReused,
+		LoadTime:      after.LoadTime - before.LoadTime,
+		IntegrateTime: after.IntegrateTime - before.IntegrateTime,
+		EncodeTime:    after.EncodeTime - before.EncodeTime,
+		RakesComputed: after.RakesComputed - before.RakesComputed,
+		RakesReused:   after.RakesReused - before.RakesReused,
+		Points:        after.Points - before.Points,
+		Bytes:         after.Bytes - before.Bytes,
+	}
+	return mean, stages, nil
 }
 
 // Fig9Client measures the workstation architecture of figure 9: with

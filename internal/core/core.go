@@ -43,6 +43,12 @@ type Options struct {
 	Integration integrate.Options
 	// Prefetch enables timestep prefetching for I/O-backed stores.
 	Prefetch bool
+	// MaxSeedsPerRake caps client-requested seed counts server-side;
+	// zero uses the server default.
+	MaxSeedsPerRake int
+	// RakeWorkers bounds concurrent per-rake recomputation server-side;
+	// zero uses GOMAXPROCS.
+	RakeWorkers int
 	// FrameW, FrameH size the workstation display; zero uses 640x512.
 	FrameW, FrameH int
 }
@@ -65,10 +71,12 @@ type Session struct {
 // tree for exactly this reason (§5.1).
 func LaunchLocal(dataset *field.Unsteady, opts Options) (*Session, error) {
 	srv, err := server.New(server.Config{
-		Store:    store.NewMemory(dataset),
-		Engine:   opts.Engine,
-		Options:  opts.Integration,
-		Prefetch: opts.Prefetch,
+		Store:           store.NewMemory(dataset),
+		Engine:          opts.Engine,
+		Options:         opts.Integration,
+		Prefetch:        opts.Prefetch,
+		MaxSeedsPerRake: opts.MaxSeedsPerRake,
+		RakeWorkers:     opts.RakeWorkers,
 	})
 	if err != nil {
 		return nil, err
@@ -82,10 +90,12 @@ func LaunchLocal(dataset *field.Unsteady, opts Options) (*Session, error) {
 // returns immediately; close the returned server's Dlib() to stop.
 func Serve(ln net.Listener, st store.Store, opts Options) (*server.Server, error) {
 	srv, err := server.New(server.Config{
-		Store:    st,
-		Engine:   opts.Engine,
-		Options:  opts.Integration,
-		Prefetch: opts.Prefetch,
+		Store:           st,
+		Engine:          opts.Engine,
+		Options:         opts.Integration,
+		Prefetch:        opts.Prefetch,
+		MaxSeedsPerRake: opts.MaxSeedsPerRake,
+		RakeWorkers:     opts.RakeWorkers,
 	})
 	if err != nil {
 		return nil, err

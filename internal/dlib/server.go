@@ -83,6 +83,15 @@ type Server struct {
 	// (Go cannot preempt it), but the network side stays responsive.
 	HandlerTimeout time.Duration
 
+	// CopyReplies copies each handler's reply into a per-connection
+	// scratch buffer before the serial dispatch lock is released.
+	// Reply writes happen outside that lock (a slow client must not
+	// stall dispatch), so without the copy a handler may not reuse a
+	// returned buffer — the previous reply could still be in flight on
+	// another connection. With it, handlers are free to encode every
+	// reply into one recycled buffer. Costs one memcpy per reply.
+	CopyReplies bool
+
 	reaped atomic.Int64
 
 	// Shared is server-global state available to handlers (the shared
@@ -190,6 +199,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 
 	var writeMu sync.Mutex
+	var replyScratch []byte // CopyReplies destination, reused per call
 	ctx := &Ctx{Session: sess, Server: s}
 	for {
 		if s.IdleTimeout > 0 {
@@ -213,7 +223,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
-		reply := s.dispatch(ctx, f)
+		reply := s.dispatch(ctx, f, &replyScratch)
 		if s.WriteTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
 		}
@@ -233,8 +243,13 @@ func (s *Server) serveConn(conn net.Conn) {
 // disconnected.
 func (s *Server) ReapedSessions() int64 { return s.reaped.Load() }
 
-// dispatch runs one call under the global serial lock.
-func (s *Server) dispatch(ctx *Ctx, f frame) frame {
+// dispatch runs one call under the global serial lock. scratch is the
+// connection-owned reply buffer used when CopyReplies is set; the copy
+// into it must happen before the dispatch lock is released (see
+// CopyReplies). Per-connection reuse of scratch is safe because the
+// connection loop fully writes each reply before reading the next
+// call.
+func (s *Server) dispatch(ctx *Ctx, f frame, scratch *[]byte) frame {
 	s.mu.Lock()
 	h, ok := s.handlers[f.proc]
 	s.mu.Unlock()
@@ -248,6 +263,10 @@ func (s *Server) dispatch(ctx *Ctx, f frame) frame {
 	if s.HandlerTimeout <= 0 {
 		out, err := safeCall(h, ctx, f.payload)
 		s.metrics.record(f.proc, time.Since(start), len(f.payload), len(out), err != nil)
+		if err == nil && s.CopyReplies {
+			*scratch = append((*scratch)[:0], out...)
+			out = *scratch
+		}
 		s.dispatchMu.Unlock()
 		if err != nil {
 			return frame{kind: frameError, id: f.id, payload: []byte(err.Error())}
@@ -271,6 +290,10 @@ func (s *Server) dispatch(ctx *Ctx, f frame) frame {
 	select {
 	case res := <-done:
 		s.metrics.record(f.proc, time.Since(start), len(f.payload), len(res.out), res.err != nil)
+		if res.err == nil && s.CopyReplies {
+			*scratch = append((*scratch)[:0], res.out...)
+			res.out = *scratch
+		}
 		s.dispatchMu.Unlock()
 		if res.err != nil {
 			return frame{kind: frameError, id: f.id, payload: []byte(res.err.Error())}

@@ -11,8 +11,9 @@
 package env
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/integrate"
@@ -46,6 +47,9 @@ type rakeState struct {
 	rake   *integrate.Rake
 	holder int64 // session id, 0 = free
 	grab   integrate.GrabPoint
+	// version counts mutations of the geometry-relevant inputs (P0,
+	// P1, NumSeeds, Tool) so the server can memoize per-rake geometry.
+	version uint64
 }
 
 // Environment is the authoritative shared state.
@@ -56,6 +60,20 @@ type Environment struct {
 	nextRake int32
 	users    map[int64]UserPose
 	time     TimeState
+	// version counts every observable state change (rakes, locks,
+	// poses, time). A frame computed at version V can be replayed
+	// verbatim while the version holds — the server's whole-frame
+	// memoization key.
+	version uint64
+}
+
+// Version returns the environment's state-change counter. It increases
+// on every mutation that a FrameReply could observe; equal versions
+// mean the shared scene is unchanged.
+func (e *Environment) Version() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.version
 }
 
 // New returns an empty environment configured for a dataset with
@@ -83,7 +101,8 @@ func (e *Environment) AddRake(p0, p1 vmath.Vec3, numSeeds int, tool integrate.To
 		e.nextRake--
 		return 0, err
 	}
-	e.rakes[r.ID] = &rakeState{rake: r}
+	e.rakes[r.ID] = &rakeState{rake: r, version: 1}
+	e.version++
 	return r.ID, nil
 }
 
@@ -100,6 +119,7 @@ func (e *Environment) RemoveRake(user int64, id int32) error {
 		return &ErrLocked{RakeID: id, Holder: rs.holder}
 	}
 	delete(e.rakes, id)
+	e.version++
 	return nil
 }
 
@@ -119,6 +139,9 @@ func (e *Environment) GrabRake(user int64, id int32, gp integrate.GrabPoint) err
 	if rs.holder != 0 && rs.holder != user {
 		return &ErrLocked{RakeID: id, Holder: rs.holder}
 	}
+	if rs.holder != user || rs.grab != gp {
+		e.version++
+	}
 	rs.holder = user
 	rs.grab = gp
 	return nil
@@ -137,6 +160,7 @@ func (e *Environment) ReleaseRake(user int64, id int32) error {
 	}
 	rs.holder = 0
 	rs.grab = integrate.GrabNone
+	e.version++
 	return nil
 }
 
@@ -146,13 +170,21 @@ func (e *Environment) ReleaseRake(user int64, id int32) error {
 func (e *Environment) ReleaseAll(user int64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	changed := false
 	for _, rs := range e.rakes {
 		if rs.holder == user {
 			rs.holder = 0
 			rs.grab = integrate.GrabNone
+			changed = true
 		}
 	}
+	if _, ok := e.users[user]; ok {
+		changed = true
+	}
 	delete(e.users, user)
+	if changed {
+		e.version++
+	}
 }
 
 // MoveRake moves the grabbed point of a rake the user holds.
@@ -169,7 +201,12 @@ func (e *Environment) MoveRake(user int64, id int32, to vmath.Vec3) error {
 		}
 		return &ErrLocked{RakeID: id, Holder: rs.holder}
 	}
-	return rs.rake.MoveGrab(rs.grab, to)
+	if err := rs.rake.MoveGrab(rs.grab, to); err != nil {
+		return err
+	}
+	rs.version++
+	e.version++
+	return nil
 }
 
 // SetRakeSeeds changes the seed count of a rake the user holds (or a
@@ -187,7 +224,11 @@ func (e *Environment) SetRakeSeeds(user int64, id int32, numSeeds int) error {
 	if rs.holder != 0 && rs.holder != user {
 		return &ErrLocked{RakeID: id, Holder: rs.holder}
 	}
-	rs.rake.NumSeeds = numSeeds
+	if rs.rake.NumSeeds != numSeeds {
+		rs.rake.NumSeeds = numSeeds
+		rs.version++
+		e.version++
+	}
 	return nil
 }
 
@@ -208,7 +249,11 @@ func (e *Environment) SetRakeTool(user int64, id int32, tool integrate.ToolKind)
 	if rs.holder != 0 && rs.holder != user {
 		return &ErrLocked{RakeID: id, Holder: rs.holder}
 	}
-	rs.rake.Tool = tool
+	if rs.rake.Tool != tool {
+		rs.rake.Tool = tool
+		rs.version++
+		e.version++
+	}
 	return nil
 }
 
@@ -218,18 +263,31 @@ type RakeSnapshot struct {
 	Rake   integrate.Rake
 	Holder int64
 	Grab   integrate.GrabPoint
+	// Version is the rake's mutation counter: unchanged version means
+	// the geometry inputs (endpoints, seed count, tool) are unchanged.
+	Version uint64
 }
 
 // Rakes returns snapshots of all rakes, ordered by id.
 func (e *Environment) Rakes() []RakeSnapshot {
+	return e.AppendRakes(nil)
+}
+
+// AppendRakes appends snapshots of all rakes to dst, ordered by id,
+// and returns the extended slice. Passing a recycled dst[:0] lets
+// per-frame callers avoid the allocation.
+func (e *Environment) AppendRakes(dst []RakeSnapshot) []RakeSnapshot {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	out := make([]RakeSnapshot, 0, len(e.rakes))
+	base := len(dst)
 	for _, rs := range e.rakes {
-		out = append(out, RakeSnapshot{Rake: *rs.rake, Holder: rs.holder, Grab: rs.grab})
+		dst = append(dst, RakeSnapshot{
+			Rake: *rs.rake, Holder: rs.holder, Grab: rs.grab, Version: rs.version,
+		})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Rake.ID < out[j].Rake.ID })
-	return out
+	out := dst[base:]
+	slices.SortFunc(out, func(a, b RakeSnapshot) int { return cmp.Compare(a.Rake.ID, b.Rake.ID) })
+	return dst
 }
 
 // Rake returns a snapshot of one rake.
@@ -240,23 +298,44 @@ func (e *Environment) Rake(id int32) (RakeSnapshot, bool) {
 	if !ok {
 		return RakeSnapshot{}, false
 	}
-	return RakeSnapshot{Rake: *rs.rake, Holder: rs.holder, Grab: rs.grab}, true
+	return RakeSnapshot{Rake: *rs.rake, Holder: rs.holder, Grab: rs.grab, Version: rs.version}, true
 }
 
-// SetUserPose records a user's tracked head and hand.
+// SetUserPose records a user's tracked head and hand. Re-recording an
+// identical pose is not a state change (the environment version holds,
+// so the server can keep serving the memoized frame).
 func (e *Environment) SetUserPose(user int64, pose UserPose) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if old, ok := e.users[user]; !ok || old != pose {
+		e.version++
+	}
 	e.users[user] = pose
 }
 
-// Users returns the poses of all users keyed by session id.
-func (e *Environment) Users() map[int64]UserPose {
+// UserSnapshot is one user's pose paired with their session id.
+type UserSnapshot struct {
+	ID   int64
+	Pose UserPose
+}
+
+// Users returns the poses of all users, ordered by session id —
+// sorted, like Rakes, so that two snapshots of the same state are
+// identical and frames built from them encode byte-identically.
+func (e *Environment) Users() []UserSnapshot {
+	return e.AppendUsers(nil)
+}
+
+// AppendUsers appends a snapshot of every user to dst, ordered by
+// session id, and returns the extended slice.
+func (e *Environment) AppendUsers(dst []UserSnapshot) []UserSnapshot {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	out := make(map[int64]UserPose, len(e.users))
+	base := len(dst)
 	for id, p := range e.users {
-		out[id] = p
+		dst = append(dst, UserSnapshot{ID: id, Pose: p})
 	}
-	return out
+	out := dst[base:]
+	slices.SortFunc(out, func(a, b UserSnapshot) int { return cmp.Compare(a.ID, b.ID) })
+	return dst
 }

@@ -153,8 +153,10 @@ func TestReleaseAllOnDisconnect(t *testing.T) {
 	if err := e.GrabRake(2, r2, integrate.GrabCenter); err != nil {
 		t.Errorf("rake still locked after ReleaseAll: %v", err)
 	}
-	if _, ok := e.Users()[1]; ok {
-		t.Error("pose survives ReleaseAll")
+	for _, u := range e.Users() {
+		if u.ID == 1 {
+			t.Error("pose survives ReleaseAll")
+		}
 	}
 }
 
@@ -187,8 +189,11 @@ func TestUserPoses(t *testing.T) {
 	if len(users) != 2 {
 		t.Fatalf("users = %d", len(users))
 	}
-	if users[2].Hand.X != 2 {
-		t.Errorf("user 2 hand = %v", users[2].Hand)
+	if users[0].ID != 1 || users[1].ID != 2 {
+		t.Errorf("users not sorted by id: %+v", users)
+	}
+	if users[1].Pose.Hand.X != 2 {
+		t.Errorf("user 2 hand = %v", users[1].Pose.Hand)
 	}
 }
 

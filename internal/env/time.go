@@ -43,21 +43,30 @@ func (e *Environment) Time() TimeState {
 func (e *Environment) SetSpeed(speed float32) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.time.Speed = speed
+	if e.time.Speed != speed {
+		e.time.Speed = speed
+		e.version++
+	}
 }
 
 // SetPlaying starts or stops playback.
 func (e *Environment) SetPlaying(playing bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.time.Playing = playing
+	if e.time.Playing != playing {
+		e.time.Playing = playing
+		e.version++
+	}
 }
 
 // SetLoop selects wrapping vs clamping at dataset ends.
 func (e *Environment) SetLoop(loop bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.time.Loop = loop
+	if e.time.Loop != loop {
+		e.time.Loop = loop
+		e.version++
+	}
 }
 
 // SeekTime jumps to a specific time index, clamped into range.
@@ -74,7 +83,10 @@ func (e *Environment) SeekTime(t float32) error {
 	if t > last {
 		t = last
 	}
-	e.time.Current = t
+	if e.time.Current != t {
+		e.time.Current = t
+		e.version++
+	}
 	return nil
 }
 
@@ -87,6 +99,12 @@ func (e *Environment) AdvanceTime() TimeState {
 	if !t.Playing || t.NumSteps < 2 {
 		return *t
 	}
+	before := *t
+	defer func() {
+		if *t != before {
+			e.version++
+		}
+	}()
 	last := float32(t.NumSteps - 1)
 	t.Current += t.Speed
 	if t.Loop {

@@ -203,9 +203,20 @@ func ParticlePath(s Sampler, seed vmath.Vec3, t0 float32, maxTime float32, o Opt
 // using direct trilinear lookup — the cheap reverse conversion the
 // paper relies on.
 func ToPhysical(g *grid.Grid, path []vmath.Vec3) []vmath.Vec3 {
-	out := make([]vmath.Vec3, len(path))
-	for i, gc := range path {
-		out[i] = g.PhysAt(gc)
+	return ToPhysicalInto(g, nil, path)
+}
+
+// ToPhysicalInto is ToPhysical appending into dst's capacity, so
+// per-frame callers can recycle the previous frame's path buffers
+// instead of reallocating TotalPoints vectors every round.
+func ToPhysicalInto(g *grid.Grid, dst []vmath.Vec3, path []vmath.Vec3) []vmath.Vec3 {
+	if cap(dst) >= len(path) {
+		dst = dst[:len(path)]
+	} else {
+		dst = make([]vmath.Vec3, len(path))
 	}
-	return out
+	for i, gc := range path {
+		dst[i] = g.PhysAt(gc)
+	}
+	return dst
 }

@@ -1,0 +1,163 @@
+// Package obs instruments the frame pipeline. The paper's whole
+// premise is a ~1/8 s command-to-display loop (§1.2); Bethel et al.'s
+// remote-visualization experience (PAPERS.md) is that such pipelines
+// only get fast once every stage is measured separately. obs gives the
+// windtunnel that: per-stage frame timings (load / integrate / encode)
+// with memoization counters, a process-wide expvar export, and an
+// opt-in debug HTTP endpoint carrying expvar and pprof.
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// FrameSample is one frame round's measurement, recorded by the server
+// after the round is encoded.
+type FrameSample struct {
+	// Load is time spent waiting for the timestep (disk regime).
+	Load time.Duration
+	// Integrate is the visualization computation across all rakes.
+	Integrate time.Duration
+	// Encode is the wire-encoding of the reply.
+	Encode time.Duration
+	// RakesComputed counts rakes whose geometry was recomputed this
+	// round; RakesReused counts rakes served from the dirty-rake memo.
+	RakesComputed int
+	RakesReused   int
+	// FrameReused marks a round served whole from the previous encode
+	// (environment version unchanged).
+	FrameReused bool
+	// Points is the geometry point count shipped in the reply;
+	// Bytes is the encoded reply size.
+	Points int64
+	Bytes  int64
+}
+
+// Snapshot is the cumulative view of a Recorder. Durations are sums;
+// divide by Frames for per-frame means.
+type Snapshot struct {
+	Frames        int64
+	FramesReused  int64
+	LoadTime      time.Duration
+	IntegrateTime time.Duration
+	EncodeTime    time.Duration
+	RakesComputed int64
+	RakesReused   int64
+	Points        int64
+	Bytes         int64
+}
+
+// per returns d averaged over the snapshot's frames.
+func (s Snapshot) per(d time.Duration) time.Duration {
+	if s.Frames == 0 {
+		return 0
+	}
+	return d / time.Duration(s.Frames)
+}
+
+// AvgLoad returns mean load wait per frame.
+func (s Snapshot) AvgLoad() time.Duration { return s.per(s.LoadTime) }
+
+// AvgIntegrate returns mean integration time per frame.
+func (s Snapshot) AvgIntegrate() time.Duration { return s.per(s.IntegrateTime) }
+
+// AvgEncode returns mean encode time per frame.
+func (s Snapshot) AvgEncode() time.Duration { return s.per(s.EncodeTime) }
+
+// ReuseRatio returns the fraction of rake geometries served from the
+// memo rather than recomputed.
+func (s Snapshot) ReuseRatio() float64 {
+	total := s.RakesComputed + s.RakesReused
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RakesReused) / float64(total)
+}
+
+// String summarizes the snapshot for logs and benchmark tables.
+func (s Snapshot) String() string {
+	return fmt.Sprintf(
+		"frames=%d (reused %d) load=%v integrate=%v encode=%v rakes computed=%d reused=%d (%.0f%%) points=%d bytes=%d",
+		s.Frames, s.FramesReused,
+		s.AvgLoad().Round(time.Microsecond),
+		s.AvgIntegrate().Round(time.Microsecond),
+		s.AvgEncode().Round(time.Microsecond),
+		s.RakesComputed, s.RakesReused, 100*s.ReuseRatio(),
+		s.Points, s.Bytes)
+}
+
+// Recorder accumulates FrameSamples. The zero value is ready to use;
+// all methods are safe for concurrent callers.
+type Recorder struct {
+	mu sync.Mutex
+	s  Snapshot
+}
+
+// Observe folds one frame's sample into the cumulative counters.
+func (r *Recorder) Observe(f FrameSample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.s.Frames++
+	if f.FrameReused {
+		r.s.FramesReused++
+	}
+	r.s.LoadTime += f.Load
+	r.s.IntegrateTime += f.Integrate
+	r.s.EncodeTime += f.Encode
+	r.s.RakesComputed += int64(f.RakesComputed)
+	r.s.RakesReused += int64(f.RakesReused)
+	r.s.Points += f.Points
+	r.s.Bytes += f.Bytes
+}
+
+// Snapshot returns the cumulative counters.
+func (r *Recorder) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.s
+}
+
+// Publish exports the recorder's snapshot as an expvar under name.
+// Like expvar.Publish, it must be called at most once per name per
+// process (typically from the server main).
+func Publish(name string, r *Recorder) {
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// DebugServer is an opt-in HTTP endpoint exposing expvar (/debug/vars)
+// and pprof (/debug/pprof/) on its own mux, so enabling observability
+// never exposes the windtunnel's dlib port to HTTP.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeDebug starts a DebugServer on addr (e.g. "localhost:6060").
+func ServeDebug(addr string) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	d := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go d.srv.Serve(ln)
+	return d, nil
+}
+
+// Addr returns the endpoint's bound address.
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (d *DebugServer) Close() error { return d.srv.Close() }

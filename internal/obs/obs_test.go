@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecorderAccumulates(t *testing.T) {
+	var r Recorder
+	r.Observe(FrameSample{
+		Load: 2 * time.Millisecond, Integrate: 6 * time.Millisecond,
+		Encode: 1 * time.Millisecond, RakesComputed: 2, RakesReused: 6,
+		Points: 100, Bytes: 1200,
+	})
+	r.Observe(FrameSample{FrameReused: true, RakesReused: 8, Points: 100, Bytes: 1200})
+	s := r.Snapshot()
+	if s.Frames != 2 || s.FramesReused != 1 {
+		t.Errorf("frames = %d reused = %d", s.Frames, s.FramesReused)
+	}
+	if s.AvgLoad() != time.Millisecond || s.AvgIntegrate() != 3*time.Millisecond {
+		t.Errorf("averages: load=%v integrate=%v", s.AvgLoad(), s.AvgIntegrate())
+	}
+	if got, want := s.ReuseRatio(), 14.0/16.0; got != want {
+		t.Errorf("reuse ratio = %v, want %v", got, want)
+	}
+	if s.Points != 200 || s.Bytes != 2400 {
+		t.Errorf("points=%d bytes=%d", s.Points, s.Bytes)
+	}
+	if !strings.Contains(s.String(), "frames=2") {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestZeroSnapshotAverages(t *testing.T) {
+	var s Snapshot
+	if s.AvgLoad() != 0 || s.AvgEncode() != 0 || s.ReuseRatio() != 0 {
+		t.Error("zero snapshot divides by zero frames")
+	}
+}
+
+func TestDebugServerServesVars(t *testing.T) {
+	d, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	resp, err := http.Get("http://" + d.Addr() + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("status %d err %v", resp.StatusCode, err)
+	}
+	if !strings.Contains(string(body), "memstats") {
+		t.Error("expvar payload missing memstats")
+	}
+	resp, err = http.Get("http://" + d.Addr() + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("pprof status %d", resp.StatusCode)
+	}
+}

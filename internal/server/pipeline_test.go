@@ -1,0 +1,387 @@
+package server
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/compute"
+	"repro/internal/dlib"
+	"repro/internal/integrate"
+	"repro/internal/vmath"
+	"repro/internal/wire"
+)
+
+// countingEngine counts geometry computations per tool, to observe the
+// dirty-rake memoization from outside.
+type countingEngine struct {
+	inner       compute.Engine
+	streamlines atomic.Int64
+	paths       atomic.Int64
+}
+
+func (e *countingEngine) Name() string { return "counting" }
+func (e *countingEngine) Workers() int { return e.inner.Workers() }
+
+func (e *countingEngine) Streamlines(s integrate.Sampler, seeds []vmath.Vec3, t float32, o integrate.Options) ([][]vmath.Vec3, compute.Stats) {
+	e.streamlines.Add(1)
+	return e.inner.Streamlines(s, seeds, t, o)
+}
+
+func (e *countingEngine) ParticlePaths(s integrate.Sampler, seeds []vmath.Vec3, t0, maxTime float32, o integrate.Options) ([][]vmath.Vec3, compute.Stats) {
+	e.paths.Add(1)
+	return e.inner.ParticlePaths(s, seeds, t0, maxTime, o)
+}
+
+func addRakeCmd(p0, p1 vmath.Vec3, seeds uint32, tool integrate.ToolKind) wire.Command {
+	return wire.Command{Kind: wire.CmdAddRake, P0: p0, P1: p1, NumSeeds: seeds, Tool: uint8(tool)}
+}
+
+// TestMemoizationSkipsCleanRakes pins the tentpole invariant: a
+// steady-state frame with N unchanged streamline rakes recomputes no
+// rake at all, and moving one rake recomputes exactly that rake.
+func TestMemoizationSkipsCleanRakes(t *testing.T) {
+	eng := &countingEngine{inner: compute.Scalar{}}
+	s, c, _ := startTestServer(t, Config{Store: testDataset(t, 4), Engine: eng})
+	r := frame(t, c, wire.ClientUpdate{Commands: []wire.Command{
+		addRakeCmd(vmath.V3(1, 4, 4), vmath.V3(1, 6, 4), 3, integrate.ToolStreamline),
+		addRakeCmd(vmath.V3(1, 8, 4), vmath.V3(1, 10, 4), 3, integrate.ToolStreamline),
+		addRakeCmd(vmath.V3(1, 11, 4), vmath.V3(1, 13, 4), 3, integrate.ToolStreamline),
+	}})
+	if len(r.Rakes) != 3 {
+		t.Fatalf("rakes = %d", len(r.Rakes))
+	}
+	if got := eng.streamlines.Load(); got != 3 {
+		t.Fatalf("first frame computed %d rakes, want 3", got)
+	}
+
+	// Steady frames (paused playback, no commands, same pose): every
+	// rake input is unchanged, so the engine must not be called.
+	for i := 0; i < 5; i++ {
+		frame(t, c, wire.ClientUpdate{})
+	}
+	if got := eng.streamlines.Load(); got != 3 {
+		t.Errorf("steady frames recomputed: %d engine calls, want 3", got)
+	}
+	st := s.Stats()
+	if st.FramesReused == 0 {
+		t.Errorf("no whole-frame reuse recorded: %+v", st)
+	}
+
+	// Moving one rake dirties only that rake.
+	id := r.Rakes[1].ID
+	frame(t, c, wire.ClientUpdate{Commands: []wire.Command{
+		{Kind: wire.CmdGrab, Rake: id, Grab: uint8(integrate.GrabCenter)},
+	}})
+	grabCalls := eng.streamlines.Load() // grab changes holder, not geometry inputs
+	frame(t, c, wire.ClientUpdate{Commands: []wire.Command{
+		{Kind: wire.CmdMove, Rake: id, Pos: vmath.V3(2, 9, 4)},
+	}})
+	if got := eng.streamlines.Load(); got != grabCalls+1 {
+		t.Errorf("move-one recomputed %d rakes, want 1", got-grabCalls)
+	}
+	st = s.Stats()
+	if st.RakesReused == 0 {
+		t.Errorf("no per-rake reuse recorded: %+v", st)
+	}
+}
+
+// rawFrame runs ProcFrame and returns the encoded reply bytes.
+func rawFrame(t *testing.T, c *dlib.Client, u wire.ClientUpdate) []byte {
+	t.Helper()
+	out, err := c.Call(wire.ProcFrame, wire.EncodeClientUpdate(u))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// stripNanos zeroes the ComputeNanos/LoadNanos span (bytes [14,30) of
+// the reply: after the 14-byte time status) — the only wall-clock
+// content in a FrameReply.
+func stripNanos(t *testing.T, b []byte) []byte {
+	t.Helper()
+	if len(b) < 30 {
+		t.Fatalf("reply too short: %d bytes", len(b))
+	}
+	out := bytes.Clone(b)
+	for i := 14; i < 30; i++ {
+		out[i] = 0
+	}
+	return out
+}
+
+// TestFrameBytesDeterministic pins byte-level determinism: identical
+// frames encode byte-identically, both on the whole-frame memo path
+// (exact equality) and across full recomputes with identical inputs
+// (equality outside the wall-clock nanos span). This depends on
+// reply.Users being sorted — map-ordered users made encodes flap.
+func TestFrameBytesDeterministic(t *testing.T) {
+	_, c, addr := startTestServer(t, Config{Store: testDataset(t, 4)})
+	c2, err := dlib.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	pose := wire.ClientUpdate{Hand: vmath.V3(1, 2, 3)}
+	rawFrame(t, c, wire.ClientUpdate{Commands: []wire.Command{
+		addRakeCmd(vmath.V3(1, 4, 4), vmath.V3(1, 12, 4), 4, integrate.ToolStreamline),
+	}})
+	// Second user joins so the Users list has two entries to order.
+	rawFrame(t, c2, wire.ClientUpdate{})
+
+	// Steady frames: served from the whole-frame memo, byte-identical
+	// including the nanos.
+	a := rawFrame(t, c, pose)
+	b := rawFrame(t, c, pose)
+	if !bytes.Equal(a, b) {
+		t.Error("steady frames differ")
+	}
+
+	// Alternating poses force full recomputes; the two frames with
+	// pose P have identical inputs and must encode identically outside
+	// the nanos span.
+	other := wire.ClientUpdate{Hand: vmath.V3(9, 9, 9)}
+	p1 := rawFrame(t, c, pose)
+	rawFrame(t, c, other)
+	p2 := rawFrame(t, c, pose)
+	if bytes.Equal(p1, p2) {
+		// Same bytes means the recompute was skipped; the point is to
+		// compare recomputed encodes, so flag a broken premise.
+		t.Log("note: recomputed frames were identical including nanos")
+	}
+	if !bytes.Equal(stripNanos(t, p1), stripNanos(t, p2)) {
+		t.Error("recomputed frames with identical inputs differ beyond nanos")
+	}
+}
+
+// TestSeedCountClamped pins the server-side clamp: a hostile seed
+// count cannot make the server integrate an unbounded workload.
+func TestSeedCountClamped(t *testing.T) {
+	_, c, _ := startTestServer(t, Config{Store: testDataset(t, 2), MaxSeedsPerRake: 8})
+	r := frame(t, c, wire.ClientUpdate{Commands: []wire.Command{
+		addRakeCmd(vmath.V3(1, 4, 4), vmath.V3(1, 12, 4), 4_000_000_000, integrate.ToolStreamline),
+	}})
+	if len(r.Rakes) != 1 || r.Rakes[0].NumSeeds != 8 {
+		t.Fatalf("rake seeds = %+v, want clamp to 8", r.Rakes)
+	}
+	if got := len(r.Geometry[0].Lines); got != 8 {
+		t.Errorf("geometry lines = %d, want 8", got)
+	}
+	// CmdSetSeeds goes through the same clamp.
+	r = frame(t, c, wire.ClientUpdate{Commands: []wire.Command{
+		{Kind: wire.CmdSetSeeds, Rake: r.Rakes[0].ID, NumSeeds: 100},
+	}})
+	if r.Rakes[0].NumSeeds != 8 {
+		t.Errorf("SetSeeds escaped the clamp: %d", r.Rakes[0].NumSeeds)
+	}
+}
+
+// TestPrefetchSkipsAtBoundary pins the boundary fix: non-loop playback
+// sitting at the last timestep must not issue out-of-range prefetches.
+func TestPrefetchSkipsAtBoundary(t *testing.T) {
+	s, c, _ := startTestServer(t, Config{Store: testDataset(t, 3), Prefetch: true})
+	frame(t, c, wire.ClientUpdate{Commands: []wire.Command{
+		addRakeCmd(vmath.V3(1, 8, 4), vmath.V3(1, 10, 4), 2, integrate.ToolStreamline),
+		{Kind: wire.CmdSetPlaying, Flag: 1},
+		{Kind: wire.CmdSetSpeed, Value: 1},
+		{Kind: wire.CmdSetLoop, Flag: 0},
+	}})
+	// Play past the end: time clamps at the last step.
+	for i := 0; i < 6; i++ {
+		frame(t, c, wire.ClientUpdate{})
+	}
+	r := frame(t, c, wire.ClientUpdate{})
+	if want := float32(2); r.Time.Current != want {
+		t.Fatalf("time = %v, want clamped at %v", r.Time.Current, want)
+	}
+	issued := s.prefetcher.Stats().Issued
+	// More boundary frames, forced to recompute (pose changes) so the
+	// prefetch branch actually runs with next == NumSteps.
+	for i := 0; i < 4; i++ {
+		frame(t, c, wire.ClientUpdate{Hand: vmath.V3(float32(i), 0, 0)})
+	}
+	if got := s.prefetcher.Stats().Issued; got != issued {
+		t.Errorf("boundary frames issued %d prefetches", got-issued)
+	}
+	// All issued prefetches were in range.
+	if issued > 3 {
+		t.Errorf("issued %d prefetches for a 3-step dataset", issued)
+	}
+}
+
+// TestPointsShippedDefinition pins Stats.Points to the §5.3 quantity:
+// exactly the points that go on the wire, for every tool identically.
+func TestPointsShippedDefinition(t *testing.T) {
+	for _, tool := range []integrate.ToolKind{
+		integrate.ToolStreamline, integrate.ToolParticlePath, integrate.ToolStreakline,
+	} {
+		t.Run(tool.String(), func(t *testing.T) {
+			s, c, _ := startTestServer(t, Config{Store: testDataset(t, 8)})
+			r := frame(t, c, wire.ClientUpdate{Commands: []wire.Command{
+				addRakeCmd(vmath.V3(1, 6, 4), vmath.V3(1, 10, 4), 3, tool),
+			}})
+			if got, want := s.Stats().Points, int64(r.TotalPoints()); got != want {
+				t.Errorf("Stats.Points = %d, reply ships %d", got, want)
+			}
+			before := s.Stats().Points
+			r = frame(t, c, wire.ClientUpdate{})
+			if got, want := s.Stats().Points-before, int64(r.TotalPoints()); got != want {
+				t.Errorf("second round Points delta = %d, reply ships %d", got, want)
+			}
+		})
+	}
+}
+
+// TestSteadyFrameAllocs pins the allocation budget: once rakes exist
+// and playback is paused, a frame must run in near-zero steady-state
+// allocation (the whole-frame memo path), and the head-tracked regime
+// (pose changes every frame, rakes clean) must stay within a small
+// fixed budget.
+func TestSteadyFrameAllocs(t *testing.T) {
+	s, err := New(Config{Store: testDataset(t, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &dlib.Ctx{Session: &dlib.Session{ID: 1}}
+	add := wire.EncodeClientUpdate(wire.ClientUpdate{Commands: []wire.Command{
+		addRakeCmd(vmath.V3(1, 4, 4), vmath.V3(1, 12, 4), 8, integrate.ToolStreamline),
+		addRakeCmd(vmath.V3(2, 4, 4), vmath.V3(2, 12, 4), 8, integrate.ToolStreamline),
+	}})
+	if _, err := s.handleFrame(ctx, add); err != nil {
+		t.Fatal(err)
+	}
+	steady := wire.EncodeClientUpdate(wire.ClientUpdate{})
+	// Warm the scratch buffers.
+	for i := 0; i < 3; i++ {
+		if _, err := s.handleFrame(ctx, steady); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		if _, err := s.handleFrame(ctx, steady); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 4 {
+		t.Errorf("steady frame allocates %.0f times, budget 4", got)
+	}
+
+	// Head-tracked: pose differs every frame, forcing re-encode but no
+	// rake recompute. Alternate two poses so every run recomputes.
+	poseA := wire.EncodeClientUpdate(wire.ClientUpdate{Hand: vmath.V3(1, 0, 0)})
+	poseB := wire.EncodeClientUpdate(wire.ClientUpdate{Hand: vmath.V3(2, 0, 0)})
+	flip := false
+	for i := 0; i < 4; i++ {
+		p := poseA
+		if flip {
+			p = poseB
+		}
+		flip = !flip
+		if _, err := s.handleFrame(ctx, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		p := poseA
+		if flip {
+			p = poseB
+		}
+		flip = !flip
+		if _, err := s.handleFrame(ctx, p); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 16 {
+		t.Errorf("head-tracked frame allocates %.0f times, budget 16", got)
+	}
+}
+
+// TestConcurrentFramesAndStats is the -race regression for the
+// parallel rake pipeline: several clients hammer multi-rake frames
+// (forcing concurrent recomputes) while other goroutines read Stats
+// and the recorder.
+func TestConcurrentFramesAndStats(t *testing.T) {
+	s, c0, addr := startTestServer(t, Config{Store: testDataset(t, 6), RakeWorkers: 4})
+	frame(t, c0, wire.ClientUpdate{Commands: []wire.Command{
+		addRakeCmd(vmath.V3(1, 4, 4), vmath.V3(1, 6, 4), 4, integrate.ToolStreamline),
+		addRakeCmd(vmath.V3(1, 7, 4), vmath.V3(1, 9, 4), 4, integrate.ToolStreamline),
+		addRakeCmd(vmath.V3(1, 10, 4), vmath.V3(1, 12, 4), 4, integrate.ToolParticlePath),
+		addRakeCmd(vmath.V3(1, 12, 4), vmath.V3(1, 14, 4), 4, integrate.ToolStreakline),
+		{Kind: wire.CmdSetPlaying, Flag: 1},
+		{Kind: wire.CmdSetLoop, Flag: 1},
+	}})
+
+	var readers sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 2; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = s.Stats()
+					_ = s.Recorder().Snapshot()
+				}
+			}
+		}()
+	}
+	const clients, frames = 3, 15
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := dlib.Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < frames; i++ {
+				u := wire.ClientUpdate{Hand: vmath.V3(float32(g), float32(i), 0)}
+				out, err := c.Call(wire.ProcFrame, wire.EncodeClientUpdate(u))
+				if err != nil {
+					t.Errorf("client %d frame %d: %v", g, i, err)
+					return
+				}
+				if _, err := wire.DecodeFrameReply(out); err != nil {
+					t.Errorf("client %d frame %d decode: %v", g, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if st := s.Stats(); st.Frames == 0 || st.RakesComputed == 0 {
+		t.Errorf("stats did not accumulate: %+v", st)
+	}
+}
+
+// TestRemoveRakeDropsCaches pins cache hygiene: removing a rake drops
+// its geometry from subsequent frames and its memo entry.
+func TestRemoveRakeDropsCaches(t *testing.T) {
+	s, c, _ := startTestServer(t, Config{Store: testDataset(t, 4)})
+	r := frame(t, c, wire.ClientUpdate{Commands: []wire.Command{
+		addRakeCmd(vmath.V3(1, 4, 4), vmath.V3(1, 6, 4), 2, integrate.ToolStreakline),
+	}})
+	id := r.Rakes[0].ID
+	r = frame(t, c, wire.ClientUpdate{Commands: []wire.Command{
+		{Kind: wire.CmdRemoveRake, Rake: id},
+	}})
+	if len(r.Rakes) != 0 || len(r.Geometry) != 0 {
+		t.Fatalf("rake survived removal: %d rakes, %d geometry", len(r.Rakes), len(r.Geometry))
+	}
+	s.mu.Lock()
+	_, haveGeo := s.geoCache[id]
+	_, haveStreak := s.streaks[id]
+	s.mu.Unlock()
+	if haveGeo || haveStreak {
+		t.Errorf("stale caches after removal: geo=%v streak=%v", haveGeo, haveStreak)
+	}
+}

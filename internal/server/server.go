@@ -4,11 +4,25 @@
 // shared virtual environment, and the visualization computation; it
 // accepts user commands over dlib and returns environment state plus
 // computed geometry (figure 8).
+//
+// The frame hot path is memoized at two levels. Whole-frame: when the
+// environment version is unchanged since the last round (paused
+// playback, idle users) the previous encoded reply is served verbatim,
+// so identical frames are byte-identical by construction. Per-rake:
+// streamlines and particle paths are pure functions of the rake's
+// geometry inputs (endpoints, seed count, tool — tracked by a version
+// counter in env) and the timestep, so only rakes whose inputs changed
+// are recomputed; independent dirty rakes recompute concurrently on a
+// bounded worker pool. Encode and conversion buffers are recycled
+// across rounds (safe because the dlib server copies replies under its
+// serial dispatch lock — see dlib.Server.CopyReplies), so a
+// steady-state frame does near-zero allocation.
 package server
 
 import (
 	"encoding/binary"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -18,6 +32,7 @@ import (
 	"repro/internal/field"
 	"repro/internal/grid"
 	"repro/internal/integrate"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/vmath"
 	"repro/internal/wire"
@@ -37,6 +52,13 @@ type Config struct {
 	// MaxStreakParticles bounds each streakline rake's particle count;
 	// 0 means 20,000.
 	MaxStreakParticles int
+	// MaxSeedsPerRake clamps client-requested seed counts: one hostile
+	// ClientUpdate must not be able to request an unbounded integration
+	// workload. 0 means 4096.
+	MaxSeedsPerRake int
+	// RakeWorkers bounds how many dirty rakes recompute concurrently;
+	// 0 means GOMAXPROCS.
+	RakeWorkers int
 	// Prefetch enables next-timestep prefetching when Store is (or
 	// wraps) I/O-bound storage.
 	Prefetch bool
@@ -44,11 +66,29 @@ type Config struct {
 
 // Stats is a snapshot of server-side performance counters.
 type Stats struct {
-	Frames       int64         // geometry recomputation rounds
-	Points       int64         // total path points produced
-	ComputeTime  time.Duration // cumulative visualization compute time
-	LoadTime     time.Duration // cumulative timestep load wait
-	BytesShipped int64         // encoded FrameReply bytes
+	// Frames counts geometry rounds, including rounds served whole
+	// from the frame memo.
+	Frames int64
+	// Points counts path points shipped in FrameReply geometry,
+	// summed per round — the §5.3 quantity Table 1 prices. Every tool
+	// counts identically: exactly the points that go on the wire.
+	Points int64
+	// ComputeTime is cumulative visualization compute (integrate
+	// stage, all rakes); LoadTime is cumulative timestep load wait;
+	// EncodeTime is cumulative wire-encoding time.
+	ComputeTime time.Duration
+	LoadTime    time.Duration
+	EncodeTime  time.Duration
+	// BytesShipped counts encoded FrameReply bytes summed over every
+	// per-session send (a round consumed by three workstations counts
+	// three times).
+	BytesShipped int64
+	// RakesComputed / RakesReused count per-rake geometry
+	// recomputations vs dirty-rake memo hits; FramesReused counts
+	// rounds served whole from the previous encode.
+	RakesComputed int64
+	RakesReused   int64
+	FramesReused  int64
 }
 
 // Server is the remote-host application layered on a dlib server.
@@ -56,6 +96,7 @@ type Server struct {
 	d   *dlib.Server
 	cfg Config
 	env *env.Environment
+	rec obs.Recorder
 
 	prefetcher *store.Prefetcher
 	// window keeps the particle-path timestep range resident for
@@ -69,17 +110,55 @@ type Server struct {
 	cur      *field.Field
 	curStep  int
 	streaks  map[int32]*integrate.Streak
-	cache    *frameCache
+	geoCache map[int32]*rakeGeom
+	round    uint64 // recompute round counter, for cache sweeping
+
+	// Current round: encoded reply (empty = no round yet), the env
+	// version and point count it was computed at, and which sessions
+	// have consumed it. All buffers below recycle across rounds.
+	encoded     []byte
+	consumedBy  map[int64]bool
+	lastVersion uint64
+	lastPoints  int64
+
+	userScratch []env.UserSnapshot
+	rakeScratch []env.RakeSnapshot
+	usersWire   []wire.UserState
+	rakesWire   []wire.RakeState
+	geomWire    []wire.Geometry
+	geomGC      []*rakeGeom // aligned with geomWire, for point totals
+	jobs        []rakeJob
+
 	stats    Stats
 	unsteady *field.Unsteady // non-nil when the store is fully resident
 }
 
-// frameCache holds one computed round of shared state: every session
-// fetches the same reply until someone needs a fresh round.
-type frameCache struct {
-	reply      wire.FrameReply
-	encoded    []byte
-	consumedBy map[int64]bool
+// rakeGeom memoizes one rake's geometry and the inputs it was computed
+// from. Streamlines and particle paths are pure functions of (rake
+// version, timestep, time), so matching inputs mean the cached
+// wire.Geometry is the answer; streaklines always advance and are
+// never memoized. The line buffers are recycled on recompute.
+type rakeGeom struct {
+	haveGeo bool
+	version uint64  // rake mutation counter at compute time
+	step    int     // timestep the field came from
+	timeKey float32 // continuous time the integrators saw
+
+	seeds        []vmath.Vec3 // cached SeedsGrid, keyed by seedsVersion
+	seedsVersion uint64
+	haveSeeds    bool
+
+	geo    wire.Geometry
+	points int64  // cached geo.NumPoints()
+	touch  uint64 // last round this rake was seen, for sweeping
+}
+
+// rakeJob is one dirty rake queued for recomputation.
+type rakeJob struct {
+	idx    int // index into geomWire
+	snap   env.RakeSnapshot
+	gc     *rakeGeom
+	streak *integrate.Streak // non-nil for streakline rakes
 }
 
 // New builds the application and registers its procedures on a fresh
@@ -100,12 +179,21 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxStreakParticles == 0 {
 		cfg.MaxStreakParticles = 20000
 	}
-	s := &Server{
-		d:       dlib.NewServer(),
-		cfg:     cfg,
-		env:     env.New(cfg.Store.NumSteps()),
-		streaks: make(map[int32]*integrate.Streak),
+	if cfg.MaxSeedsPerRake == 0 {
+		cfg.MaxSeedsPerRake = 4096
 	}
+	s := &Server{
+		d:          dlib.NewServer(),
+		cfg:        cfg,
+		env:        env.New(cfg.Store.NumSteps()),
+		streaks:    make(map[int32]*integrate.Streak),
+		geoCache:   make(map[int32]*rakeGeom),
+		consumedBy: make(map[int64]bool),
+	}
+	// Reply buffers are recycled every round; the copy-under-dispatch
+	// mode is what makes that safe while writes to slow clients are
+	// still in flight.
+	s.d.CopyReplies = true
 	if mem, ok := cfg.Store.(*store.Memory); ok {
 		s.unsteady = mem.Unsteady()
 	}
@@ -145,6 +233,10 @@ func (s *Server) Stats() Stats {
 	return s.stats
 }
 
+// Recorder returns the per-stage frame recorder, for expvar export and
+// benchmark reporting.
+func (s *Server) Recorder() *obs.Recorder { return &s.rec }
+
 func (s *Server) handleHello(_ *dlib.Ctx, _ []byte) ([]byte, error) {
 	g := s.cfg.Store.Grid()
 	b := g.Bounds()
@@ -179,14 +271,25 @@ func (s *Server) handleFrame(ctx *dlib.Ctx, payload []byte) ([]byte, error) {
 	// current one, or when it just issued commands — the user must see
 	// the effect of their own interaction within this frame (§1.2's
 	// 1/8-second command-to-display loop).
-	if s.cache == nil || s.cache.consumedBy[user] || len(u.Commands) > 0 {
+	if len(s.encoded) == 0 || s.consumedBy[user] || len(u.Commands) > 0 {
 		if err := s.recomputeLocked(); err != nil {
 			return nil, err
 		}
 	}
-	s.cache.consumedBy[user] = true
-	s.stats.BytesShipped += int64(len(s.cache.encoded))
-	return s.cache.encoded, nil
+	s.consumedBy[user] = true
+	s.stats.BytesShipped += int64(len(s.encoded))
+	return s.encoded, nil
+}
+
+// clampSeeds bounds a client-requested seed count. Values above the
+// cap are clamped rather than rejected, matching the command model's
+// swallow-and-show-state philosophy; non-positive values pass through
+// to the environment's own validation.
+func (s *Server) clampSeeds(n int) int {
+	if n > s.cfg.MaxSeedsPerRake {
+		return s.cfg.MaxSeedsPerRake
+	}
+	return n
 }
 
 // applyCommand executes one user command against the environment.
@@ -196,11 +299,12 @@ func (s *Server) handleFrame(ctx *dlib.Ctx, payload []byte) ([]byte, error) {
 func (s *Server) applyCommand(user int64, c wire.Command) {
 	switch c.Kind {
 	case wire.CmdAddRake:
-		s.env.AddRake(c.P0, c.P1, int(c.NumSeeds), integrate.ToolKind(c.Tool))
+		s.env.AddRake(c.P0, c.P1, s.clampSeeds(int(c.NumSeeds)), integrate.ToolKind(c.Tool))
 	case wire.CmdRemoveRake:
 		if s.env.RemoveRake(user, c.Rake) == nil {
 			s.mu.Lock()
 			delete(s.streaks, c.Rake)
+			delete(s.geoCache, c.Rake)
 			s.mu.Unlock()
 		}
 	case wire.CmdGrab:
@@ -210,7 +314,7 @@ func (s *Server) applyCommand(user int64, c wire.Command) {
 	case wire.CmdMove:
 		s.env.MoveRake(user, c.Rake, c.Pos)
 	case wire.CmdSetSeeds:
-		s.env.SetRakeSeeds(user, c.Rake, int(c.NumSeeds))
+		s.env.SetRakeSeeds(user, c.Rake, s.clampSeeds(int(c.NumSeeds)))
 	case wire.CmdSetPlaying:
 		s.env.SetPlaying(c.Flag != 0)
 	case wire.CmdSetSpeed:
@@ -230,11 +334,32 @@ func (s *Server) applyCommand(user int64, c wire.Command) {
 }
 
 // recomputeLocked advances time, loads the needed timestep, computes
-// all visualization geometry, and encodes the shared reply. Caller
-// holds s.mu.
+// geometry for every rake whose inputs changed (reusing memoized
+// geometry for the rest), and encodes the shared reply into the
+// recycled round buffer. Caller holds s.mu.
 func (s *Server) recomputeLocked() error {
 	ts := s.env.AdvanceTime()
+	version := s.env.Version()
 	step := ts.Step()
+
+	// Whole-frame memo: if nothing observable changed and no
+	// streakline needs advancing, the previous round's bytes are this
+	// round's bytes. This is also what makes identical frames encode
+	// byte-identically.
+	if len(s.encoded) > 0 && version == s.lastVersion &&
+		step == s.curStep && len(s.streaks) == 0 {
+		clear(s.consumedBy)
+		s.stats.Frames++
+		s.stats.FramesReused++
+		s.stats.Points += s.lastPoints
+		s.rec.Observe(obs.FrameSample{
+			FrameReused: true,
+			RakesReused: len(s.geoCache),
+			Points:      s.lastPoints,
+			Bytes:       int64(len(s.encoded)),
+		})
+		return nil
+	}
 
 	loadStart := time.Now()
 	if s.cur == nil || step != s.curStep {
@@ -249,7 +374,9 @@ func (s *Server) recomputeLocked() error {
 
 	// Overlap: kick off the prefetch of the next step along the
 	// playback direction while this frame computes (figure 8's
-	// right-hand process).
+	// right-hand process). At a non-looping dataset boundary there is
+	// no next step — skip rather than asking the prefetcher for an
+	// out-of-range load.
 	if s.prefetcher != nil {
 		next := step + 1
 		if ts.Speed < 0 {
@@ -261,12 +388,97 @@ func (s *Server) recomputeLocked() error {
 		if ts.Loop && next < 0 {
 			next = s.cfg.Store.NumSteps() - 1
 		}
-		s.prefetcher.Prefetch(next)
+		if next >= 0 && next < s.cfg.Store.NumSteps() {
+			s.prefetcher.Prefetch(next)
+		}
 	}
 
 	computeStart := time.Now()
 	g := s.cfg.Store.Grid()
 	batch := compute.SteadyBatch{F: s.cur, G: g}
+	s.round++
+
+	s.userScratch = s.env.AppendUsers(s.userScratch[:0])
+	s.usersWire = s.usersWire[:0]
+	for _, u := range s.userScratch {
+		s.usersWire = append(s.usersWire, wire.UserState{
+			ID: u.ID, Head: u.Pose.Head, Hand: u.Pose.Hand, Gesture: u.Pose.Gesture,
+		})
+	}
+
+	// Pass 1 (serial): snapshot rakes, refresh seed caches, and split
+	// rakes into memo hits and recompute jobs.
+	s.rakeScratch = s.env.AppendRakes(s.rakeScratch[:0])
+	s.rakesWire = s.rakesWire[:0]
+	s.geomWire = s.geomWire[:0]
+	s.geomGC = s.geomGC[:0]
+	s.jobs = s.jobs[:0]
+	reused := 0
+	for _, snap := range s.rakeScratch {
+		rake := snap.Rake
+		s.rakesWire = append(s.rakesWire, wire.RakeState{
+			ID: rake.ID, P0: rake.P0, P1: rake.P1,
+			NumSeeds: uint32(rake.NumSeeds),
+			Tool:     uint8(rake.Tool),
+			Holder:   snap.Holder,
+			Grab:     uint8(snap.Grab),
+		})
+		gc := s.geoCache[rake.ID]
+		if gc == nil {
+			gc = &rakeGeom{}
+			s.geoCache[rake.ID] = gc
+		}
+		gc.touch = s.round
+		if !gc.haveSeeds || gc.seedsVersion != snap.Version {
+			gc.seeds = rake.SeedsGrid(g)
+			gc.seedsVersion = snap.Version
+			gc.haveSeeds = true
+		}
+		if len(gc.seeds) == 0 {
+			continue
+		}
+		idx := len(s.geomWire)
+		s.geomWire = append(s.geomWire, wire.Geometry{})
+		s.geomGC = append(s.geomGC, gc)
+		if rake.Tool != integrate.ToolStreakline && gc.haveGeo &&
+			gc.version == snap.Version && gc.step == step && gc.timeKey == ts.Current {
+			s.geomWire[idx] = gc.geo
+			reused++
+			continue
+		}
+		var streak *integrate.Streak
+		if rake.Tool == integrate.ToolStreakline {
+			streak = s.streaks[rake.ID]
+			if streak == nil {
+				streak = integrate.NewStreak(s.cfg.MaxStreakParticles)
+				s.streaks[rake.ID] = streak
+			}
+		}
+		s.jobs = append(s.jobs, rakeJob{idx: idx, snap: snap, gc: gc, streak: streak})
+	}
+	if len(s.geoCache) > len(s.rakeScratch) {
+		// Rakes removed outside CmdRemoveRake (direct env use): sweep
+		// cache entries not seen this round.
+		for id, gc := range s.geoCache {
+			if gc.touch != s.round {
+				delete(s.geoCache, id)
+			}
+		}
+	}
+
+	// Pass 2: recompute dirty rakes, concurrently when there are
+	// several — independent rakes are the paper's natural parallel
+	// unit above the per-seed fan-out inside the engines.
+	s.runJobs(batch, g, ts, step)
+	computeTime := time.Since(computeStart)
+
+	var totalPoints int64
+	for i, gc := range s.geomGC {
+		s.geomWire[i] = gc.geo
+		totalPoints += gc.points
+	}
+
+	encodeStart := time.Now()
 	reply := wire.FrameReply{
 		Time: wire.TimeStatus{
 			Current:  ts.Current,
@@ -275,67 +487,101 @@ func (s *Server) recomputeLocked() error {
 			Loop:     ts.Loop,
 			NumSteps: uint32(ts.NumSteps),
 		},
+		Users:        s.usersWire,
+		Rakes:        s.rakesWire,
+		Geometry:     s.geomWire,
+		ComputeNanos: computeTime.Nanoseconds(),
+		LoadNanos:    loadTime.Nanoseconds(),
 	}
-	for id, pose := range s.env.Users() {
-		reply.Users = append(reply.Users, wire.UserState{
-			ID: id, Head: pose.Head, Hand: pose.Hand, Gesture: pose.Gesture,
-		})
-	}
+	s.encoded = wire.AppendFrameReply(s.encoded[:0], reply)
+	encodeTime := time.Since(encodeStart)
 
-	var totalPoints int64
-	for _, snap := range s.env.Rakes() {
-		rake := snap.Rake
-		reply.Rakes = append(reply.Rakes, wire.RakeState{
-			ID: rake.ID, P0: rake.P0, P1: rake.P1,
-			NumSeeds: uint32(rake.NumSeeds),
-			Tool:     uint8(rake.Tool),
-			Holder:   snap.Holder,
-			Grab:     uint8(snap.Grab),
-		})
-		seeds := rake.SeedsGrid(g)
-		if len(seeds) == 0 {
-			continue
-		}
-		geo := wire.Geometry{Rake: rake.ID, Tool: uint8(rake.Tool)}
-		switch rake.Tool {
-		case integrate.ToolStreamline:
-			paths, st := s.cfg.Engine.Streamlines(batch, seeds, ts.Current, s.cfg.Options)
-			geo.Lines = toPhysicalLines(g, paths)
-			totalPoints += st.Points + int64(len(paths))
-		case integrate.ToolParticlePath:
-			sampler := s.timeSampler(step)
-			paths, st := s.cfg.Engine.ParticlePaths(sampler, seeds, ts.Current,
-				float32(ts.NumSteps-1), s.cfg.Options)
-			geo.Lines = toPhysicalLines(g, paths)
-			totalPoints += st.Points + int64(len(paths))
-		case integrate.ToolStreakline:
-			streak := s.streaks[rake.ID]
-			if streak == nil {
-				streak = integrate.NewStreak(s.cfg.MaxStreakParticles)
-				s.streaks[rake.ID] = streak
-			}
-			streak.Advance(batch, seeds, ts.Current, s.cfg.Options.StepSize, s.cfg.Options.Method)
-			lines := streak.PolylineBySeed(rake.NumSeeds)
-			geo.Lines = toPhysicalLines(g, lines)
-			totalPoints += int64(len(streak.Particles))
-		}
-		reply.Geometry = append(reply.Geometry, geo)
-	}
-	computeTime := time.Since(computeStart)
+	clear(s.consumedBy)
+	s.lastVersion = version
+	s.lastPoints = totalPoints
 
 	s.stats.Frames++
 	s.stats.Points += totalPoints
 	s.stats.ComputeTime += computeTime
 	s.stats.LoadTime += loadTime
-	reply.ComputeNanos = computeTime.Nanoseconds()
-	reply.LoadNanos = loadTime.Nanoseconds()
-
-	s.cache = &frameCache{
-		reply:      reply,
-		encoded:    wire.EncodeFrameReply(reply),
-		consumedBy: make(map[int64]bool),
-	}
+	s.stats.EncodeTime += encodeTime
+	s.stats.RakesComputed += int64(len(s.jobs))
+	s.stats.RakesReused += int64(reused)
+	s.rec.Observe(obs.FrameSample{
+		Load:          loadTime,
+		Integrate:     computeTime,
+		Encode:        encodeTime,
+		RakesComputed: len(s.jobs),
+		RakesReused:   reused,
+		Points:        totalPoints,
+		Bytes:         int64(len(s.encoded)),
+	})
 	return nil
+}
+
+// runJobs executes the round's recompute jobs on a bounded worker
+// pool. Each job touches only its own rakeGeom (and streak), so jobs
+// are independent; shared inputs (field, grid, options) are read-only.
+func (s *Server) runJobs(batch compute.SteadyBatch, g *grid.Grid, ts env.TimeState, step int) {
+	workers := s.cfg.RakeWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(s.jobs) {
+		workers = len(s.jobs)
+	}
+	if workers <= 1 {
+		for i := range s.jobs {
+			s.computeRake(&s.jobs[i], batch, g, ts, step)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, len(s.jobs))
+	for i := range s.jobs {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				s.computeRake(&s.jobs[i], batch, g, ts, step)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// computeRake recomputes one rake's geometry into its memo entry,
+// recycling the previous round's physical-line buffers. Runs on pool
+// workers; must not touch server state beyond the job's own entries.
+func (s *Server) computeRake(j *rakeJob, batch compute.SteadyBatch, g *grid.Grid, ts env.TimeState, step int) {
+	rake := j.snap.Rake
+	gc := j.gc
+	var lines [][]vmath.Vec3
+	switch rake.Tool {
+	case integrate.ToolStreamline:
+		lines, _ = s.cfg.Engine.Streamlines(batch, gc.seeds, ts.Current, s.cfg.Options)
+	case integrate.ToolParticlePath:
+		sampler := s.timeSampler(step)
+		lines, _ = s.cfg.Engine.ParticlePaths(sampler, gc.seeds, ts.Current,
+			float32(ts.NumSteps-1), s.cfg.Options)
+	case integrate.ToolStreakline:
+		j.streak.Advance(batch, gc.seeds, ts.Current, s.cfg.Options.StepSize, s.cfg.Options.Method)
+		lines = j.streak.PolylineBySeed(rake.NumSeeds)
+	}
+	gc.geo = wire.Geometry{
+		Rake:  rake.ID,
+		Tool:  uint8(rake.Tool),
+		Lines: toPhysicalLinesInto(g, lines, gc.geo.Lines),
+	}
+	gc.points = int64(gc.geo.NumPoints())
+	gc.haveGeo = true
+	gc.version = j.snap.Version
+	gc.step = step
+	gc.timeKey = ts.Current
 }
 
 // loadStep fetches a timestep through the prefetcher when present.
@@ -372,6 +618,7 @@ func (s *Server) timeSampler(step int) integrate.Sampler {
 type storeSampler struct {
 	st    store.Store
 	cache map[int]*field.Field
+	mu    sync.Mutex
 }
 
 // Grid implements integrate.Sampler.
@@ -395,8 +642,11 @@ func (ss *storeSampler) SampleVelocity(gc vmath.Vec3, t float32) vmath.Vec3 {
 
 // step loads (and caches) timestep t; on load failure it returns an
 // empty field, terminating paths at stagnation rather than crashing
-// the frame.
+// the frame. The cache is locked because the parallel engines sample
+// from several goroutines.
 func (ss *storeSampler) step(t int) *field.Field {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
 	if f, ok := ss.cache[t]; ok {
 		return f
 	}
@@ -409,10 +659,23 @@ func (ss *storeSampler) step(t int) *field.Field {
 	return f
 }
 
-func toPhysicalLines(g *grid.Grid, lines [][]vmath.Vec3) [][]vmath.Vec3 {
-	out := make([][]vmath.Vec3, len(lines))
+// toPhysicalLinesInto converts grid-coordinate lines to physical
+// coordinates, recycling prev's buffers (typically the same rake's
+// previous round) where capacity allows.
+func toPhysicalLinesInto(g *grid.Grid, lines, prev [][]vmath.Vec3) [][]vmath.Vec3 {
+	var out [][]vmath.Vec3
+	if cap(prev) >= len(lines) {
+		out = prev[:len(lines)]
+	} else {
+		out = make([][]vmath.Vec3, len(lines))
+		copy(out, prev)
+	}
 	for i, l := range lines {
-		out[i] = integrate.ToPhysical(g, l)
+		out[i] = integrate.ToPhysicalInto(g, out[i], l)
 	}
 	return out
+}
+
+func toPhysicalLines(g *grid.Grid, lines [][]vmath.Vec3) [][]vmath.Vec3 {
+	return toPhysicalLinesInto(g, lines, nil)
 }

@@ -167,7 +167,7 @@ type Prefetcher struct {
 	mu      sync.Mutex
 	pending map[int]chan prefetchResult
 
-	hits, misses atomic.Int64
+	hits, misses, issued atomic.Int64
 }
 
 type prefetchResult struct {
@@ -205,6 +205,7 @@ func (p *Prefetcher) Prefetch(t int) {
 	}
 	ch := make(chan prefetchResult, 1)
 	p.pending[t] = ch
+	p.issued.Add(1)
 	go func() {
 		f, err := p.src.LoadStep(t)
 		ch <- prefetchResult{f, err}
@@ -230,8 +231,19 @@ func (p *Prefetcher) LoadStep(t int) (*field.Field, error) {
 	return p.src.LoadStep(t)
 }
 
-// Stats reports how many loads were served from prefetch vs
-// synchronously.
-func (p *Prefetcher) Stats() (hits, misses int64) {
-	return p.hits.Load(), p.misses.Load()
+// PrefetchStats counts prefetcher activity: Issued background loads
+// started, Hits loads served from a completed or in-flight prefetch,
+// Misses loads that fell through to a synchronous read.
+type PrefetchStats struct {
+	Hits, Misses, Issued int64
+}
+
+// Stats reports how many background loads were issued and how many
+// foreground loads were served from prefetch vs synchronously.
+func (p *Prefetcher) Stats() PrefetchStats {
+	return PrefetchStats{
+		Hits:   p.hits.Load(),
+		Misses: p.misses.Load(),
+		Issued: p.issued.Load(),
+	}
 }

@@ -213,9 +213,8 @@ func TestPrefetcherOverlapsLoads(t *testing.T) {
 	if elapsed := time.Since(start); elapsed > 15*time.Millisecond {
 		t.Errorf("prefetched load took %v, want ~0", elapsed)
 	}
-	hits, misses := p.Stats()
-	if hits != 1 || misses != 0 {
-		t.Errorf("stats hits=%d misses=%d", hits, misses)
+	if st := p.Stats(); st.Hits != 1 || st.Misses != 0 || st.Issued != 1 {
+		t.Errorf("stats = %+v", st)
 	}
 }
 
@@ -226,9 +225,8 @@ func TestPrefetcherMissFallsThrough(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkStep(t, f, 2)
-	hits, misses := p.Stats()
-	if hits != 0 || misses != 1 {
-		t.Errorf("stats hits=%d misses=%d", hits, misses)
+	if st := p.Stats(); st.Hits != 0 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
 	}
 }
 
@@ -236,6 +234,9 @@ func TestPrefetcherIgnoresOutOfRange(t *testing.T) {
 	p := NewPrefetcher(NewMemory(makeDataset(t, 3)))
 	p.Prefetch(-1)
 	p.Prefetch(3)
+	if st := p.Stats(); st.Issued != 0 {
+		t.Errorf("out-of-range prefetches issued loads: %+v", st)
+	}
 	// Must not leave pending entries that a LoadStep would wait on.
 	if _, err := p.LoadStep(0); err != nil {
 		t.Fatal(err)

@@ -1,6 +1,10 @@
 package wire
 
-import "repro/internal/vmath"
+import (
+	"fmt"
+
+	"repro/internal/vmath"
+)
 
 // EncodePoints appends pts at 12 bytes/point to dst and returns the
 // extended slice.
@@ -12,8 +16,13 @@ func EncodePoints(dst []byte, pts []vmath.Vec3) []byte {
 	return e.buf
 }
 
-// DecodePoints parses n points from buf.
+// DecodePoints parses n points from buf. n is validated against the
+// buffer before allocating, so a hostile count cannot force a huge
+// allocation backed by a tiny message.
 func DecodePoints(buf []byte, n int) ([]vmath.Vec3, error) {
+	if n < 0 || n > len(buf)/PointBytes {
+		return nil, fmt.Errorf("wire: point count %d exceeds %d-byte buffer", n, len(buf))
+	}
 	d := decoder{buf: buf}
 	out := make([]vmath.Vec3, n)
 	for i := range out {
@@ -73,9 +82,17 @@ func DecodeClientUpdate(buf []byte) (ClientUpdate, error) {
 	return u, d.err
 }
 
-// EncodeFrameReply marshals a FrameReply.
+// EncodeFrameReply marshals a FrameReply into a fresh buffer.
 func EncodeFrameReply(r FrameReply) []byte {
-	e := encoder{buf: make([]byte, 0, 256+r.TotalPoints()*PointBytes)}
+	return AppendFrameReply(make([]byte, 0, 256+r.TotalPoints()*PointBytes), r)
+}
+
+// AppendFrameReply marshals a FrameReply, appending to dst, and
+// returns the extended slice. Servers encoding every frame pass a
+// recycled dst[:0] so steady-state frames reuse one buffer instead of
+// allocating TotalPoints*12 bytes per round.
+func AppendFrameReply(dst []byte, r FrameReply) []byte {
+	e := encoder{buf: dst}
 	e.f32(r.Time.Current)
 	e.f32(r.Time.Speed)
 	e.bool(r.Time.Playing)

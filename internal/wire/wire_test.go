@@ -26,6 +26,21 @@ func TestPointEncodingIs12Bytes(t *testing.T) {
 	}
 }
 
+func TestDecodePointsRejectsHostileCount(t *testing.T) {
+	// A length prefix must be validated against the actual buffer: a
+	// tiny message claiming 2^30 points must not allocate 12 GB.
+	buf := EncodePoints(nil, []vmath.Vec3{{X: 1}})
+	if _, err := DecodePoints(buf, 1<<30); err == nil {
+		t.Error("hostile point count accepted")
+	}
+	if _, err := DecodePoints(buf, -1); err == nil {
+		t.Error("negative point count accepted")
+	}
+	if _, err := DecodePoints(buf, 2); err == nil {
+		t.Error("count beyond buffer accepted")
+	}
+}
+
 func TestTable1Arithmetic(t *testing.T) {
 	// The paper's Table 1 rows: particles -> bytes at 12 B/point.
 	cases := []struct {
