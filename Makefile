@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet chaos fuzz ci bench bench-smoke
+.PHONY: all build test race vet chaos fuzz fuzz-server ci bench bench-smoke bench-check load
 
 all: build test
 
@@ -27,8 +27,14 @@ fuzz:
 	$(GO) test -fuzz FuzzReadFrame -fuzztime 30s ./internal/dlib/
 	$(GO) test -fuzz FuzzClientRead -fuzztime 30s ./internal/dlib/
 
+# Short fuzz passes over the server frame/command surfaces with
+# hostile numeric payloads.
+fuzz-server:
+	$(GO) test -fuzz FuzzHandleFrame -fuzztime 30s ./internal/server/
+	$(GO) test -fuzz FuzzApplyCommand -fuzztime 30s ./internal/server/
+
 # The gate a change must pass before merging.
-ci: vet race bench-smoke
+ci: vet race bench-check
 
 bench:
 	$(GO) test -bench . -benchmem ./...
@@ -37,3 +43,14 @@ bench:
 # allocation or latency regression without the full bench suite.
 bench-smoke:
 	$(GO) test -run xxx -bench BenchmarkServerMultiRakeFrame -benchmem -benchtime 200x .
+
+# Bench-regression tripwire: run the frame-pipeline and fan-out
+# benchmarks and fail on >2x ns/op or allocs/op versus the checked-in
+# baseline. After an intentional perf change:  go run ./cmd/benchcheck -update
+bench-check:
+	$(GO) run ./cmd/benchcheck
+
+# Multi-workstation scale-out run: 64 simulated workstations at the
+# paper's 10 frames/second against one server.
+load:
+	$(GO) run ./cmd/vwload -sessions 64 -frames 100 -fps 10

@@ -8,6 +8,7 @@
 package repro
 
 import (
+	"fmt"
 	"net"
 	"os"
 	"path/filepath"
@@ -403,6 +404,70 @@ func BenchmarkServerMultiRakeFrame(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkServerFanoutFrame measures the encode-once fan-out across a
+// fleet: one op is one round — the lead session moves its hand (forcing
+// a fresh encode) and the rest of the fleet joins the round, each
+// receiving the shared ref-counted buffer. ns/op therefore scales with
+// the fleet while the reported encodes/op stays ~1 regardless of
+// session count — the scale-out claim in miniature.
+func BenchmarkServerFanoutFrame(b *testing.B) {
+	u := benchDataset(b)
+	for _, sessions := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv, err := core.Serve(ln, store.NewMemory(u), core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { srv.Dlib().Close() })
+			clients := make([]*dlib.Client, sessions)
+			for i := range clients {
+				c, err := dlib.Dial(ln.Addr().String())
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { c.Close() })
+				clients[i] = c
+			}
+			if _, err := clients[0].Call(wire.ProcFrame, wire.EncodeClientUpdate(wire.ClientUpdate{
+				Commands: []wire.Command{{
+					Kind: wire.CmdAddRake,
+					P0:   vmath.V3(-3, 0.4, 1), P1: vmath.V3(-3, 0.4, 14),
+					NumSeeds: 16, Tool: uint8(integrate.ToolStreamline),
+				}},
+			})); err != nil {
+				b.Fatal(err)
+			}
+			moves := [2][]byte{
+				wire.EncodeClientUpdate(wire.ClientUpdate{Hand: vmath.V3(0, 0.1, 0)}),
+				wire.EncodeClientUpdate(wire.ClientUpdate{Hand: vmath.V3(0, 0.2, 0)}),
+			}
+			follow := wire.EncodeClientUpdate(wire.ClientUpdate{})
+			encBefore := srv.Stats().FramesEncoded
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for k, c := range clients {
+					payload := follow
+					if k == 0 {
+						payload = moves[i%2]
+					}
+					if _, err := c.Call(wire.ProcFrame, payload); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			encodes := srv.Stats().FramesEncoded - encBefore
+			b.ReportMetric(float64(encodes)/float64(b.N), "encodes/op")
+			b.ReportMetric(float64(sessions), "ships/op")
+		})
+	}
 }
 
 // BenchmarkAblationIntegrators times one integration step per scheme.

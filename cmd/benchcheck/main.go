@@ -1,0 +1,167 @@
+// Command benchcheck is the bench-regression tripwire: it runs the
+// frame-pipeline benchmarks (one multi-rake session, and the
+// multi-session fan-out) and compares ns/op, B/op, and allocs/op
+// against the checked-in baseline, failing when either time or
+// allocation regresses past the tolerance. `make ci` runs it so an
+// accidental allocation in the steady-state frame path — the thing the
+// encode-once design exists to prevent — fails the gate instead of
+// landing silently.
+//
+//	go run ./cmd/benchcheck            # compare against bench_baseline.json
+//	go run ./cmd/benchcheck -update    # re-measure and rewrite the baseline
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the checked-in measurement set.
+type Baseline struct {
+	// Benchtime records how the numbers were taken, for reproducibility.
+	Benchtime  string               `json:"benchtime"`
+	Benchmarks map[string]Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one benchmark's recorded costs.
+type Benchmark struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchLine matches one `go test -bench -benchmem` result row, e.g.
+// BenchmarkServerFanoutFrame/sessions=8-16  100  163889 ns/op  1.000 encodes/op  68408 B/op  73 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(.*)$`)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchcheck: ")
+	var (
+		baselinePath = flag.String("baseline", "bench_baseline.json", "baseline file")
+		benchRe      = flag.String("bench", "BenchmarkServerMultiRakeFrame|BenchmarkServerFanoutFrame", "benchmarks to run")
+		benchtime    = flag.String("benchtime", "200x", "go test -benchtime")
+		pkg          = flag.String("pkg", ".", "package holding the benchmarks")
+		factor       = flag.Float64("factor", 2.0, "regression threshold multiplier")
+		slackNs      = flag.Float64("slack-ns", 50_000, "absolute ns/op slack on top of the factor (scheduler noise floor)")
+		slackAllocs  = flag.Int64("slack-allocs", 2, "absolute allocs/op slack on top of the factor")
+		update       = flag.Bool("update", false, "rewrite the baseline from this run instead of comparing")
+	)
+	flag.Parse()
+
+	got, raw, err := runBench(*pkg, *benchRe, *benchtime)
+	if err != nil {
+		log.Fatalf("bench run failed: %v\n%s", err, raw)
+	}
+	if len(got) == 0 {
+		log.Fatalf("no benchmark results matched %q:\n%s", *benchRe, raw)
+	}
+
+	if *update {
+		b := Baseline{Benchtime: *benchtime, Benchmarks: got}
+		buf, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*baselinePath, append(buf, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %d benchmarks to %s", len(got), *baselinePath)
+		return
+	}
+
+	base, err := readBaseline(*baselinePath)
+	if err != nil {
+		log.Fatalf("%v (run with -update to create it)", err)
+	}
+	var failures []string
+	for name, cur := range got {
+		want, ok := base.Benchmarks[name]
+		if !ok {
+			failures = append(failures,
+				fmt.Sprintf("%s: no baseline entry (run benchcheck -update)", name))
+			continue
+		}
+		// Time: factor plus an absolute noise floor — microbenchmark
+		// ns/op on a busy machine jitters, but a real regression in this
+		// code (a lost memo, a per-frame allocation) blows through 2x by
+		// an order of magnitude.
+		if limit := want.NsPerOp**factor + *slackNs; cur.NsPerOp > limit {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.0f ns/op exceeds %.0f (baseline %.0f x%.1f + %.0f slack)",
+				name, cur.NsPerOp, limit, want.NsPerOp, *factor, *slackNs))
+		}
+		// Allocations are near-deterministic: the factor alone, with a
+		// couple of allocs of slack for runtime-internal variation.
+		if limit := int64(float64(want.AllocsPerOp)**factor) + *slackAllocs; cur.AllocsPerOp > limit {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %d allocs/op exceeds %d (baseline %d x%.1f + %d slack)",
+				name, cur.AllocsPerOp, limit, want.AllocsPerOp, *factor, *slackAllocs))
+		}
+		fmt.Printf("%-60s %10.0f ns/op (base %.0f)  %5d allocs/op (base %d)\n",
+			name, cur.NsPerOp, want.NsPerOp, cur.AllocsPerOp, want.AllocsPerOp)
+	}
+	for name := range base.Benchmarks {
+		if _, ok := got[name]; !ok {
+			failures = append(failures,
+				fmt.Sprintf("%s: in baseline but not measured — benchmark renamed or deleted?", name))
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			log.Printf("FAIL %s", f)
+		}
+		os.Exit(1)
+	}
+	log.Printf("ok: %d benchmarks within tolerance", len(got))
+}
+
+// runBench executes the benchmarks and parses the -benchmem rows.
+func runBench(pkg, re, benchtime string) (map[string]Benchmark, string, error) {
+	cmd := exec.Command("go", "test", "-run", "xxx",
+		"-bench", re, "-benchmem", "-benchtime", benchtime, pkg)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, string(out), err
+	}
+	results := map[string]Benchmark{}
+	for _, line := range strings.Split(string(out), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{NsPerOp: ns}
+		rest := m[3]
+		if bm := regexp.MustCompile(`(\d+) B/op`).FindStringSubmatch(rest); bm != nil {
+			b.BytesPerOp, _ = strconv.ParseInt(bm[1], 10, 64)
+		}
+		if am := regexp.MustCompile(`(\d+) allocs/op`).FindStringSubmatch(rest); am != nil {
+			b.AllocsPerOp, _ = strconv.ParseInt(am[1], 10, 64)
+		}
+		results[m[1]] = b
+	}
+	return results, string(out), nil
+}
+
+func readBaseline(path string) (Baseline, error) {
+	var b Baseline
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return b, fmt.Errorf("baseline %s unreadable: %w", path, err)
+	}
+	if err := json.Unmarshal(buf, &b); err != nil {
+		return b, fmt.Errorf("baseline %s corrupt: %w", path, err)
+	}
+	return b, nil
+}

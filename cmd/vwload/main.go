@@ -1,0 +1,176 @@
+// Command vwload is the multi-workstation load generator: it stands up
+// an in-process windtunnel server and drives it with K simulated
+// workstations over netsim pipes, each running the hello/frame loop at
+// a target frame rate — the scale-out experiment for the encode-once
+// fan-out and the shared timestep cache. It reports rounds computed,
+// frames encoded vs shipped (the fan-out factor), per-session latency
+// percentiles, and cache hit rates.
+//
+// Usage:
+//
+//	vwload -sessions 64 -frames 100 -fps 10
+//	vwload -data data/cyl -sessions 32 -resident=false -diskbw 40 -cachesteps 8
+//	vwload -sessions 16 -bw 10 -latency 5ms   # shaped workstation links
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/field"
+	"repro/internal/netsim"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vwload: ")
+
+	var (
+		data     = flag.String("data", "", "dataset directory from vwgen (empty = generate a synthetic dataset)")
+		steps    = flag.Int("steps", 8, "synthetic dataset timesteps (when -data is empty)")
+		sessions = flag.Int("sessions", 64, "simulated workstations")
+		frames   = flag.Int("frames", 100, "frame exchanges per workstation")
+		fps      = flag.Float64("fps", 10, "per-workstation target frame rate (0 = unpaced; the paper targets 10)")
+		rakes    = flag.Int("rakes", 2, "streamline rakes in the shared scene")
+		seeds    = flag.Int("seeds", 8, "seeds per rake")
+		active   = flag.Int("active", 1, "workstations that move their hand every frame (forcing re-encodes)")
+		play     = flag.Bool("play", true, "run looping playback so timesteps stream through the store")
+		resident = flag.Bool("resident", false, "serve the dataset from memory instead of disk")
+		diskBW   = flag.Int64("diskbw", 0, "simulated disk bandwidth in MB/s when streaming (0 = unthrottled)")
+		prefetch = flag.Bool("prefetch", true, "overlap next-timestep loads with computation when streaming")
+		cacheN   = flag.Int("cachesteps", 4, "shared timestep cache capacity in steps (0 = uncapped on that axis)")
+		cacheMB  = flag.Int64("cachemb", 0, "shared timestep cache budget in MB (0 = uncapped on that axis)")
+		bw       = flag.Int64("bw", 0, "per-workstation link bandwidth in MB/s (0 = unconstrained)")
+		latency  = flag.Duration("latency", 0, "per-workstation link latency per message")
+	)
+	flag.Parse()
+
+	st, cleanup, err := openStore(*data, *steps, *resident, *diskBW)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cleanup()
+
+	srv, err := server.New(server.Config{
+		Store:      st,
+		Prefetch:   !*resident && *prefetch,
+		CacheSteps: *cacheN,
+		CacheBytes: *cacheMB << 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Dlib().Close()
+
+	g := st.Grid()
+	log.Printf("dataset: %dx%dx%d, %d steps (%s); fleet: %d workstations x %d frames at %g fps",
+		g.NI, g.NJ, g.NK, st.NumSteps(), storageMode(*resident), *sessions, *frames, *fps)
+
+	rep, err := server.RunLoad(srv, server.LoadOptions{
+		Sessions:     *sessions,
+		Frames:       *frames,
+		FrameRate:    *fps,
+		Rakes:        *rakes,
+		SeedsPerRake: *seeds,
+		ActiveUsers:  *active,
+		Play:         *play,
+		Link: netsim.Link{
+			BandwidthBytesPerSec: *bw << 20,
+			Latency:              *latency,
+		},
+	})
+	if err != nil {
+		log.Printf("run error: %v", err)
+	}
+
+	fmt.Println(rep)
+	achieved := float64(rep.FramesShipped) / rep.Elapsed.Seconds() / float64(rep.Sessions)
+	fmt.Printf("per-session rate: %.1f frames/s (target %g)\n", achieved, *fps)
+	fmt.Printf("rounds computed=%d encoded=%d reused=%d; shipped %d frames (%.1fx fan-out), %.1f MB\n",
+		rep.Rounds, rep.FramesEncoded, rep.FramesReused,
+		rep.FramesShipped, rep.FanOut(), float64(rep.BytesShipped)/(1<<20))
+	fmt.Printf("latency: p50=%v p90=%v p99=%v max=%v mean=%v\n",
+		rep.Latency.P50.Round(time.Microsecond), rep.Latency.P90.Round(time.Microsecond),
+		rep.Latency.P99.Round(time.Microsecond), rep.Latency.Max.Round(time.Microsecond),
+		rep.Latency.Mean.Round(time.Microsecond))
+	if rep.HasCache {
+		c := rep.Cache
+		fmt.Printf("timestep cache: hits=%d misses=%d coalesced=%d evictions=%d resident=%d steps (%.1f MB) hit rate %.1f%%\n",
+			c.Hits, c.Misses, c.Coalesced, c.Evictions,
+			c.ResidentSteps, float64(c.ResidentBytes)/(1<<20), 100*c.HitRate())
+	}
+	fmt.Printf("pipeline: %s\n", srv.Recorder().Snapshot())
+	if rep.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// openStore opens or synthesizes the dataset in the requested storage
+// regime. The returned cleanup removes any temporary on-disk copy.
+func openStore(dir string, steps int, resident bool, diskMBps int64) (store.Store, func(), error) {
+	noop := func() {}
+	if dir == "" {
+		spec := datasets.Spec{NI: 24, NJ: 32, NK: 8, NumSteps: steps, DT: 0.6}
+		phys, err := datasets.AnalyticPhysical(spec)
+		if err != nil {
+			return nil, noop, err
+		}
+		u, err := phys.ToGridCoords()
+		if err != nil {
+			return nil, noop, err
+		}
+		if resident {
+			return store.NewMemory(u), noop, nil
+		}
+		// Disk regime wants real files: spill the synthetic dataset to
+		// a temp dir and stream it back.
+		tmp, err := os.MkdirTemp("", "vwload-*")
+		if err != nil {
+			return nil, noop, err
+		}
+		cleanup := func() { os.RemoveAll(tmp) }
+		dsDir := filepath.Join(tmp, "ds")
+		if err := store.WriteDataset(dsDir, u); err != nil {
+			cleanup()
+			return nil, noop, err
+		}
+		d, err := store.OpenDisk(dsDir, store.DiskOptions{BandwidthBytesPerSec: diskMBps << 20})
+		if err != nil {
+			cleanup()
+			return nil, noop, err
+		}
+		return d, cleanup, nil
+	}
+	disk, err := store.OpenDisk(dir, store.DiskOptions{BandwidthBytesPerSec: diskMBps << 20})
+	if err != nil {
+		return nil, noop, err
+	}
+	if !resident {
+		return disk, noop, nil
+	}
+	stepsData := make([]*field.Field, disk.NumSteps())
+	for t := range stepsData {
+		if stepsData[t], err = disk.LoadStep(t); err != nil {
+			return nil, noop, err
+		}
+	}
+	u, err := field.NewUnsteady(disk.Grid(), stepsData, disk.DT())
+	if err != nil {
+		return nil, noop, err
+	}
+	return store.NewMemory(u), noop, nil
+}
+
+func storageMode(resident bool) string {
+	if resident {
+		return "memory-resident"
+	}
+	return "disk-streamed"
+}

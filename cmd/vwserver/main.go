@@ -39,6 +39,8 @@ func main() {
 		workers  = flag.Int("workers", 0, "computation worker count (0 = GOMAXPROCS)")
 		vector   = flag.Bool("vector", false, "use the vectorized (SoA batch) engine")
 		maxSeeds = flag.Int("maxseeds", 0, "per-rake seed count cap enforced on client commands (0 = default 4096)")
+		cacheN   = flag.Int("cachesteps", 0, "shared timestep cache capacity in steps when streaming (0 with -cachemb 0 = no cache)")
+		cacheMB  = flag.Int64("cachemb", 0, "shared timestep cache budget in MB when streaming (0 with -cachesteps 0 = no cache)")
 		debug    = flag.String("debug", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address, e.g. localhost:6060 (empty = disabled)")
 	)
 	flag.Parse()
@@ -82,6 +84,8 @@ func main() {
 		Engine:          engine,
 		Prefetch:        !*resident && *prefetch,
 		MaxSeedsPerRake: *maxSeeds,
+		CacheSteps:      *cacheN,
+		CacheBytes:      *cacheMB << 20,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -91,6 +95,12 @@ func main() {
 
 	if *debug != "" {
 		obs.Publish("vwserver.frames", srv.Recorder())
+		if _, ok := srv.CacheStats(); ok {
+			obs.PublishFunc("vwserver.cache", func() any {
+				cs, _ := srv.CacheStats()
+				return cs
+			})
+		}
 		dbg, err := obs.ServeDebug(*debug)
 		if err != nil {
 			log.Fatal(err)
@@ -118,6 +128,11 @@ func main() {
 				float64(s.BytesShipped)/(1<<20),
 				srv.Dlib().NumSessions())
 			log.Printf("  pipeline: %s", srv.Recorder().Snapshot())
+			if cs, ok := srv.CacheStats(); ok {
+				log.Printf("  cache: hits=%d misses=%d coalesced=%d evictions=%d resident=%d (%.1fMB) hit=%.0f%%",
+					cs.Hits, cs.Misses, cs.Coalesced, cs.Evictions,
+					cs.ResidentSteps, float64(cs.ResidentBytes)/(1<<20), 100*cs.HitRate())
+			}
 			for _, proc := range srv.Dlib().ProcNames() {
 				ps := srv.Dlib().ProcStats()[proc]
 				log.Printf("  %-12s calls=%d mean=%v max=%v out=%.1fMB errs=%d",

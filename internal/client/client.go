@@ -42,6 +42,12 @@ type Stats struct {
 	NetErrors int64
 	NetTime   time.Duration
 	BytesDown int64
+	// Rounds counts distinct server computation rounds observed and
+	// LastRound is the most recent one. NetFrames - Rounds is how many
+	// frames rode the server's encode-once fan-out or whole-frame memo
+	// (an unchanged Round means the shared scene held still).
+	Rounds    int64
+	LastRound uint64
 }
 
 // Workstation is one user's machine.
@@ -56,6 +62,8 @@ type Workstation struct {
 	haveOne bool
 	pending []wire.Command
 	lastErr error
+
+	rounds int64 // distinct reply.Round values seen, guarded by mu
 
 	fb  *render.Framebuffer
 	rig render.StereoRig
@@ -262,6 +270,9 @@ func (w *Workstation) NetStep(pose vr.Pose) error {
 	w.bytesDown.Add(int64(len(out)))
 
 	w.mu.Lock()
+	if !w.haveOne || reply.Round != w.latest.Round {
+		w.rounds++
+	}
 	w.latest = reply
 	w.haveOne = true
 	w.lastErr = nil
@@ -353,12 +364,18 @@ func drawHead(r *render.Renderer, head vmath.Mat4, c render.Color) {
 
 // Stats returns a snapshot of the counters.
 func (w *Workstation) Stats() Stats {
+	w.mu.Lock()
+	rounds := w.rounds
+	lastRound := w.latest.Round
+	w.mu.Unlock()
 	return Stats{
 		NetFrames:    w.netFrames.Load(),
 		RenderFrames: w.renderFrames.Load(),
 		NetErrors:    w.netErrors.Load(),
 		NetTime:      time.Duration(w.netNanos.Load()),
 		BytesDown:    w.bytesDown.Load(),
+		Rounds:       rounds,
+		LastRound:    lastRound,
 	}
 }
 

@@ -263,3 +263,64 @@ func TestOtherUsersHeadsRendered(t *testing.T) {
 		t.Errorf("user glyphs not visible: %d lit pixels", lit)
 	}
 }
+
+// TestClientRoundTracking pins the workstation's view of the server's
+// round accounting: Rounds counts distinct computation rounds observed,
+// so a workstation holding still (whose repeats are memo-served with an
+// unchanged Round id) sees Rounds fall behind NetFrames, while a
+// head-tracked workstation advancing the scene sees them move together.
+func TestClientRoundTracking(t *testing.T) {
+	addr := startSystem(t, 2)
+	w1 := connect(t, addr)
+	w2 := connect(t, addr)
+
+	// w2 holds perfectly still: after its first frame every repeat is a
+	// whole-frame memo round carrying the same Round id.
+	still := vr.Pose{Head: vmath.Identity()}
+	for i := 0; i < 3; i++ {
+		if err := w2.NetStep(still); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2 := w2.Stats()
+	if s2.NetFrames != 3 {
+		t.Fatalf("w2 net frames = %d", s2.NetFrames)
+	}
+	if s2.Rounds != 1 {
+		t.Errorf("still workstation saw %d rounds over %d frames, want 1", s2.Rounds, s2.NetFrames)
+	}
+
+	// w1 moves its hand each frame, forcing fresh rounds once it has
+	// consumed the current one; its round count tracks its frames.
+	for i := 0; i < 3; i++ {
+		pose := vr.Pose{Head: vmath.Identity(), Hand: vmath.V3(float32(i), 0.5, 0)}
+		if err := w1.NetStep(pose); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s1 := w1.Stats()
+	if s1.NetFrames != 3 {
+		t.Fatalf("w1 net frames = %d", s1.NetFrames)
+	}
+	// First frame joins w2's standing round; each subsequent one is new.
+	if s1.Rounds != 3 {
+		t.Errorf("moving workstation saw %d rounds over %d frames, want 3", s1.Rounds, s1.NetFrames)
+	}
+	if s1.LastRound <= s2.LastRound {
+		t.Errorf("moving workstation's last round %d not past still one's %d",
+			s1.LastRound, s2.LastRound)
+	}
+
+	// w2 steps once more: it joins the latest round, skipping the ones
+	// it missed — LastRound jumps to w1's, Rounds advances by one.
+	if err := w2.NetStep(still); err != nil {
+		t.Fatal(err)
+	}
+	s2 = w2.Stats()
+	if s2.Rounds != 2 {
+		t.Errorf("rejoining workstation rounds = %d, want 2", s2.Rounds)
+	}
+	if s2.LastRound != s1.LastRound {
+		t.Errorf("rejoin landed on round %d, want latest %d", s2.LastRound, s1.LastRound)
+	}
+}

@@ -49,6 +49,10 @@ type Options struct {
 	// RakeWorkers bounds concurrent per-rake recomputation server-side;
 	// zero uses GOMAXPROCS.
 	RakeWorkers int
+	// CacheSteps / CacheBytes budget the shared timestep cache between
+	// the server and an I/O-backed store; both zero disables it.
+	CacheSteps int
+	CacheBytes int64
 	// FrameW, FrameH size the workstation display; zero uses 640x512.
 	FrameW, FrameH int
 }
@@ -96,6 +100,8 @@ func Serve(ln net.Listener, st store.Store, opts Options) (*server.Server, error
 		Prefetch:        opts.Prefetch,
 		MaxSeedsPerRake: opts.MaxSeedsPerRake,
 		RakeWorkers:     opts.RakeWorkers,
+		CacheSteps:      opts.CacheSteps,
+		CacheBytes:      opts.CacheBytes,
 	})
 	if err != nil {
 		return nil, err

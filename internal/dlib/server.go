@@ -36,6 +36,42 @@ type Ctx struct {
 	// Server is the owning server, giving handlers access to shared
 	// state and memory segments.
 	Server *Server
+
+	// replyDone, when set by the current handler via ReplyDone, runs
+	// exactly once after the server is finished with the returned
+	// reply buffer. Accessed only under the serial dispatch lock or by
+	// the one goroutine that took ownership of the pending hook.
+	replyDone func()
+}
+
+// ReplyDone registers fn to run exactly once when the server no longer
+// needs the bytes the current handler is about to return — after the
+// reply write completes (or fails), or immediately if the call errors.
+// A handler that registers a hook promises its buffer stays valid
+// until the hook fires; in exchange the server skips the CopyReplies
+// memcpy for this reply, so one encoded buffer can fan out to many
+// sessions with zero per-session copies (ref-counted by the caller).
+// The registration is consumed by the current call; it does not
+// persist to later calls on the session.
+func (c *Ctx) ReplyDone(fn func()) { c.replyDone = fn }
+
+// FinishReply invokes and clears a registered reply hook. The server
+// calls this internally; tests and benchmarks that invoke a Handler
+// directly must call it after consuming the returned payload, or
+// buffers the handler ref-counted for the reply will never be
+// released.
+func (c *Ctx) FinishReply() {
+	if fn := c.replyDone; fn != nil {
+		c.replyDone = nil
+		fn()
+	}
+}
+
+// takeReplyDone removes and returns the pending hook (nil if none).
+func (c *Ctx) takeReplyDone() func() {
+	fn := c.replyDone
+	c.replyDone = nil
+	return fn
 }
 
 // Session is the per-connection environment.
@@ -90,6 +126,10 @@ type Server struct {
 	// returned buffer — the previous reply could still be in flight on
 	// another connection. With it, handlers are free to encode every
 	// reply into one recycled buffer. Costs one memcpy per reply.
+	//
+	// A handler that registers a Ctx.ReplyDone hook opts out of the
+	// copy for that reply: it keeps the buffer valid until the hook
+	// fires, typically by ref-counting, and the reply ships zero-copy.
 	CopyReplies bool
 
 	reaped atomic.Int64
@@ -223,13 +263,18 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
-		reply := s.dispatch(ctx, f, &replyScratch)
+		reply, done := s.dispatch(ctx, f, &replyScratch)
 		if s.WriteTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
 		}
 		writeMu.Lock()
 		err = writeFrame(conn, reply)
 		writeMu.Unlock()
+		if done != nil {
+			// The reply bytes are out of our hands (written or write
+			// failed); release the handler's buffer either way.
+			done()
+		}
 		if err != nil {
 			if s.Logf != nil {
 				s.Logf("dlib: session %d write: %v", sess.ID, err)
@@ -249,12 +294,17 @@ func (s *Server) ReapedSessions() int64 { return s.reaped.Load() }
 // CopyReplies). Per-connection reuse of scratch is safe because the
 // connection loop fully writes each reply before reading the next
 // call.
-func (s *Server) dispatch(ctx *Ctx, f frame, scratch *[]byte) frame {
+//
+// The second return value is the handler's pending ReplyDone hook when
+// the reply ships zero-copy: the caller must invoke it once the reply
+// bytes are no longer needed. In every other outcome (error, copy,
+// timeout) dispatch settles the hook itself and returns nil.
+func (s *Server) dispatch(ctx *Ctx, f frame, scratch *[]byte) (frame, func()) {
 	s.mu.Lock()
 	h, ok := s.handlers[f.proc]
 	s.mu.Unlock()
 	if !ok {
-		return frame{kind: frameError, id: f.id, payload: []byte("unknown procedure " + f.proc)}
+		return frame{kind: frameError, id: f.id, payload: []byte("unknown procedure " + f.proc)}, nil
 	}
 	s.dispatchMu.Lock()
 	s.calls.Add(1)
@@ -263,15 +313,21 @@ func (s *Server) dispatch(ctx *Ctx, f frame, scratch *[]byte) frame {
 	if s.HandlerTimeout <= 0 {
 		out, err := safeCall(h, ctx, f.payload)
 		s.metrics.record(f.proc, time.Since(start), len(f.payload), len(out), err != nil)
-		if err == nil && s.CopyReplies {
+		cb := ctx.takeReplyDone()
+		if err != nil {
+			// The reply buffer is never used; settle the hook now.
+			if cb != nil {
+				cb()
+			}
+			s.dispatchMu.Unlock()
+			return frame{kind: frameError, id: f.id, payload: []byte(err.Error())}, nil
+		}
+		if cb == nil && s.CopyReplies {
 			*scratch = append((*scratch)[:0], out...)
 			out = *scratch
 		}
 		s.dispatchMu.Unlock()
-		if err != nil {
-			return frame{kind: frameError, id: f.id, payload: []byte(err.Error())}
-		}
-		return frame{kind: frameReply, id: f.id, payload: out}
+		return frame{kind: frameReply, id: f.id, payload: out}, cb
 	}
 
 	// Bounded execution: run the handler aside and wait at most
@@ -290,15 +346,20 @@ func (s *Server) dispatch(ctx *Ctx, f frame, scratch *[]byte) frame {
 	select {
 	case res := <-done:
 		s.metrics.record(f.proc, time.Since(start), len(f.payload), len(res.out), res.err != nil)
-		if res.err == nil && s.CopyReplies {
+		cb := ctx.takeReplyDone()
+		if res.err != nil {
+			if cb != nil {
+				cb()
+			}
+			s.dispatchMu.Unlock()
+			return frame{kind: frameError, id: f.id, payload: []byte(res.err.Error())}, nil
+		}
+		if cb == nil && s.CopyReplies {
 			*scratch = append((*scratch)[:0], res.out...)
 			res.out = *scratch
 		}
 		s.dispatchMu.Unlock()
-		if res.err != nil {
-			return frame{kind: frameError, id: f.id, payload: []byte(res.err.Error())}
-		}
-		return frame{kind: frameReply, id: f.id, payload: res.out}
+		return frame{kind: frameReply, id: f.id, payload: res.out}, cb
 	case <-time.After(s.HandlerTimeout):
 		s.metrics.record(f.proc, time.Since(start), len(f.payload), 0, true)
 		if s.Logf != nil {
@@ -306,10 +367,16 @@ func (s *Server) dispatch(ctx *Ctx, f frame, scratch *[]byte) frame {
 		}
 		go func() {
 			<-done // wait out the straggler, then free serial dispatch
+			// The caller already got an error frame; the straggler's
+			// reply buffer is discarded, so settle its hook here while
+			// still holding the dispatch lock.
+			if cb := ctx.takeReplyDone(); cb != nil {
+				cb()
+			}
 			s.dispatchMu.Unlock()
 		}()
 		return frame{kind: frameError, id: f.id,
-			payload: []byte(fmt.Sprintf("%s timed out after %v", f.proc, s.HandlerTimeout))}
+			payload: []byte(fmt.Sprintf("%s timed out after %v", f.proc, s.HandlerTimeout))}, nil
 	}
 }
 

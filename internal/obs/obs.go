@@ -51,6 +51,12 @@ type Snapshot struct {
 	RakesReused   int64
 	Points        int64
 	Bytes         int64
+	// FramesShipped counts per-session reply sends and BytesShipped
+	// their summed sizes. With the encode-once fan-out, K workstations
+	// sharing a round ship K frames off one encode, so
+	// FramesShipped/Frames is the fan-out factor.
+	FramesShipped int64
+	BytesShipped  int64
 }
 
 // per returns d averaged over the snapshot's frames.
@@ -83,13 +89,13 @@ func (s Snapshot) ReuseRatio() float64 {
 // String summarizes the snapshot for logs and benchmark tables.
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
-		"frames=%d (reused %d) load=%v integrate=%v encode=%v rakes computed=%d reused=%d (%.0f%%) points=%d bytes=%d",
-		s.Frames, s.FramesReused,
+		"frames=%d (reused %d, shipped %d) load=%v integrate=%v encode=%v rakes computed=%d reused=%d (%.0f%%) points=%d bytes=%d shipped=%d",
+		s.Frames, s.FramesReused, s.FramesShipped,
 		s.AvgLoad().Round(time.Microsecond),
 		s.AvgIntegrate().Round(time.Microsecond),
 		s.AvgEncode().Round(time.Microsecond),
 		s.RakesComputed, s.RakesReused, 100*s.ReuseRatio(),
-		s.Points, s.Bytes)
+		s.Points, s.Bytes, s.BytesShipped)
 }
 
 // Recorder accumulates FrameSamples. The zero value is ready to use;
@@ -116,6 +122,16 @@ func (r *Recorder) Observe(f FrameSample) {
 	r.s.Bytes += f.Bytes
 }
 
+// ObserveShip records one per-session reply send of the given encoded
+// size. Ships are counted separately from Observe because one encoded
+// round fans out to many sessions.
+func (r *Recorder) ObserveShip(bytes int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.s.FramesShipped++
+	r.s.BytesShipped += bytes
+}
+
 // Snapshot returns the cumulative counters.
 func (r *Recorder) Snapshot() Snapshot {
 	r.mu.Lock()
@@ -128,6 +144,13 @@ func (r *Recorder) Snapshot() Snapshot {
 // process (typically from the server main).
 func Publish(name string, r *Recorder) {
 	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// PublishFunc exports an arbitrary snapshot function as an expvar under
+// name — used for subsystems with their own stats types (e.g. the
+// shared timestep cache). Same once-per-name rule as Publish.
+func PublishFunc(name string, fn func() any) {
+	expvar.Publish(name, expvar.Func(fn))
 }
 
 // DebugServer is an opt-in HTTP endpoint exposing expvar (/debug/vars)

@@ -1,0 +1,284 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/dlib"
+	"repro/internal/netsim"
+	"repro/internal/store"
+	"repro/internal/vmath"
+	"repro/internal/wire"
+)
+
+// LoadOptions configures a multi-workstation load run against an
+// in-process server: K simulated workstations attached over netsim
+// pipes, each running the hello/whoami handshake and then the
+// once-per-frame exchange at a target rate. This is the scale-out
+// experiment the paper could not run — it had one Convex and a handful
+// of real workstations; we synthesize the fleet.
+type LoadOptions struct {
+	// Sessions is the number of simulated workstations; 0 means 8.
+	Sessions int
+	// Frames is the number of frame exchanges per session; 0 means 50.
+	Frames int
+	// FrameRate is the per-session target frame rate in frames/second;
+	// 0 runs unpaced (as fast as the server answers).
+	FrameRate float64
+	// Link shapes each workstation's connection; the zero value is an
+	// unconstrained in-memory pipe.
+	Link netsim.Link
+	// Rakes seeds the scene with this many streamline rakes before the
+	// fleet attaches; 0 means 2.
+	Rakes int
+	// SeedsPerRake is each rake's seed count; 0 means 8.
+	SeedsPerRake int
+	// ActiveUsers is how many sessions move their hand every frame
+	// (head-tracked users, forcing a fresh encode each round); the
+	// rest hold still and ride the fan-out. 0 means 1.
+	ActiveUsers int
+	// Play starts looping playback at speed 1 before the run, driving
+	// timestep traffic through the store (and cache, if configured).
+	Play bool
+}
+
+// LatencyStats summarizes per-call frame latencies.
+type LatencyStats struct {
+	P50, P90, P99, Max time.Duration
+	Mean               time.Duration
+}
+
+// LoadReport is the outcome of one load run.
+type LoadReport struct {
+	Sessions int
+	Frames   int // per session
+	Elapsed  time.Duration
+
+	// Server-side deltas over the run.
+	Rounds        int64 // computation rounds (incl. whole-frame memo)
+	FramesReused  int64 // rounds served whole from the memo
+	FramesEncoded int64 // rounds actually wire-encoded
+	FramesShipped int64 // per-session sends
+	BytesShipped  int64
+	Points        int64
+
+	// Latency is the distribution of per-session frame call times.
+	Latency LatencyStats
+	// Errors counts failed frame calls (the run continues past them).
+	Errors int64
+
+	// Cache holds the shared timestep cache's counters when the server
+	// has one.
+	Cache    store.CacheStats
+	HasCache bool
+}
+
+// FanOut returns shipped frames per encoded-or-reused round — the
+// scale-out win: with K workstations it approaches K while
+// FramesEncoded stays one per round.
+func (r LoadReport) FanOut() float64 {
+	if r.Rounds == 0 {
+		return 0
+	}
+	return float64(r.FramesShipped) / float64(r.Rounds)
+}
+
+// String formats the report as a one-run summary table.
+func (r LoadReport) String() string {
+	return fmt.Sprintf(
+		"sessions=%d frames=%d elapsed=%v rounds=%d encoded=%d reused=%d shipped=%d (fan-out %.1fx) bytes=%d errors=%d lat p50=%v p90=%v p99=%v max=%v",
+		r.Sessions, r.Frames, r.Elapsed.Round(time.Millisecond),
+		r.Rounds, r.FramesEncoded, r.FramesReused, r.FramesShipped,
+		r.FanOut(), r.BytesShipped, r.Errors,
+		r.Latency.P50.Round(time.Microsecond), r.Latency.P90.Round(time.Microsecond),
+		r.Latency.P99.Round(time.Microsecond), r.Latency.Max.Round(time.Microsecond))
+}
+
+// RunLoad drives the server with opts.Sessions simulated workstations
+// and reports server-side round accounting plus client-side latency
+// percentiles. The server keeps running afterwards; only the simulated
+// connections are torn down.
+func RunLoad(s *Server, opts LoadOptions) (LoadReport, error) {
+	if opts.Sessions <= 0 {
+		opts.Sessions = 8
+	}
+	if opts.Frames <= 0 {
+		opts.Frames = 50
+	}
+	if opts.Rakes <= 0 {
+		opts.Rakes = 2
+	}
+	if opts.SeedsPerRake <= 0 {
+		opts.SeedsPerRake = 8
+	}
+	if opts.ActiveUsers <= 0 {
+		opts.ActiveUsers = 1
+	}
+	if opts.ActiveUsers > opts.Sessions {
+		opts.ActiveUsers = opts.Sessions
+	}
+
+	// Scene setup runs over its own connection so per-session frame
+	// counts stay uniform.
+	setupServer, setupClient := netsim.Pipe(netsim.Link{})
+	go s.d.ServeConn(setupServer)
+	setup := dlib.NewClient(setupClient)
+	var cmds []wire.Command
+	b := s.st.Grid().Bounds()
+	span := b.Max.Sub(b.Min)
+	for i := 0; i < opts.Rakes; i++ {
+		frac := (float32(i) + 0.5) / float32(opts.Rakes)
+		x := b.Min.X + 0.15*span.X
+		z := b.Min.Z + 0.5*span.Z
+		cmds = append(cmds, wire.Command{
+			Kind:     wire.CmdAddRake,
+			P0:       vmath.V3(x, b.Min.Y+frac*span.Y*0.8, z),
+			P1:       vmath.V3(x, b.Min.Y+frac*span.Y*0.8+0.15*span.Y, z),
+			NumSeeds: uint32(opts.SeedsPerRake),
+			Tool:     uint8(0), // streamline
+		})
+	}
+	if opts.Play {
+		cmds = append(cmds,
+			wire.Command{Kind: wire.CmdSetLoop, Flag: 1},
+			wire.Command{Kind: wire.CmdSetSpeed, Value: 1},
+			wire.Command{Kind: wire.CmdSetPlaying, Flag: 1},
+		)
+	}
+	if _, err := setup.Call(wire.ProcFrame, wire.EncodeClientUpdate(wire.ClientUpdate{Commands: cmds})); err != nil {
+		setup.Close()
+		return LoadReport{}, fmt.Errorf("server: load setup frame: %w", err)
+	}
+	setup.Close()
+
+	// Snapshot after setup so the report's deltas cover exactly the
+	// fleet's frames, not the scene-building round.
+	before := s.Stats()
+
+	var period time.Duration
+	if opts.FrameRate > 0 {
+		period = time.Duration(float64(time.Second) / opts.FrameRate)
+	}
+
+	latencies := make([]time.Duration, opts.Sessions*opts.Frames)
+	var errCount int64
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		errCount++
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < opts.Sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			serverEnd, clientEnd := netsim.Pipe(opts.Link)
+			go s.d.ServeConn(serverEnd)
+			c := dlib.NewClient(clientEnd)
+			defer c.Close()
+			if _, err := c.Call(wire.ProcHello, nil); err != nil {
+				fail(fmt.Errorf("session %d: hello: %w", i, err))
+				return
+			}
+			active := i < opts.ActiveUsers
+			hand := vmath.V3(float32(i), 0, 0)
+			// Stagger session starts across one period so the fleet
+			// doesn't phase-lock into a single burst.
+			var next time.Time
+			if period > 0 {
+				next = start.Add(period * time.Duration(i) / time.Duration(opts.Sessions))
+			}
+			for f := 0; f < opts.Frames; f++ {
+				if period > 0 {
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+					next = next.Add(period)
+				}
+				if active {
+					hand = vmath.V3(float32(i), float32(f)*0.01, 0)
+				}
+				payload := wire.EncodeClientUpdate(wire.ClientUpdate{
+					Head: vmath.Identity(),
+					Hand: hand,
+				})
+				callStart := time.Now()
+				out, err := c.Call(wire.ProcFrame, payload)
+				if err != nil {
+					fail(fmt.Errorf("session %d frame %d: %w", i, f, err))
+					return
+				}
+				latencies[i*opts.Frames+f] = time.Since(callStart)
+				if _, err := wire.DecodeFrameReply(out); err != nil {
+					fail(fmt.Errorf("session %d frame %d: decode: %w", i, f, err))
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after := s.Stats()
+	report := LoadReport{
+		Sessions:      opts.Sessions,
+		Frames:        opts.Frames,
+		Elapsed:       elapsed,
+		Rounds:        after.Frames - before.Frames,
+		FramesReused:  after.FramesReused - before.FramesReused,
+		FramesEncoded: after.FramesEncoded - before.FramesEncoded,
+		FramesShipped: after.FramesShipped - before.FramesShipped,
+		BytesShipped:  after.BytesShipped - before.BytesShipped,
+		Points:        after.Points - before.Points,
+		Errors:        errCount,
+	}
+	if cs, ok := s.CacheStats(); ok {
+		report.Cache = cs
+		report.HasCache = true
+	}
+
+	// Failed calls leave zero latencies; drop them before ranking.
+	valid := latencies[:0]
+	for _, l := range latencies {
+		if l > 0 {
+			valid = append(valid, l)
+		}
+	}
+	if len(valid) > 0 {
+		sort.Slice(valid, func(a, b int) bool { return valid[a] < valid[b] })
+		var sum time.Duration
+		for _, l := range valid {
+			sum += l
+		}
+		report.Latency = LatencyStats{
+			P50:  quantile(valid, 0.50),
+			P90:  quantile(valid, 0.90),
+			P99:  quantile(valid, 0.99),
+			Max:  valid[len(valid)-1],
+			Mean: sum / time.Duration(len(valid)),
+		}
+	}
+	return report, firstErr
+}
+
+// quantile returns the q-quantile of an ascending-sorted slice by
+// nearest-rank.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted)-1) + 0.5)
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,310 @@
+package server
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dlib"
+	"repro/internal/integrate"
+	"repro/internal/netsim"
+	"repro/internal/store"
+	"repro/internal/vmath"
+	"repro/internal/wire"
+)
+
+// testDiskStore writes the standard test dataset to a temp directory
+// and opens it as an I/O-backed store.
+func testDiskStore(t testing.TB, numSteps int, opts store.DiskOptions) *store.Disk {
+	t.Helper()
+	dir := t.TempDir()
+	mem := testDataset(t, numSteps)
+	if err := store.WriteDataset(dir, mem.Unsteady()); err != nil {
+		t.Fatal(err)
+	}
+	d, err := store.OpenDisk(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestLoadEncodeOnceFanOut is the scale-out acceptance: a fleet of
+// simulated workstations at the paper's 10 frames/second must show
+// frames-encoded per round independent of the session count — adding
+// workstations adds ships, not encodes.
+func TestLoadEncodeOnceFanOut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paced load run")
+	}
+	const frames = 5
+	run := func(sessions int) LoadReport {
+		s, err := New(Config{Store: testDataset(t, 4)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Dlib().Close()
+		rep, err := RunLoad(s, LoadOptions{
+			Sessions:  sessions,
+			Frames:    frames,
+			FrameRate: 10,
+		})
+		if err != nil {
+			t.Fatalf("%d sessions: %v", sessions, err)
+		}
+		t.Logf("%v", rep)
+		return rep
+	}
+	small := run(8)
+	big := run(64)
+	for _, rep := range []LoadReport{small, big} {
+		if rep.Errors != 0 {
+			t.Fatalf("load errors: %+v", rep)
+		}
+		if want := int64(rep.Sessions * frames); rep.FramesShipped != want {
+			t.Errorf("%d sessions shipped %d frames, want %d",
+				rep.Sessions, rep.FramesShipped, want)
+		}
+		// Encodes track rounds (waves of the paced fleet), not calls:
+		// with every session calling each period, at most ~one encode
+		// per period plus scheduling slack — far below sessions*frames.
+		if rep.FramesEncoded > 2*frames+2 {
+			t.Errorf("%d sessions encoded %d rounds for %d paced periods",
+				rep.Sessions, rep.FramesEncoded, frames)
+		}
+	}
+	// The independence claim itself: 8x the fleet must not mean more
+	// encodes per round. Ships scale, encodes do not.
+	if big.FramesEncoded > 2*small.FramesEncoded+4 {
+		t.Errorf("encodes scaled with sessions: %d sessions -> %d encodes, %d sessions -> %d encodes",
+			small.Sessions, small.FramesEncoded, big.Sessions, big.FramesEncoded)
+	}
+	if big.FanOut() < float64(big.Sessions)/2 {
+		t.Errorf("fan-out %.1fx for %d sessions", big.FanOut(), big.Sessions)
+	}
+	if big.Latency.P50 <= 0 || big.Latency.Max < big.Latency.P99 ||
+		big.Latency.P99 < big.Latency.P50 {
+		t.Errorf("latency percentiles inconsistent: %+v", big.Latency)
+	}
+}
+
+// TestLoadCacheHitRate is the store acceptance: a figure-8 unsteady
+// replay (looping playback over an I/O-backed dataset) against a cache
+// with capacity >= the loop must serve >= 90% of timestep loads from
+// memory.
+func TestLoadCacheHitRate(t *testing.T) {
+	const steps = 6
+	s, err := New(Config{
+		Store:      testDiskStore(t, steps, store.DiskOptions{}),
+		Prefetch:   true,
+		CacheSteps: steps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Dlib().Close()
+	rep, err := RunLoad(s, LoadOptions{
+		Sessions: 2,
+		Frames:   100,
+		Play:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.HasCache {
+		t.Fatal("no cache stats in report")
+	}
+	t.Logf("cache: %+v hit rate %.2f", rep.Cache, rep.Cache.HitRate())
+	if rep.Cache.Evictions != 0 {
+		t.Errorf("evictions with capacity == loop length: %+v", rep.Cache)
+	}
+	if got := rep.Cache.HitRate(); got < 0.9 {
+		t.Errorf("hit rate %.2f, want >= 0.90", got)
+	}
+}
+
+// TestLoadCacheEvictionRegime pins the tight-budget regime: capacity 2
+// over a longer loop still serves every frame correctly, evicting and
+// re-reading as playback cycles.
+func TestLoadCacheEvictionRegime(t *testing.T) {
+	const steps = 5
+	s, err := New(Config{
+		Store:      testDiskStore(t, steps, store.DiskOptions{}),
+		CacheSteps: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Dlib().Close()
+	rep, err := RunLoad(s, LoadOptions{
+		Sessions: 2,
+		Frames:   3 * steps,
+		Play:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors under eviction churn: %+v", rep)
+	}
+	if rep.Cache.Evictions == 0 {
+		t.Errorf("no evictions with capacity 2 over a %d-step loop: %+v", steps, rep.Cache)
+	}
+	if rep.Cache.ResidentSteps > 2 {
+		t.Errorf("resident %d exceeds budget 2", rep.Cache.ResidentSteps)
+	}
+}
+
+// TestLoadDefaultsAndLink smoke-tests the defaulted configuration and
+// a bandwidth-shaped link end to end.
+func TestLoadDefaultsAndLink(t *testing.T) {
+	s, err := New(Config{Store: testDataset(t, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Dlib().Close()
+	rep, err := RunLoad(s, LoadOptions{
+		Sessions: 3,
+		Frames:   4,
+		Link:     netsim.Link{BandwidthBytesPerSec: 20 << 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sessions != 3 || rep.Frames != 4 {
+		t.Fatalf("report dims: %+v", rep)
+	}
+	if rep.FramesShipped != 12 || rep.Errors != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.HasCache {
+		t.Error("memory store grew a cache")
+	}
+	if rep.String() == "" {
+		t.Error("empty report string")
+	}
+}
+
+// TestConcurrentSessionsRakeLocksAndEviction is the -race regression
+// for the fan-out + cache combination: >= 8 concurrent sessions
+// grabbing, moving, and releasing FCFS rake locks every frame while
+// looping playback churns a capacity-2 cache underneath.
+func TestConcurrentSessionsRakeLocksAndEviction(t *testing.T) {
+	s, err := New(Config{
+		Store:       testDiskStore(t, 4, store.DiskOptions{}),
+		CacheSteps:  2,
+		RakeWorkers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Dlib().Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Dlib().Serve(ln)
+	addr := ln.Addr().String()
+
+	// One session builds the scene: a rake per pair of contenders plus
+	// looping playback so cache eviction runs under the contention.
+	c0, err := dlib.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+	setup := wire.ClientUpdate{Commands: []wire.Command{
+		addRakeCmd(vmath.V3(1, 4, 4), vmath.V3(1, 6, 4), 2, integrate.ToolStreamline),
+		addRakeCmd(vmath.V3(1, 7, 4), vmath.V3(1, 9, 4), 2, integrate.ToolStreamline),
+		addRakeCmd(vmath.V3(1, 10, 4), vmath.V3(1, 12, 4), 2, integrate.ToolStreamline),
+		addRakeCmd(vmath.V3(1, 12, 4), vmath.V3(1, 14, 4), 2, integrate.ToolStreamline),
+		{Kind: wire.CmdSetLoop, Flag: 1},
+		{Kind: wire.CmdSetSpeed, Value: 1},
+		{Kind: wire.CmdSetPlaying, Flag: 1},
+	}}
+	r := frame(t, c0, setup)
+	if len(r.Rakes) != 4 {
+		t.Fatalf("setup rakes = %d", len(r.Rakes))
+	}
+	rakeIDs := make([]int32, len(r.Rakes))
+	for i, rk := range r.Rakes {
+		rakeIDs[i] = rk.ID
+	}
+
+	const sessions = 8
+	const frames = 12
+	var wg sync.WaitGroup
+	for g := 0; g < sessions; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := dlib.Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			rake := rakeIDs[g%len(rakeIDs)]
+			for f := 0; f < frames; f++ {
+				var cmds []wire.Command
+				switch f % 3 {
+				case 0:
+					cmds = []wire.Command{{Kind: wire.CmdGrab, Rake: rake,
+						Grab: uint8(integrate.GrabCenter)}}
+				case 1:
+					cmds = []wire.Command{{Kind: wire.CmdMove, Rake: rake,
+						Pos: vmath.V3(2+float32(g)*0.1, 8+float32(f)*0.1, 4)}}
+				default:
+					cmds = []wire.Command{{Kind: wire.CmdRelease, Rake: rake}}
+				}
+				u := wire.ClientUpdate{
+					Hand:     vmath.V3(float32(g), float32(f), 0),
+					Commands: cmds,
+				}
+				out, err := c.Call(wire.ProcFrame, wire.EncodeClientUpdate(u))
+				if err != nil {
+					t.Errorf("session %d frame %d: %v", g, f, err)
+					return
+				}
+				if _, err := wire.DecodeFrameReply(out); err != nil {
+					t.Errorf("session %d frame %d decode: %v", g, f, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// The environment survived the contention: every rake is still
+	// present and grabbable, and the cache stayed within budget.
+	r = frame(t, c0, wire.ClientUpdate{})
+	if len(r.Rakes) != 4 {
+		t.Errorf("rakes after churn = %d, want 4", len(r.Rakes))
+	}
+	if cs, ok := s.CacheStats(); !ok || cs.ResidentSteps > 2 {
+		t.Errorf("cache state after churn: %+v ok=%v", cs, ok)
+	}
+	if st := s.Stats(); st.FramesShipped < sessions*frames {
+		t.Errorf("shipped %d < %d calls", st.FramesShipped, sessions*frames)
+	}
+}
+
+// quantile edge cases.
+func TestQuantile(t *testing.T) {
+	if got := quantile(nil, 0.5); got != 0 {
+		t.Errorf("empty quantile = %v", got)
+	}
+	one := []time.Duration{7}
+	if got := quantile(one, 0.99); got != 7 {
+		t.Errorf("singleton p99 = %v", got)
+	}
+	four := []time.Duration{1, 2, 3, 4}
+	if got := quantile(four, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := quantile(four, 1); got != 4 {
+		t.Errorf("p100 = %v", got)
+	}
+}

@@ -97,16 +97,18 @@ func rawFrame(t *testing.T, c *dlib.Client, u wire.ClientUpdate) []byte {
 	return out
 }
 
-// stripNanos zeroes the ComputeNanos/LoadNanos span (bytes [14,30) of
-// the reply: after the 14-byte time status) — the only wall-clock
-// content in a FrameReply.
+// stripNanos zeroes the ComputeNanos/LoadNanos/Round span (bytes
+// [14,38) of the reply: after the 14-byte time status) — the only
+// per-round volatile content in a FrameReply. Nanos are wall-clock;
+// Round is the recompute counter, which by design differs between two
+// separate recomputes of identical inputs.
 func stripNanos(t *testing.T, b []byte) []byte {
 	t.Helper()
-	if len(b) < 30 {
+	if len(b) < 38 {
 		t.Fatalf("reply too short: %d bytes", len(b))
 	}
 	out := bytes.Clone(b)
-	for i := 14; i < 30; i++ {
+	for i := 14; i < 38; i++ {
 		out[i] = 0
 	}
 	return out
@@ -118,7 +120,7 @@ func stripNanos(t *testing.T, b []byte) []byte {
 // (equality outside the wall-clock nanos span). This depends on
 // reply.Users being sorted — map-ordered users made encodes flap.
 func TestFrameBytesDeterministic(t *testing.T) {
-	_, c, addr := startTestServer(t, Config{Store: testDataset(t, 4)})
+	s, c, addr := startTestServer(t, Config{Store: testDataset(t, 4)})
 	c2, err := dlib.Dial(addr)
 	if err != nil {
 		t.Fatal(err)
@@ -154,6 +156,42 @@ func TestFrameBytesDeterministic(t *testing.T) {
 	}
 	if !bytes.Equal(stripNanos(t, p1), stripNanos(t, p2)) {
 		t.Error("recomputed frames with identical inputs differ beyond nanos")
+	}
+
+	// Encode-once fan-out: a second session served within the same
+	// round receives exactly the bytes the first session got — nanos
+	// and round counter included — and no second encode happens.
+	encodedBefore := s.Stats().FramesEncoded
+	// A fresh pose forces a true recompute (same pose would serve the
+	// whole-frame memo without encoding).
+	f1 := rawFrame(t, c, wire.ClientUpdate{Hand: vmath.V3(7, 7, 7)})
+	f2 := rawFrame(t, c2, wire.ClientUpdate{Hand: vmath.V3(5, 5, 5)}) // joins that round
+	if !bytes.Equal(f1, f2) {
+		t.Error("two sessions in one round got different payloads")
+	}
+	if got := s.Stats().FramesEncoded - encodedBefore; got != 1 {
+		t.Errorf("round fan-out encoded %d times, want 1", got)
+	}
+	r1, err := wire.DecodeFrameReply(f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := wire.DecodeFrameReply(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Round != r2.Round {
+		t.Errorf("rounds differ: %d vs %d", r1.Round, r2.Round)
+	}
+	// And once c2 consumes its own next frame, the round advances for
+	// it — the Round counter is strictly increasing across recomputes.
+	f3 := rawFrame(t, c2, wire.ClientUpdate{Hand: vmath.V3(6, 6, 6)})
+	r3, err := wire.DecodeFrameReply(f3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Round <= r2.Round {
+		t.Errorf("round did not advance: %d then %d", r2.Round, r3.Round)
 	}
 }
 
@@ -246,22 +284,30 @@ func TestSteadyFrameAllocs(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctx := &dlib.Ctx{Session: &dlib.Session{ID: 1}}
+	// Calling handleFrame directly (no dlib dispatch) takes on the
+	// transport's obligation: settle the reply-release hook after
+	// "sending", or round buffers pile up references and never recycle.
+	call := func(payload []byte) error {
+		_, err := s.handleFrame(ctx, payload)
+		ctx.FinishReply()
+		return err
+	}
 	add := wire.EncodeClientUpdate(wire.ClientUpdate{Commands: []wire.Command{
 		addRakeCmd(vmath.V3(1, 4, 4), vmath.V3(1, 12, 4), 8, integrate.ToolStreamline),
 		addRakeCmd(vmath.V3(2, 4, 4), vmath.V3(2, 12, 4), 8, integrate.ToolStreamline),
 	}})
-	if _, err := s.handleFrame(ctx, add); err != nil {
+	if err := call(add); err != nil {
 		t.Fatal(err)
 	}
 	steady := wire.EncodeClientUpdate(wire.ClientUpdate{})
 	// Warm the scratch buffers.
 	for i := 0; i < 3; i++ {
-		if _, err := s.handleFrame(ctx, steady); err != nil {
+		if err := call(steady); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if got := testing.AllocsPerRun(100, func() {
-		if _, err := s.handleFrame(ctx, steady); err != nil {
+		if err := call(steady); err != nil {
 			t.Fatal(err)
 		}
 	}); got > 4 {
@@ -279,7 +325,7 @@ func TestSteadyFrameAllocs(t *testing.T) {
 			p = poseB
 		}
 		flip = !flip
-		if _, err := s.handleFrame(ctx, p); err != nil {
+		if err := call(p); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -289,7 +335,7 @@ func TestSteadyFrameAllocs(t *testing.T) {
 			p = poseB
 		}
 		flip = !flip
-		if _, err := s.handleFrame(ctx, p); err != nil {
+		if err := call(p); err != nil {
 			t.Fatal(err)
 		}
 	}); got > 16 {

@@ -13,15 +13,24 @@
 // geometry inputs (endpoints, seed count, tool — tracked by a version
 // counter in env) and the timestep, so only rakes whose inputs changed
 // are recomputed; independent dirty rakes recompute concurrently on a
-// bounded worker pool. Encode and conversion buffers are recycled
-// across rounds (safe because the dlib server copies replies under its
-// serial dispatch lock — see dlib.Server.CopyReplies), so a
-// steady-state frame does near-zero allocation.
+// bounded worker pool.
+//
+// Frames fan out encode-once: each round is wire-encoded exactly one
+// time into a ref-counted buffer shared by every session served within
+// that round — a session's reply holds a reference until dlib finishes
+// writing it (Ctx.ReplyDone), and buffers whose references drain
+// recycle into a small free list. Adding workstations therefore adds
+// sends, not encodes: frames-encoded per round is independent of the
+// session count, and steady-state frames do near-zero allocation. An
+// optional shared timestep cache (store.Cache) sits under the
+// prefetcher so the sessions' overlapping playback positions hit
+// memory instead of re-reading mass storage.
 package server
 
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"time"
@@ -62,6 +71,14 @@ type Config struct {
 	// Prefetch enables next-timestep prefetching when Store is (or
 	// wraps) I/O-bound storage.
 	Prefetch bool
+	// CacheSteps / CacheBytes enable the shared timestep LRU between
+	// the server and an I/O-backed Store: CacheSteps bounds resident
+	// timesteps, CacheBytes bounds their total size (either may be
+	// zero for "no bound on that axis"; both zero disables the cache).
+	// Fully resident stores (store.Memory) are never wrapped — they
+	// are already the cache.
+	CacheSteps int
+	CacheBytes int64
 }
 
 // Stats is a snapshot of server-side performance counters.
@@ -89,6 +106,12 @@ type Stats struct {
 	RakesComputed int64
 	RakesReused   int64
 	FramesReused  int64
+	// FramesEncoded counts wire encodes of a round buffer;
+	// FramesShipped counts per-session reply sends. Encode-once means
+	// FramesEncoded tracks rounds (not sessions) while FramesShipped
+	// grows with the number of attached workstations.
+	FramesEncoded int64
+	FramesShipped int64
 }
 
 // Server is the remote-host application layered on a dlib server.
@@ -97,6 +120,11 @@ type Server struct {
 	cfg Config
 	env *env.Environment
 	rec obs.Recorder
+
+	// st is the effective store: cfg.Store, optionally wrapped by the
+	// shared timestep cache. All dataset access goes through it.
+	st    store.Store
+	cache *store.Cache
 
 	prefetcher *store.Prefetcher
 	// window keeps the particle-path timestep range resident for
@@ -113,10 +141,12 @@ type Server struct {
 	geoCache map[int32]*rakeGeom
 	round    uint64 // recompute round counter, for cache sweeping
 
-	// Current round: encoded reply (empty = no round yet), the env
-	// version and point count it was computed at, and which sessions
-	// have consumed it. All buffers below recycle across rounds.
-	encoded     []byte
+	// Current round: the ref-counted encode-once buffer (nil = no
+	// round yet), the env version and point count it was computed at,
+	// and which sessions have consumed it. free holds drained buffers
+	// for reuse. All buffers below recycle across rounds.
+	fb          *frameBuf
+	free        []*frameBuf
 	consumedBy  map[int64]bool
 	lastVersion uint64
 	lastPoints  int64
@@ -161,6 +191,55 @@ type rakeJob struct {
 	streak *integrate.Streak // non-nil for streakline rakes
 }
 
+// frameBuf is one round's encoded reply, shared zero-copy by every
+// session served within the round. refs counts in-flight sends (dlib
+// writes that have not yet completed); it is guarded by Server.mu. The
+// release closure is allocated once per buffer so handing a reference
+// back per send costs nothing.
+type frameBuf struct {
+	buf     []byte
+	refs    int
+	release func()
+}
+
+// maxFreeFrameBufs caps the drained-buffer free list. Buffers beyond
+// the cap are dropped to the GC; in steady state one or two buffers
+// circulate (one being written to slow clients, one being encoded).
+const maxFreeFrameBufs = 8
+
+// newFrameBuf allocates a buffer whose release returns it to the
+// server's free list once its last in-flight send completes — unless
+// it is still the current round buffer, which stays put for in-place
+// reuse.
+func (s *Server) newFrameBuf() *frameBuf {
+	fb := &frameBuf{}
+	fb.release = func() {
+		s.mu.Lock()
+		fb.refs--
+		if fb.refs == 0 && s.fb != fb && len(s.free) < maxFreeFrameBufs {
+			s.free = append(s.free, fb)
+		}
+		s.mu.Unlock()
+	}
+	return fb
+}
+
+// acquireEncodeBufLocked returns the buffer the next encode may write
+// into: the current round buffer when no sends still reference it
+// (in-place reuse, the steady-state path), otherwise a drained buffer
+// from the free list or a fresh one. Caller holds s.mu.
+func (s *Server) acquireEncodeBufLocked() *frameBuf {
+	if fb := s.fb; fb != nil && fb.refs == 0 {
+		return fb
+	}
+	if n := len(s.free); n > 0 {
+		fb := s.free[n-1]
+		s.free = s.free[:n-1]
+		return fb
+	}
+	return s.newFrameBuf()
+}
+
 // New builds the application and registers its procedures on a fresh
 // dlib server.
 func New(cfg Config) (*Server, error) {
@@ -185,24 +264,40 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		d:          dlib.NewServer(),
 		cfg:        cfg,
+		st:         cfg.Store,
 		env:        env.New(cfg.Store.NumSteps()),
 		streaks:    make(map[int32]*integrate.Streak),
 		geoCache:   make(map[int32]*rakeGeom),
 		consumedBy: make(map[int64]bool),
 	}
-	// Reply buffers are recycled every round; the copy-under-dispatch
-	// mode is what makes that safe while writes to slow clients are
-	// still in flight.
+	// Frame replies opt out of copy-under-dispatch via the per-send
+	// reference on the round buffer (Ctx.ReplyDone); the flag still
+	// covers any handler that recycles buffers without registering a
+	// release hook.
 	s.d.CopyReplies = true
 	if mem, ok := cfg.Store.(*store.Memory); ok {
 		s.unsteady = mem.Unsteady()
 	}
+	if (cfg.CacheSteps > 0 || cfg.CacheBytes > 0) && s.unsteady == nil {
+		// Shared timestep LRU between the pipeline and mass storage.
+		// Layering: prefetcher / window -> cache -> disk, so prefetched
+		// and windowed loads fill the cache every session benefits from.
+		c, err := store.NewCache(cfg.Store, store.CacheOptions{
+			MaxSteps: cfg.CacheSteps,
+			MaxBytes: cfg.CacheBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.cache = c
+		s.st = c
+	}
 	if cfg.Prefetch {
-		s.prefetcher = store.NewPrefetcher(cfg.Store)
+		s.prefetcher = store.NewPrefetcher(s.st)
 	}
 	if s.unsteady == nil {
 		// I/O-backed store: keep a particle-path window resident.
-		w, err := store.NewWindow(cfg.Store, cfg.Options.MaxSteps+1)
+		w, err := store.NewWindow(s.st, cfg.Options.MaxSteps+1)
 		if err != nil {
 			return nil, err
 		}
@@ -215,7 +310,15 @@ func New(cfg Config) (*Server, error) {
 		binary.LittleEndian.PutUint64(out[:], uint64(ctx.Session.ID))
 		return out[:], nil
 	})
-	s.d.OnDisconnect = func(id int64) { s.env.ReleaseAll(id) }
+	s.d.OnDisconnect = func(id int64) {
+		s.env.ReleaseAll(id)
+		// Round accounting must not leak: a departed session's
+		// consumed-mark would otherwise sit in the map forever (and a
+		// reconnecting session gets a fresh id anyway).
+		s.mu.Lock()
+		delete(s.consumedBy, id)
+		s.mu.Unlock()
+	}
 	return s, nil
 }
 
@@ -237,13 +340,22 @@ func (s *Server) Stats() Stats {
 // benchmark reporting.
 func (s *Server) Recorder() *obs.Recorder { return &s.rec }
 
+// CacheStats reports the shared timestep cache's counters; ok is false
+// when no cache is configured (memory-resident store or zero budgets).
+func (s *Server) CacheStats() (stats store.CacheStats, ok bool) {
+	if s.cache == nil {
+		return store.CacheStats{}, false
+	}
+	return s.cache.Stats(), true
+}
+
 func (s *Server) handleHello(_ *dlib.Ctx, _ []byte) ([]byte, error) {
-	g := s.cfg.Store.Grid()
+	g := s.st.Grid()
 	b := g.Bounds()
 	return wire.EncodeDatasetInfo(wire.DatasetInfo{
 		NI: uint32(g.NI), NJ: uint32(g.NJ), NK: uint32(g.NK),
-		NumSteps:  uint32(s.cfg.Store.NumSteps()),
-		DT:        s.cfg.Store.DT(),
+		NumSteps:  uint32(s.st.NumSteps()),
+		DT:        s.st.DT(),
 		BoundsMin: b.Min,
 		BoundsMax: b.Max,
 	}), nil
@@ -251,14 +363,20 @@ func (s *Server) handleHello(_ *dlib.Ctx, _ []byte) ([]byte, error) {
 
 // handleFrame is the once-per-frame exchange. dlib guarantees serial
 // execution, so handler-side state needs no extra locking against
-// other calls — the mutex protects against Stats() readers only.
+// other calls — the mutex protects against Stats() readers and frame
+// buffer releases, which fire from connection goroutines after their
+// writes complete.
 func (s *Server) handleFrame(ctx *dlib.Ctx, payload []byte) ([]byte, error) {
 	u, err := wire.DecodeClientUpdate(payload)
 	if err != nil {
 		return nil, err
 	}
 	user := ctx.Session.ID
-	s.env.SetUserPose(user, env.UserPose{Head: u.Head, Hand: u.Hand, Gesture: u.Gesture})
+	if finiteMat4(u.Head) && finiteVec3(u.Hand) {
+		// A NaN/Inf pose would poison every participant's user list;
+		// keep the previous pose instead.
+		s.env.SetUserPose(user, env.UserPose{Head: u.Head, Hand: u.Hand, Gesture: u.Gesture})
+	}
 	// Command failures (e.g. grabbing a held rake) must not kill the
 	// frame; the client learns the outcome from the returned state.
 	for _, cmd := range u.Commands {
@@ -271,14 +389,48 @@ func (s *Server) handleFrame(ctx *dlib.Ctx, payload []byte) ([]byte, error) {
 	// current one, or when it just issued commands — the user must see
 	// the effect of their own interaction within this frame (§1.2's
 	// 1/8-second command-to-display loop).
-	if len(s.encoded) == 0 || s.consumedBy[user] || len(u.Commands) > 0 {
+	if s.fb == nil || s.consumedBy[user] || len(u.Commands) > 0 {
 		if err := s.recomputeLocked(); err != nil {
 			return nil, err
 		}
 	}
 	s.consumedBy[user] = true
-	s.stats.BytesShipped += int64(len(s.encoded))
-	return s.encoded, nil
+	// Encode-once fan-out: hand this session a reference to the shared
+	// round buffer; dlib writes it zero-copy and the release hook
+	// drops the reference when the send is done.
+	fb := s.fb
+	fb.refs++
+	ctx.ReplyDone(fb.release)
+	s.stats.FramesShipped++
+	s.stats.BytesShipped += int64(len(fb.buf))
+	s.rec.ObserveShip(int64(len(fb.buf)))
+	return fb.buf, nil
+}
+
+// finiteVec3 reports whether every component is a finite number.
+func finiteVec3(v vmath.Vec3) bool {
+	return finite32(v.X) && finite32(v.Y) && finite32(v.Z)
+}
+
+// finiteMat4 reports whether every element is a finite number.
+func finiteMat4(m vmath.Mat4) bool {
+	for _, v := range m {
+		if !finite32(v) {
+			return false
+		}
+	}
+	return true
+}
+
+func finite32(f float32) bool {
+	// NaN != NaN; the bound excludes ±Inf.
+	return f == f && f <= math.MaxFloat32 && f >= -math.MaxFloat32
+}
+
+// validTool reports whether a client-supplied tool id is a known
+// visualization tool.
+func validTool(t uint8) bool {
+	return integrate.ToolKind(t) <= integrate.ToolStreakline
 }
 
 // clampSeeds bounds a client-requested seed count. Values above the
@@ -295,10 +447,16 @@ func (s *Server) clampSeeds(n int) int {
 // applyCommand executes one user command against the environment.
 // Errors are deliberately swallowed after the conflict rules run:
 // "possible conflicting commands from different workstations are
-// easily handled ... by a 'first come first served' rule."
+// easily handled ... by a 'first come first served' rule." Hostile
+// numeric payloads (NaN/Inf endpoints, unknown tool ids) are dropped
+// here, before they can reach the environment: a rejected command must
+// not bump any version counter or corrupt shared state.
 func (s *Server) applyCommand(user int64, c wire.Command) {
 	switch c.Kind {
 	case wire.CmdAddRake:
+		if !finiteVec3(c.P0) || !finiteVec3(c.P1) || !validTool(c.Tool) {
+			return
+		}
 		s.env.AddRake(c.P0, c.P1, s.clampSeeds(int(c.NumSeeds)), integrate.ToolKind(c.Tool))
 	case wire.CmdRemoveRake:
 		if s.env.RemoveRake(user, c.Rake) == nil {
@@ -312,18 +470,30 @@ func (s *Server) applyCommand(user int64, c wire.Command) {
 	case wire.CmdRelease:
 		s.env.ReleaseRake(user, c.Rake)
 	case wire.CmdMove:
+		if !finiteVec3(c.Pos) {
+			return
+		}
 		s.env.MoveRake(user, c.Rake, c.Pos)
 	case wire.CmdSetSeeds:
 		s.env.SetRakeSeeds(user, c.Rake, s.clampSeeds(int(c.NumSeeds)))
 	case wire.CmdSetPlaying:
 		s.env.SetPlaying(c.Flag != 0)
 	case wire.CmdSetSpeed:
+		if !finite32(c.Value) {
+			return
+		}
 		s.env.SetSpeed(c.Value)
 	case wire.CmdSeek:
+		if !finite32(c.Value) {
+			return
+		}
 		s.env.SeekTime(c.Value)
 	case wire.CmdSetLoop:
 		s.env.SetLoop(c.Flag != 0)
 	case wire.CmdSetTool:
+		if !validTool(c.Tool) {
+			return
+		}
 		if s.env.SetRakeTool(user, c.Rake, integrate.ToolKind(c.Tool)) == nil {
 			// Tool changes orphan any streak state.
 			s.mu.Lock()
@@ -344,9 +514,10 @@ func (s *Server) recomputeLocked() error {
 
 	// Whole-frame memo: if nothing observable changed and no
 	// streakline needs advancing, the previous round's bytes are this
-	// round's bytes. This is also what makes identical frames encode
-	// byte-identically.
-	if len(s.encoded) > 0 && version == s.lastVersion &&
+	// round's bytes — the round buffer is served again (same Round on
+	// the wire, so clients can tell the scene held still). This is
+	// also what makes identical frames encode byte-identically.
+	if s.fb != nil && version == s.lastVersion &&
 		step == s.curStep && len(s.streaks) == 0 {
 		clear(s.consumedBy)
 		s.stats.Frames++
@@ -356,7 +527,7 @@ func (s *Server) recomputeLocked() error {
 			FrameReused: true,
 			RakesReused: len(s.geoCache),
 			Points:      s.lastPoints,
-			Bytes:       int64(len(s.encoded)),
+			Bytes:       int64(len(s.fb.buf)),
 		})
 		return nil
 	}
@@ -382,19 +553,19 @@ func (s *Server) recomputeLocked() error {
 		if ts.Speed < 0 {
 			next = step - 1
 		}
-		if ts.Loop && next >= s.cfg.Store.NumSteps() {
+		if ts.Loop && next >= s.st.NumSteps() {
 			next = 0
 		}
 		if ts.Loop && next < 0 {
-			next = s.cfg.Store.NumSteps() - 1
+			next = s.st.NumSteps() - 1
 		}
-		if next >= 0 && next < s.cfg.Store.NumSteps() {
+		if next >= 0 && next < s.st.NumSteps() {
 			s.prefetcher.Prefetch(next)
 		}
 	}
 
 	computeStart := time.Now()
-	g := s.cfg.Store.Grid()
+	g := s.st.Grid()
 	batch := compute.SteadyBatch{F: s.cur, G: g}
 	s.round++
 
@@ -492,8 +663,14 @@ func (s *Server) recomputeLocked() error {
 		Geometry:     s.geomWire,
 		ComputeNanos: computeTime.Nanoseconds(),
 		LoadNanos:    loadTime.Nanoseconds(),
+		Round:        s.round,
 	}
-	s.encoded = wire.AppendFrameReply(s.encoded[:0], reply)
+	// Encode once into a buffer no in-flight send still references:
+	// the current buffer in place when its references have drained
+	// (steady state), a recycled drained buffer otherwise.
+	fb := s.acquireEncodeBufLocked()
+	fb.buf = wire.AppendFrameReply(fb.buf[:0], reply)
+	s.fb = fb
 	encodeTime := time.Since(encodeStart)
 
 	clear(s.consumedBy)
@@ -501,6 +678,7 @@ func (s *Server) recomputeLocked() error {
 	s.lastPoints = totalPoints
 
 	s.stats.Frames++
+	s.stats.FramesEncoded++
 	s.stats.Points += totalPoints
 	s.stats.ComputeTime += computeTime
 	s.stats.LoadTime += loadTime
@@ -514,7 +692,7 @@ func (s *Server) recomputeLocked() error {
 		RakesComputed: len(s.jobs),
 		RakesReused:   reused,
 		Points:        totalPoints,
-		Bytes:         int64(len(s.encoded)),
+		Bytes:         int64(len(fb.buf)),
 	})
 	return nil
 }
@@ -589,7 +767,7 @@ func (s *Server) loadStep(step int) (*field.Field, error) {
 	if s.prefetcher != nil {
 		return s.prefetcher.LoadStep(step)
 	}
-	return s.cfg.Store.LoadStep(step)
+	return s.st.LoadStep(step)
 }
 
 // timeSampler returns an unsteady sampler for particle paths starting
@@ -601,7 +779,7 @@ func (s *Server) timeSampler(step int) integrate.Sampler {
 	if s.unsteady != nil {
 		return integrate.UnsteadySampler{U: s.unsteady}
 	}
-	src := s.cfg.Store
+	src := s.st
 	if s.window != nil {
 		// A failed slide degrades to on-demand loads; the sampler
 		// still works.

@@ -1,0 +1,202 @@
+package store
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/field"
+	"repro/internal/grid"
+)
+
+// CacheOptions configures a Cache.
+type CacheOptions struct {
+	// MaxSteps bounds the number of resident timesteps. Zero means no
+	// count bound.
+	MaxSteps int
+	// MaxBytes bounds the total resident field bytes. Zero means no
+	// byte bound.
+	MaxBytes int64
+}
+
+// Cache keeps recently used timesteps resident under a memory budget,
+// shared by every session of the server. In the disk regime the paper's
+// remote host pays one mass-storage read per timestep per playback
+// pass; with many workstations attached, the sessions' overlapping
+// time positions make most loads repeats, so a shared LRU in front of
+// the disk turns them into memory hits. The cache is a Store, layered
+// under the Prefetcher (figure 8): prefetched loads fill it, and both
+// foreground and background loads of the same step are coalesced into
+// a single underlying read.
+//
+// At least one timestep stays resident regardless of budget — a cache
+// that cannot hold the step it just loaded would re-read every call.
+type Cache struct {
+	src  Store
+	opts CacheOptions
+
+	mu       sync.Mutex
+	entries  map[int]*list.Element // timestep -> lru element
+	lru      *list.List            // of *cacheEntry; front = most recent
+	bytes    int64
+	inflight map[int]*cacheFlight
+
+	hits, misses, coalesced, evictions atomic.Int64
+}
+
+type cacheEntry struct {
+	t    int
+	f    *field.Field
+	size int64
+}
+
+// cacheFlight is one in-progress underlying load; concurrent callers
+// for the same step wait on done instead of issuing duplicate reads.
+type cacheFlight struct {
+	done chan struct{}
+	f    *field.Field
+	err  error
+}
+
+// NewCache wraps src with a shared LRU under the given budget.
+func NewCache(src Store, opts CacheOptions) (*Cache, error) {
+	if opts.MaxSteps < 0 || opts.MaxBytes < 0 {
+		return nil, fmt.Errorf("store: negative cache budget (steps=%d bytes=%d)",
+			opts.MaxSteps, opts.MaxBytes)
+	}
+	return &Cache{
+		src:      src,
+		opts:     opts,
+		entries:  make(map[int]*list.Element),
+		lru:      list.New(),
+		inflight: make(map[int]*cacheFlight),
+	}, nil
+}
+
+// Grid implements Store.
+func (c *Cache) Grid() *grid.Grid { return c.src.Grid() }
+
+// NumSteps implements Store.
+func (c *Cache) NumSteps() int { return c.src.NumSteps() }
+
+// DT implements Store.
+func (c *Cache) DT() float32 { return c.src.DT() }
+
+// Close implements Store.
+func (c *Cache) Close() error { return c.src.Close() }
+
+// LoadStep implements Store. Resident steps return immediately; a step
+// already being loaded is joined rather than re-read; anything else
+// reads from the source and becomes resident, evicting least-recently
+// used steps past the budget.
+func (c *Cache) LoadStep(t int) (*field.Field, error) {
+	if t < 0 || t >= c.src.NumSteps() {
+		return nil, fmt.Errorf("store: timestep %d out of range [0, %d)", t, c.src.NumSteps())
+	}
+	c.mu.Lock()
+	if el, ok := c.entries[t]; ok {
+		c.lru.MoveToFront(el)
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return el.Value.(*cacheEntry).f, nil
+	}
+	if fl, ok := c.inflight[t]; ok {
+		c.mu.Unlock()
+		c.coalesced.Add(1)
+		<-fl.done
+		return fl.f, fl.err
+	}
+	fl := &cacheFlight{done: make(chan struct{})}
+	c.inflight[t] = fl
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	f, err := c.src.LoadStep(t)
+	fl.f, fl.err = f, err
+
+	c.mu.Lock()
+	delete(c.inflight, t)
+	if err == nil {
+		c.insertLocked(t, f)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return f, err
+}
+
+// insertLocked makes timestep t resident and evicts over budget. The
+// most recent entry is never evicted.
+func (c *Cache) insertLocked(t int, f *field.Field) {
+	if el, ok := c.entries[t]; ok {
+		// A racing load of the same step can beat us here only via
+		// Invalidate windows; keep the existing entry fresh.
+		c.lru.MoveToFront(el)
+		return
+	}
+	e := &cacheEntry{t: t, f: f, size: f.SizeBytes()}
+	c.entries[t] = c.lru.PushFront(e)
+	c.bytes += e.size
+	for c.lru.Len() > 1 && c.overBudgetLocked() {
+		back := c.lru.Back()
+		victim := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		delete(c.entries, victim.t)
+		c.bytes -= victim.size
+		c.evictions.Add(1)
+	}
+}
+
+func (c *Cache) overBudgetLocked() bool {
+	if c.opts.MaxSteps > 0 && c.lru.Len() > c.opts.MaxSteps {
+		return true
+	}
+	if c.opts.MaxBytes > 0 && c.bytes > c.opts.MaxBytes {
+		return true
+	}
+	return false
+}
+
+// Resident reports whether timestep t is currently cached.
+func (c *Cache) Resident(t int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[t]
+	return ok
+}
+
+// CacheStats counts cache activity. Hits were served from resident
+// steps, Coalesced joined an in-flight load (no second read issued),
+// Misses paid an underlying read, Evictions counts steps dropped to
+// stay within budget.
+type CacheStats struct {
+	Hits, Misses, Coalesced, Evictions int64
+	ResidentSteps                      int
+	ResidentBytes                      int64
+}
+
+// HitRate returns the fraction of LoadStep calls that avoided an
+// underlying read (hits plus coalesced joins), or 0 with no traffic.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses + s.Coalesced
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Coalesced) / float64(total)
+}
+
+// Stats reports cumulative cache statistics.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	resident := c.lru.Len()
+	bytes := c.bytes
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Coalesced:     c.coalesced.Load(),
+		Evictions:     c.evictions.Load(),
+		ResidentSteps: resident,
+		ResidentBytes: bytes,
+	}
+}

@@ -100,6 +100,7 @@ func AppendFrameReply(dst []byte, r FrameReply) []byte {
 	e.u32(r.Time.NumSteps)
 	e.i64(r.ComputeNanos)
 	e.i64(r.LoadNanos)
+	e.u64(r.Round)
 
 	e.u32(uint32(len(r.Users)))
 	for _, u := range r.Users {
@@ -142,6 +143,7 @@ func DecodeFrameReply(buf []byte) (FrameReply, error) {
 	r.Time.NumSteps = d.u32()
 	r.ComputeNanos = d.i64()
 	r.LoadNanos = d.i64()
+	r.Round = d.u64()
 
 	const userBytes = 85
 	nUsers := d.countSized(maxEntities, userBytes)

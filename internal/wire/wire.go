@@ -133,6 +133,12 @@ type FrameReply struct {
 	Geometry     []Geometry
 	ComputeNanos int64 // server-side visualization compute time
 	LoadNanos    int64 // server-side timestep load time (disk regime)
+	// Round identifies the server computation round this reply's
+	// content came from. All sessions served within one round receive
+	// the same Round (and byte-identical payloads — the encode-once
+	// fan-out); a workstation seeing an unchanged Round knows the
+	// shared scene did not change.
+	Round uint64
 }
 
 // TotalPoints returns the point count across all geometry, the

@@ -122,6 +122,7 @@ func randomReply(rng *rand.Rand) FrameReply {
 		},
 		ComputeNanos: rng.Int63(),
 		LoadNanos:    rng.Int63(),
+		Round:        rng.Uint64(),
 	}
 	for i := 0; i < rng.Intn(3); i++ {
 		r.Users = append(r.Users, UserState{
@@ -157,7 +158,8 @@ func randomReply(rng *rand.Rand) FrameReply {
 }
 
 func repliesEqual(a, b FrameReply) bool {
-	if a.Time != b.Time || a.ComputeNanos != b.ComputeNanos || a.LoadNanos != b.LoadNanos {
+	if a.Time != b.Time || a.ComputeNanos != b.ComputeNanos || a.LoadNanos != b.LoadNanos ||
+		a.Round != b.Round {
 		return false
 	}
 	if len(a.Users) != len(b.Users) || len(a.Rakes) != len(b.Rakes) || len(a.Geometry) != len(b.Geometry) {
