@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet chaos fuzz fuzz-server ci bench bench-smoke bench-check load
+.PHONY: all build test race vet lint chaos fuzz fuzz-server ci bench bench-smoke bench-check load
 
 all: build test
 
@@ -12,6 +12,13 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific invariant analyzers (wallclock, lockdiscipline,
+# hotpath, replyownership) over the whole module. Fails on any finding
+# not annotated with a //vw:allow directive. Also usable through vet:
+#   go build -o vwlint ./cmd/vwlint && go vet -vettool=./vwlint ./...
+lint:
+	$(GO) run ./cmd/vwlint ./...
 
 # Full suite under the race detector, chaos tests included.
 race:
@@ -34,7 +41,7 @@ fuzz-server:
 	$(GO) test -fuzz FuzzApplyCommand -fuzztime 30s ./internal/server/
 
 # The gate a change must pass before merging.
-ci: vet race bench-check
+ci: vet lint race bench-check
 
 bench:
 	$(GO) test -bench . -benchmem ./...

@@ -1,0 +1,173 @@
+// Command vwlint runs the project's invariant analyzers (wallclock,
+// lockdiscipline, hotpath, replyownership — see internal/analysis)
+// over the repo. It has two faces:
+//
+// Standalone, the way `make lint` uses it:
+//
+//	go run ./cmd/vwlint ./...
+//	go run ./cmd/vwlint ./internal/server
+//
+// walks the module, typechecks every non-test package with the
+// source importer, and prints findings as file:line:col: message
+// [analyzer], exiting 1 if anything (including a malformed //vw:
+// directive or a deterministic package that lost its
+// //vw:deterministic opt-in) survives the //vw:allow annotations.
+//
+// As a vet tool, for editor/CI integration on top of go vet's
+// incremental action graph:
+//
+//	go vet -vettool=$(pwd)/bin/vwlint ./...
+//
+// where it speaks the -V=full / -flags / pkg.cfg protocol and reads
+// the gc export data the go command hands it.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() { os.Exit(run(os.Args[1:])) }
+
+func run(args []string) int {
+	// The go vet driver handshake: version identity, then flag
+	// discovery, then one "vetFlags... pkg.cfg" invocation per
+	// package.
+	for _, a := range args {
+		if strings.HasPrefix(a, "-V=") || a == "-V" {
+			// Three fields with f[1]=="version"; the third names a
+			// release so cmd/go can use the line as a cache key.
+			fmt.Println("vwlint version v1")
+			return 0
+		}
+	}
+	for _, a := range args {
+		if a == "-flags" {
+			fmt.Println("[]") // no tool-specific flags
+			return 0
+		}
+	}
+	if n := len(args); n > 0 && strings.HasSuffix(args[n-1], ".cfg") {
+		return runVetTool(args[n-1])
+	}
+	return runStandalone(args)
+}
+
+// runStandalone loads packages from the module tree and reports.
+func runStandalone(patterns []string) int {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return fail(err)
+	}
+	root, modPath, err := analysis.ModuleRoot(cwd)
+	if err != nil {
+		return fail(err)
+	}
+	dirs, err := selectDirs(root, cwd, patterns)
+	if err != nil {
+		return fail(err)
+	}
+
+	loader := analysis.NewLoader()
+	analyzers := analysis.All()
+	var diags []analysis.Diagnostic
+	deterministic := make(map[string]bool) // import path -> has directive
+	for _, rel := range dirs {
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := loader.LoadDir(filepath.Join(root, rel), importPath)
+		if err != nil {
+			return fail(err)
+		}
+		if pkg == nil {
+			continue
+		}
+		deterministic[importPath] = pkg.Directives.Deterministic
+		diags = append(diags, pkg.Directives.Bad...)
+		diags = append(diags, analysis.RunAll(analyzers, pkg)...)
+	}
+
+	// The determinism net must not rot: every package on the list
+	// keeps its //vw:deterministic opt-in.
+	exit := 0
+	for _, p := range analysis.DeterministicPackages {
+		has, loaded := deterministic[p]
+		if loaded && !has {
+			fmt.Fprintf(os.Stderr, "vwlint: %s must carry //vw:deterministic (see internal/analysis.DeterministicPackages)\n", p)
+			exit = 1
+		}
+	}
+
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, relPosition(cwd, d))
+		exit = 1
+	}
+	return exit
+}
+
+// selectDirs maps package patterns onto module-relative directories.
+// Supported: "./..." (everything), "dir/..." (subtree), and plain
+// directories.
+func selectDirs(root, cwd string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	all, err := analysis.PackageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	seen := make(map[string]bool)
+	add := func(rel string) {
+		if !seen[rel] {
+			seen[rel] = true
+			out = append(out, rel)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = "."
+			}
+		}
+		abs := pat
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(cwd, pat)
+		}
+		base, err := filepath.Rel(root, abs)
+		if err != nil || strings.HasPrefix(base, "..") {
+			return nil, fmt.Errorf("vwlint: pattern %q is outside the module", pat)
+		}
+		for _, rel := range all {
+			switch {
+			case rel == base:
+				add(rel)
+			case recursive && (base == "." || strings.HasPrefix(rel, base+string(filepath.Separator))):
+				add(rel)
+			}
+		}
+	}
+	return out, nil
+}
+
+func relPosition(cwd string, d analysis.Diagnostic) string {
+	s := d.String()
+	if rel, err := filepath.Rel(cwd, d.Position.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		s = rel + strings.TrimPrefix(s, d.Position.Filename)
+	}
+	return s
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "vwlint:", err)
+	return 1
+}

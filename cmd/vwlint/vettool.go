@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+// vetConfig mirrors the JSON the go command writes for each vet.cfg
+// (see cmd/go/internal/work's vetConfig). Fields we don't need are
+// omitted; unknown fields are ignored by encoding/json.
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+
+	VetxOnly   bool
+	VetxOutput string
+
+	GoVersion string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetTool is the `go vet -vettool` entry point: one invocation per
+// package, reading the typecheck universe from gc export data.
+func runVetTool(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return fail(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return fail(fmt.Errorf("parsing %s: %w", cfgPath, err))
+	}
+
+	// The driver expects a facts file even though vwlint keeps no
+	// cross-package facts; an empty one keeps the action graph happy.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return fail(err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency run: facts only, no reporting
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			return fail(err)
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	conf := types.Config{
+		Importer:  importer.ForCompiler(fset, compiler, lookup),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		return fail(fmt.Errorf("typecheck %s: %w", cfg.ImportPath, err))
+	}
+
+	pkg := &analysis.Package{
+		Fset:       fset,
+		Files:      files,
+		Pkg:        tpkg,
+		Info:       info,
+		Path:       cfg.ImportPath,
+		Directives: analysis.ParseDirectives(fset, files),
+	}
+	diags := append([]analysis.Diagnostic(nil), pkg.Directives.Bad...)
+	diags = append(diags, analysis.RunAll(analysis.All(), pkg)...)
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	return 2 // the conventional vet "diagnostics reported" exit
+}

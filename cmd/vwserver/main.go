@@ -129,9 +129,7 @@ func main() {
 				srv.Dlib().NumSessions())
 			log.Printf("  pipeline: %s", srv.Recorder().Snapshot())
 			if cs, ok := srv.CacheStats(); ok {
-				log.Printf("  cache: hits=%d misses=%d coalesced=%d evictions=%d resident=%d (%.1fMB) hit=%.0f%%",
-					cs.Hits, cs.Misses, cs.Coalesced, cs.Evictions,
-					cs.ResidentSteps, float64(cs.ResidentBytes)/(1<<20), 100*cs.HitRate())
+				log.Printf("  cache: %s", cs)
 			}
 			for _, proc := range srv.Dlib().ProcNames() {
 				ps := srv.Dlib().ProcStats()[proc]

@@ -1,0 +1,31 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Wallclock, "wallclock")
+}
+
+// TestWallclockOptIn proves the analyzer is gated on the
+// //vw:deterministic directive: the _off fixture uses time.Now freely
+// and must draw no findings.
+func TestWallclockOptIn(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Wallclock, "wallclock_off")
+}
+
+func TestLockDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.LockDiscipline, "lockdiscipline")
+}
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.HotPath, "hotpath")
+}
+
+func TestReplyOwnership(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.ReplyOwnership, "replyownership")
+}

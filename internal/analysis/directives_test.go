@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, *Directives) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "dir.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, ParseDirectives(fset, []*ast.File{f})
+}
+
+func TestDirectiveParsing(t *testing.T) {
+	src := `// Package p is deterministic.
+//
+//vw:deterministic
+package p
+
+//vw:hotpath
+func hot() {
+	_ = 1 //vw:allow wallclock,hotpath -- both names, one comment
+}
+`
+	_, d := parseOne(t, src)
+	if !d.Deterministic {
+		t.Error("//vw:deterministic in package doc not detected")
+	}
+	if len(d.HotpathFuncs()) != 1 || d.HotpathFuncs()[0].Name.Name != "hot" {
+		t.Errorf("hotpath funcs = %v, want [hot]", d.HotpathFuncs())
+	}
+	if len(d.Bad) != 0 {
+		t.Errorf("unexpected bad directives: %v", d.Bad)
+	}
+	pos := token.Position{Filename: "dir.go", Line: 8}
+	for _, name := range []string{"wallclock", "hotpath"} {
+		if !d.Allowed(name, pos) {
+			t.Errorf("line 8 should be allowed for %s", name)
+		}
+	}
+	if d.Allowed("lockdiscipline", pos) {
+		t.Error("unlisted analyzer must not be allowed")
+	}
+	// The line-above form covers the next line only.
+	if d.Allowed("wallclock", token.Position{Filename: "dir.go", Line: 10}) {
+		t.Error("allow must not leak past the next line")
+	}
+}
+
+func TestDirectiveBadVerbs(t *testing.T) {
+	src := `package p
+
+//vw:alow wallclock
+func a() {}
+
+func b() {
+	_ = 1 //vw:allow
+}
+
+//vw:hotpath
+var notAFunc = 1
+`
+	_, d := parseOne(t, src)
+	if len(d.Bad) != 3 {
+		t.Fatalf("bad directives = %d, want 3: %v", len(d.Bad), d.Bad)
+	}
+	for i, want := range []string{"unknown directive", "needs at least one analyzer", "doc comment"} {
+		if !strings.Contains(d.Bad[i].Message, want) {
+			t.Errorf("bad[%d] = %q, want substring %q", i, d.Bad[i].Message, want)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ReplyOwnership guards the zero-copy reply contract: once a handler
+// hands its reply buffer to dlib via Ctx.ReplyDone (registering the
+// release hook) or Ctx.FinishReply, the transport — and under the
+// encode-once fan-out, other sessions — may still be reading the
+// bytes. Writing to the buffer after the handoff is a data race that
+// only manifests as corrupted frames on a loaded wire.
+//
+// The check is scope-local and positional: inside a function that
+// calls a method named ReplyDone or FinishReply, every identifier
+// appearing in that call (the ctx, the frame buffer whose release
+// hook is registered) is poisoned from the call onward — any
+// subsequent write through a poisoned root (assignment, ++/--,
+// append/copy/clear/delete) is reported. Reads, including the final
+// `return fb.buf`, stay legal.
+var ReplyOwnership = &Analyzer{
+	Name: "replyownership",
+	Doc:  "flag writes to a reply buffer after it is handed to Ctx.FinishReply/ReplyDone",
+	Run:  runReplyOwnership,
+}
+
+func runReplyOwnership(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, sc := range funcScopes(file) {
+			checkReplyScope(pass, sc)
+		}
+	}
+}
+
+func checkReplyScope(pass *Pass, sc funcScope) {
+	// Find handoff calls and the variable roots they poison.
+	type handoff struct {
+		pos   token.Pos
+		roots map[types.Object]string
+	}
+	var handoffs []handoff
+	inspectScope(sc.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if name := sel.Sel.Name; name != "ReplyDone" && name != "FinishReply" {
+			return true
+		}
+		if _, ok := pass.Info.Uses[sel.Sel].(*types.Func); !ok {
+			return true
+		}
+		h := handoff{pos: call.End(), roots: make(map[types.Object]string)}
+		ast.Inspect(call, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if v, ok := pass.Info.Uses[id].(*types.Var); ok && !v.IsField() {
+				h.roots[v] = id.Name
+			}
+			return true
+		})
+		handoffs = append(handoffs, h)
+		return true
+	})
+	if len(handoffs) == 0 {
+		return
+	}
+
+	poisoned := func(e ast.Expr, at token.Pos) (string, bool) {
+		id := rootIdent(e)
+		if id == nil {
+			return "", false
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			obj = pass.Info.Defs[id]
+		}
+		for _, h := range handoffs {
+			if at <= h.pos {
+				continue
+			}
+			if name, ok := h.roots[obj]; ok {
+				return name, true
+			}
+		}
+		return "", false
+	}
+	report := func(pos token.Pos, root string) {
+		pass.Reportf(pos, "write to %s after the reply was handed to dlib (ReplyDone/FinishReply); the transport may still be reading it", root)
+	}
+
+	// Unlike the lock tracker, this check does descend into nested
+	// function literals: a deferred or spawned closure that writes the
+	// buffer is exactly the straggler hazard.
+	ast.Inspect(sc.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				// Rebinding the variable itself (fb = other) is not a
+				// write through the buffer; only element/field stores
+				// mutate shared bytes.
+				if _, isIdent := ast.Unparen(lhs).(*ast.Ident); isIdent {
+					continue
+				}
+				if root, bad := poisoned(lhs, lhs.Pos()); bad {
+					report(lhs.Pos(), root)
+				}
+			}
+		case *ast.IncDecStmt:
+			if root, bad := poisoned(n.X, n.Pos()); bad {
+				report(n.Pos(), root)
+			}
+		case *ast.CallExpr:
+			b, ok := calleeObj(pass.Info, n).(*types.Builtin)
+			if !ok || len(n.Args) == 0 {
+				return true
+			}
+			switch b.Name() {
+			case "append", "copy", "clear", "delete":
+				if root, bad := poisoned(n.Args[0], n.Pos()); bad {
+					report(n.Pos(), root)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,63 @@
+// Package replyownership is the fixture for the replyownership
+// analyzer: once a handler hands its reply buffer to the transport
+// via ReplyDone/FinishReply, later writes through the handed-off
+// variables are flagged; reads (including returning the buffer) are
+// not.
+package replyownership
+
+type Ctx struct{ done func() }
+
+func (c *Ctx) ReplyDone(fn func()) { c.done = fn }
+func (c *Ctx) FinishReply()        {}
+
+type frameBuf struct {
+	buf  []byte
+	refs int
+}
+
+func (f *frameBuf) release() {}
+
+func good(c *Ctx, f *frameBuf) []byte {
+	f.buf = append(f.buf[:0], 1, 2) // before the handoff: legal
+	f.refs++
+	c.ReplyDone(f.release)
+	n := len(f.buf) // reads stay legal
+	_ = n
+	return f.buf // the zero-copy return itself
+}
+
+func bad(c *Ctx, f *frameBuf) []byte {
+	c.ReplyDone(f.release)
+	f.buf[0] = 9             // want `write to f after the reply was handed`
+	f.buf = append(f.buf, 3) // want `write to f after the reply was handed` `write to f after the reply was handed`
+	f.refs++                 // want `write to f after the reply was handed`
+	return f.buf
+}
+
+func badFinish(c *Ctx) {
+	c.FinishReply()
+	c.done = nil // want `write to c after the reply was handed`
+}
+
+func badGoroutine(c *Ctx, f *frameBuf) {
+	c.ReplyDone(f.release)
+	go func() {
+		f.buf[0] = 1 // want `write to f after the reply was handed`
+	}()
+}
+
+func rebind(c *Ctx, f *frameBuf) {
+	c.ReplyDone(f.release)
+	f = nil // rebinding the variable is not a write through the buffer
+	_ = f
+}
+
+func allowed(c *Ctx, f *frameBuf) {
+	c.ReplyDone(f.release)
+	f.refs = 0 //vw:allow replyownership -- fixture: single-threaded teardown
+}
+
+func other(c *Ctx, f *frameBuf, stats *frameBuf) {
+	c.ReplyDone(f.release)
+	stats.refs++ // a different buffer: legal
+}

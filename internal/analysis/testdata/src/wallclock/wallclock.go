@@ -1,0 +1,44 @@
+// Package wallclock is the fixture for the wallclock analyzer: the
+// package opts in via the directive below, so package-level time and
+// global math/rand calls are flagged while injected clocks, seeded
+// RNGs, and pure time.Time arithmetic stay legal.
+//
+//vw:deterministic
+package wallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+type clock interface {
+	Now() time.Time
+	After(d time.Duration) <-chan time.Time
+}
+
+func bad() {
+	_ = time.Now()                     // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond)       // want `time\.Sleep reads the wall clock`
+	_ = time.After(time.Second)        // want `time\.After reads the wall clock`
+	_ = time.NewTicker(time.Second)    // want `time\.NewTicker reads the wall clock`
+	_ = time.Since(time.Time{})        // want `time\.Since reads the wall clock`
+	_ = rand.Intn(10)                  // want `global rand\.Intn is nondeterministic`
+	_ = rand.Float64()                 // want `global rand\.Float64 is nondeterministic`
+	rand.Shuffle(3, func(i, j int) {}) // want `global rand\.Shuffle is nondeterministic`
+}
+
+func good(c clock, r *rand.Rand) {
+	_ = c.Now()                      // injected clock
+	_ = c.After(time.Second)         // injected clock
+	_ = r.Intn(10)                   // seeded source
+	_ = rand.New(rand.NewSource(42)) // constructing a seeded source is fine
+	t0 := time.Unix(0, 0)            // pure constructor
+	_ = t0.Add(time.Second).Sub(t0)  // pure arithmetic
+	_ = time.Duration(3) * time.Hour // conversion
+}
+
+func allowed() {
+	_ = time.Now() //vw:allow wallclock -- fixture: obs-only timing
+	//vw:allow wallclock -- fixture: the line-above form
+	time.Sleep(time.Millisecond)
+}

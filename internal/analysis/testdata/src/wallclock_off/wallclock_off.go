@@ -1,0 +1,7 @@
+// Package wallclock_off proves the wallclock analyzer is opt-in:
+// without a //vw:deterministic directive nothing is flagged.
+package wallclock_off
+
+import "time"
+
+func fine() time.Time { return time.Now() }

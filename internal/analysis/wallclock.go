@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Wallclock forbids direct wall-clock and global-RNG use in packages
+// marked //vw:deterministic. The frame pipeline's byte-identity
+// guarantee (same inputs → same frame bytes) and the netsim-based
+// chaos suites both depend on time flowing only through the injected
+// netsim.Clock and randomness only through seeded *rand.Rand values;
+// one stray time.Now or rand.Float64 breaks replayability in ways no
+// unit test reliably catches.
+//
+// Sites that genuinely need wall time — observability stage timers,
+// net.Conn deadlines, the real Clock implementation itself — carry
+// //vw:allow wallclock annotations.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid time.Now/Sleep/After and global math/rand in //vw:deterministic packages",
+	Run:  runWallclock,
+}
+
+// wallclockTimeFuncs are the package-level time functions that read
+// or wait on the wall clock. Methods (t.Sub, t.Add) and pure
+// constructors (time.Duration, time.Unix) stay legal.
+var wallclockTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// wallclockRandExempt lists the math/rand package-level functions
+// that do not touch the global source; everything else at package
+// level does.
+var wallclockRandExempt = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func runWallclock(pass *Pass) {
+	if !pass.Directives.Deterministic {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := calleeObj(pass.Info, call).(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods on time.Time etc. are pure
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallclockTimeFuncs[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"time.%s reads the wall clock in a deterministic package; use the injected netsim.Clock", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !wallclockRandExempt[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"global %s.%s is nondeterministic; use a seeded *rand.Rand", pathBase(fn.Pkg().Path()), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+func pathBase(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			return p[i+1:]
+		}
+	}
+	return p
+}

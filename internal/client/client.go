@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/dlib"
+	"repro/internal/netsim"
 	"repro/internal/render"
 	"repro/internal/vmath"
 	"repro/internal/vr"
@@ -31,6 +32,9 @@ type Config struct {
 	// FOV is the vertical field of view in radians; zero uses 1.5
 	// (the LEEP optics' wide field).
 	FOV float32
+	// Clock times network frames and decoupled runs; nil uses the wall
+	// clock. Tests inject a netsim.ManualClock for replayable pacing.
+	Clock netsim.Clock
 }
 
 // Stats are the workstation's performance counters.
@@ -54,16 +58,7 @@ type Stats struct {
 type Workstation struct {
 	c      dlib.Caller
 	redial *dlib.RedialClient // non-nil in resilient mode
-
-	mu      sync.Mutex
-	info    wire.DatasetInfo
-	selfID  int64
-	latest  wire.FrameReply
-	haveOne bool
-	pending []wire.Command
-	lastErr error
-
-	rounds int64 // distinct reply.Round values seen, guarded by mu
+	clock  netsim.Clock
 
 	fb  *render.Framebuffer
 	rig render.StereoRig
@@ -75,6 +70,15 @@ type Workstation struct {
 	bytesDown    atomic.Int64
 
 	interact Interactor
+
+	mu      sync.Mutex // guards everything below
+	info    wire.DatasetInfo
+	selfID  int64
+	latest  wire.FrameReply
+	haveOne bool
+	pending []wire.Command
+	lastErr error
+	rounds  int64 // distinct reply.Round values seen
 }
 
 // newWorkstation builds the renderer side; the caller wires the
@@ -94,8 +98,13 @@ func newWorkstation(cfg Config) (*Workstation, error) {
 		return nil, err
 	}
 	aspect := float32(cfg.FrameW) / float32(cfg.FrameH)
+	clk := cfg.Clock
+	if clk == nil {
+		clk = netsim.RealClock
+	}
 	return &Workstation{
-		fb: fb,
+		clock: clk,
+		fb:    fb,
 		rig: render.StereoRig{
 			IPD:  cfg.IPD,
 			Proj: vmath.Perspective(cfg.FOV, aspect, 0.05, 500),
@@ -247,7 +256,7 @@ func (w *Workstation) NetStep(pose vr.Pose) error {
 		Gesture:  uint8(pose.Gesture),
 		Commands: cmds,
 	})
-	start := time.Now()
+	start := w.clock.Now()
 	out, err := w.c.Call(wire.ProcFrame, payload)
 	if err != nil {
 		// Degrade, don't desync: the commands this frame carried were
@@ -265,7 +274,7 @@ func (w *Workstation) NetStep(pose vr.Pose) error {
 	if err != nil {
 		return err
 	}
-	w.netNanos.Add(int64(time.Since(start)))
+	w.netNanos.Add(int64(w.clock.Now().Sub(start)))
 	w.netFrames.Add(1)
 	w.bytesDown.Add(int64(len(out)))
 
@@ -384,7 +393,7 @@ func (w *Workstation) Stats() Stats {
 // until the network loop finishes. Returns achieved rates in frames
 // per second of wall time.
 func (w *Workstation) RunDecoupled(user *vr.ScriptedUser, netFrames int) (netHz, renderHz float64, err error) {
-	start := time.Now()
+	start := w.clock.Now()
 	done := make(chan struct{})
 	var netErr error
 	// The devices belong to the network goroutine (it samples them at
@@ -416,7 +425,7 @@ func (w *Workstation) RunDecoupled(user *vr.ScriptedUser, netFrames int) (netHz,
 	for {
 		select {
 		case <-done:
-			elapsed := time.Since(start).Seconds()
+			elapsed := w.clock.Now().Sub(start).Seconds()
 			if netErr != nil {
 				return 0, 0, netErr
 			}

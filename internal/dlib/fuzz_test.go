@@ -48,9 +48,9 @@ func FuzzClientRead(f *testing.F) {
 	var good bytes.Buffer
 	writeFrame(&good, frame{kind: frameReply, id: 1, payload: []byte("ok")})
 	f.Add(good.Bytes())
-	f.Add(good.Bytes()[:5])                          // truncated mid-header
-	f.Add(good.Bytes()[:len(good.Bytes())-1])        // truncated mid-payload
-	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 2, 0, 0})   // oversized length prefix
+	f.Add(good.Bytes()[:5])                                                   // truncated mid-header
+	f.Add(good.Bytes()[:len(good.Bytes())-1])                                 // truncated mid-payload
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 2, 0, 0})                            // oversized length prefix
 	f.Add([]byte{13, 0, 0, 0, 3, 1, 0, 0, 0, 0, 0, 0, 0, 'b', 'o', 'o', 'm'}) // error frame
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {

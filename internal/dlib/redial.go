@@ -7,6 +7,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/netsim"
 )
 
 // Caller is the call surface shared by Client and RedialClient, so
@@ -49,6 +51,10 @@ type RedialOptions struct {
 	// failure (the call may have executed on the server). Nil allows
 	// dlib's read-only segment procs only.
 	Idempotent func(proc string) bool
+	// Clock paces the reconnect backoff; nil uses the wall clock.
+	// Chaos tests inject a netsim.ManualClock so backoff schedules are
+	// replayable.
+	Clock netsim.Clock
 }
 
 // withDefaults fills the zero values.
@@ -64,6 +70,9 @@ func (o RedialOptions) withDefaults() RedialOptions {
 	}
 	if o.Idempotent == nil {
 		o.Idempotent = readOnlyProc
+	}
+	if o.Clock == nil {
+		o.Clock = netsim.RealClock
 	}
 	return o
 }
@@ -156,7 +165,7 @@ func (r *RedialClient) reconnect(ctx context.Context) (*Client, int, error) {
 	for attempt := 0; attempt < r.opts.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			select {
-			case <-time.After(backoff):
+			case <-r.opts.Clock.After(backoff):
 			case <-ctx.Done():
 				return nil, 0, fmt.Errorf("dlib: redial: %w", ctx.Err())
 			}

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/netsim"
 )
 
 // RemoteError is an error returned by a remote handler, as opposed to
@@ -118,6 +120,11 @@ type Server struct {
 	// handler keeps the serial dispatch lock until it actually returns
 	// (Go cannot preempt it), but the network side stays responsive.
 	HandlerTimeout time.Duration
+
+	// Clock supplies per-call timing and the HandlerTimeout wait; nil
+	// uses the wall clock. Tests inject a netsim.ManualClock so
+	// timeout behavior is driven deterministically. Set before Serve.
+	Clock netsim.Clock
 
 	// CopyReplies copies each handler's reply into a per-connection
 	// scratch buffer before the serial dispatch lock is released.
@@ -243,7 +250,9 @@ func (s *Server) serveConn(conn net.Conn) {
 	ctx := &Ctx{Session: sess, Server: s}
 	for {
 		if s.IdleTimeout > 0 {
-			conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+			// net.Conn deadlines are absolute wall-clock times by
+			// contract; a virtual clock cannot arm them.
+			conn.SetReadDeadline(time.Now().Add(s.IdleTimeout)) //vw:allow wallclock -- net.Conn deadline
 		}
 		f, err := readFrame(conn)
 		if err != nil {
@@ -265,7 +274,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		reply, done := s.dispatch(ctx, f, &replyScratch)
 		if s.WriteTimeout > 0 {
-			conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+			conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout)) //vw:allow wallclock -- net.Conn deadline
 		}
 		writeMu.Lock()
 		err = writeFrame(conn, reply)
@@ -306,13 +315,14 @@ func (s *Server) dispatch(ctx *Ctx, f frame, scratch *[]byte) (frame, func()) {
 	if !ok {
 		return frame{kind: frameError, id: f.id, payload: []byte("unknown procedure " + f.proc)}, nil
 	}
+	clk := s.clock()
 	s.dispatchMu.Lock()
 	s.calls.Add(1)
-	start := time.Now()
+	start := clk.Now()
 
 	if s.HandlerTimeout <= 0 {
 		out, err := safeCall(h, ctx, f.payload)
-		s.metrics.record(f.proc, time.Since(start), len(f.payload), len(out), err != nil)
+		s.metrics.record(f.proc, clk.Now().Sub(start), len(f.payload), len(out), err != nil)
 		cb := ctx.takeReplyDone()
 		if err != nil {
 			// The reply buffer is never used; settle the hook now.
@@ -345,7 +355,7 @@ func (s *Server) dispatch(ctx *Ctx, f frame, scratch *[]byte) (frame, func()) {
 	}()
 	select {
 	case res := <-done:
-		s.metrics.record(f.proc, time.Since(start), len(f.payload), len(res.out), res.err != nil)
+		s.metrics.record(f.proc, clk.Now().Sub(start), len(f.payload), len(res.out), res.err != nil)
 		cb := ctx.takeReplyDone()
 		if res.err != nil {
 			if cb != nil {
@@ -360,8 +370,8 @@ func (s *Server) dispatch(ctx *Ctx, f frame, scratch *[]byte) (frame, func()) {
 		}
 		s.dispatchMu.Unlock()
 		return frame{kind: frameReply, id: f.id, payload: res.out}, cb
-	case <-time.After(s.HandlerTimeout):
-		s.metrics.record(f.proc, time.Since(start), len(f.payload), 0, true)
+	case <-clk.After(s.HandlerTimeout):
+		s.metrics.record(f.proc, clk.Now().Sub(start), len(f.payload), 0, true)
 		if s.Logf != nil {
 			s.Logf("dlib: %s exceeded handler timeout %v", f.proc, s.HandlerTimeout)
 		}
@@ -378,6 +388,14 @@ func (s *Server) dispatch(ctx *Ctx, f frame, scratch *[]byte) (frame, func()) {
 		return frame{kind: frameError, id: f.id,
 			payload: []byte(fmt.Sprintf("%s timed out after %v", f.proc, s.HandlerTimeout))}, nil
 	}
+}
+
+// clock returns the injected Clock, defaulting to the wall clock.
+func (s *Server) clock() netsim.Clock {
+	if s.Clock != nil {
+		return s.Clock
+	}
+	return netsim.RealClock
 }
 
 // safeCall shields the server from handler panics.

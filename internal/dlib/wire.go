@@ -5,6 +5,8 @@
 // include the server process" — including remote memory segments, and
 // which serves multiple clients by executing their calls serially "in
 // a single process environment as though there were only one client."
+//
+//vw:deterministic
 package dlib
 
 import (

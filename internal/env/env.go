@@ -8,6 +8,8 @@
 // invoked from dlib handlers; conflicts resolve first-come-first-
 // served — "if two users grab the same rake, the user who grabbed it
 // first gets control ... until the first user lets the rake go."
+//
+//vw:deterministic
 package env
 
 import (

@@ -5,19 +5,28 @@ import (
 	"time"
 )
 
-// Clock abstracts time for fault injection so chaos tests can run
-// scheduled stalls without wall-clock sleeps. The zero plan uses the
-// real clock; tests inject a ManualClock and advance it explicitly.
+// Clock abstracts time for fault injection and call timing so chaos
+// tests can run scheduled stalls — and deterministic components can
+// measure durations — without wall-clock reads. The zero plan uses
+// the real clock; tests inject a ManualClock and advance it
+// explicitly.
 type Clock interface {
 	// After returns a channel that delivers once d has elapsed.
 	After(d time.Duration) <-chan time.Time
+	// Now returns the current time. Implementations need only promise
+	// that differences between successive Nows measure elapsed (real
+	// or virtual) time; the absolute value carries no meaning.
+	Now() time.Time
 }
 
 // realClock delegates to the time package.
 type realClock struct{}
 
 // After implements Clock.
-func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) } //vw:allow wallclock -- this IS the injected wall clock
+
+// Now implements Clock.
+func (realClock) Now() time.Time { return time.Now() } //vw:allow wallclock -- this IS the injected wall clock
 
 // RealClock is the wall clock.
 var RealClock Clock = realClock{}
@@ -50,6 +59,14 @@ func (c *ManualClock) After(d time.Duration) <-chan time.Time {
 	}
 	c.waiters = append(c.waiters, &manualWaiter{deadline: c.now + d, ch: ch})
 	return ch
+}
+
+// Now implements Clock: the zero time plus the advanced virtual
+// elapsed time, so durations between Nows match Advance calls.
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Time{}.Add(c.now)
 }
 
 // Advance moves virtual time forward, firing every waiter whose

@@ -211,11 +211,11 @@ func (c *FaultConn) block(d time.Duration, deadline time.Time) error {
 	}
 	var dl <-chan time.Time
 	if !deadline.IsZero() {
-		wait := time.Until(deadline)
+		wait := time.Until(deadline) //vw:allow wallclock -- net.Conn deadlines are absolute wall-clock times
 		if wait <= 0 {
 			return os.ErrDeadlineExceeded
 		}
-		dl = time.After(wait)
+		dl = time.After(wait) //vw:allow wallclock -- net.Conn deadlines are absolute wall-clock times
 	}
 	select {
 	case <-elapsed:

@@ -3,6 +3,8 @@
 // 100 MB/s, delivered 13 MB/s through the VME interface, and actually
 // achieved 1 MB/s at the time of writing; reproducing Table 1 requires
 // running the same transfers through links with those budgets.
+//
+//vw:deterministic
 package netsim
 
 import (
@@ -64,14 +66,14 @@ func (c *Conn) Read(p []byte) (int, error) {
 // sleep so the long-run rate matches the configured bandwidth.
 func (c *Conn) Write(p []byte) (int, error) {
 	if c.link.Latency > 0 {
-		time.Sleep(c.link.Latency)
+		time.Sleep(c.link.Latency) //vw:allow wallclock -- link pacing burns real time by design
 	}
 	n, err := c.Conn.Write(p)
 	c.bytesWritten.Add(int64(n))
 	if bw := c.link.BandwidthBytesPerSec; bw > 0 && n > 0 {
 		cost := time.Duration(float64(n) / float64(bw) * float64(time.Second))
 		c.mu.Lock()
-		now := time.Now()
+		now := time.Now() //vw:allow wallclock -- bandwidth debt is paid in real time by design
 		if !c.lastTxn.IsZero() {
 			// Credit real time that passed since the last write.
 			c.debt -= now.Sub(c.lastTxn)
@@ -84,7 +86,7 @@ func (c *Conn) Write(p []byte) (int, error) {
 		c.lastTxn = now.Add(sleep)
 		c.mu.Unlock()
 		if sleep > 0 {
-			time.Sleep(sleep)
+			time.Sleep(sleep) //vw:allow wallclock -- bandwidth debt is paid in real time by design
 			c.mu.Lock()
 			c.debt -= sleep
 			if c.debt < 0 {

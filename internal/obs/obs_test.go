@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"encoding/json"
+	"expvar"
 	"io"
 	"net/http"
 	"strings"
@@ -66,5 +68,78 @@ func TestDebugServerServesVars(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != 200 {
 		t.Errorf("pprof status %d", resp.StatusCode)
+	}
+}
+
+// TestPublishExportsSnapshot covers the expvar surface vwserver's
+// -debug mode relies on: Publish renders the recorder's live snapshot
+// as JSON under the published name.
+func TestPublishExportsSnapshot(t *testing.T) {
+	var r Recorder
+	Publish("obs_test.frames", &r)
+	r.Observe(FrameSample{Points: 7, Bytes: 21})
+	v := expvar.Get("obs_test.frames")
+	if v == nil {
+		t.Fatal("Publish did not register the var")
+	}
+	var got Snapshot
+	if err := json.Unmarshal([]byte(v.String()), &got); err != nil {
+		t.Fatalf("published value is not JSON: %v", err)
+	}
+	if got.Frames != 1 || got.Points != 7 || got.Bytes != 21 {
+		t.Errorf("published snapshot = %+v", got)
+	}
+	// The var is live, not a copy made at Publish time.
+	r.Observe(FrameSample{Points: 3})
+	if err := json.Unmarshal([]byte(v.String()), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Frames != 2 || got.Points != 10 {
+		t.Errorf("published snapshot did not track the recorder: %+v", got)
+	}
+}
+
+// TestPublishFuncExportsArbitraryStats covers the subsystem-stats path
+// (vwserver publishes the timestep cache's counters through it).
+func TestPublishFuncExportsArbitraryStats(t *testing.T) {
+	type cacheish struct{ Hits, Misses int64 }
+	cur := cacheish{Hits: 1}
+	PublishFunc("obs_test.cache", func() any { return cur })
+	v := expvar.Get("obs_test.cache")
+	if v == nil {
+		t.Fatal("PublishFunc did not register the var")
+	}
+	var got cacheish
+	if err := json.Unmarshal([]byte(v.String()), &got); err != nil {
+		t.Fatalf("published value is not JSON: %v", err)
+	}
+	if got != cur {
+		t.Errorf("published = %+v, want %+v", got, cur)
+	}
+	cur = cacheish{Hits: 5, Misses: 2}
+	if err := json.Unmarshal([]byte(v.String()), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != cur {
+		t.Errorf("published var is not live: %+v, want %+v", got, cur)
+	}
+	// Published vars ride the same /debug/vars payload DebugServer
+	// serves.
+	d, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	resp, err := http.Get("http://" + d.Addr() + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `"obs_test.cache"`) {
+		t.Error("/debug/vars payload missing the published var")
 	}
 }

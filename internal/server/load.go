@@ -175,7 +175,7 @@ func RunLoad(s *Server, opts LoadOptions) (LoadReport, error) {
 		errMu.Unlock()
 	}
 
-	start := time.Now()
+	start := time.Now() //vw:allow wallclock -- load harness measures real latency by design
 	var wg sync.WaitGroup
 	for i := 0; i < opts.Sessions; i++ {
 		wg.Add(1)
@@ -199,8 +199,8 @@ func RunLoad(s *Server, opts LoadOptions) (LoadReport, error) {
 			}
 			for f := 0; f < opts.Frames; f++ {
 				if period > 0 {
-					if d := time.Until(next); d > 0 {
-						time.Sleep(d)
+					if d := time.Until(next); d > 0 { //vw:allow wallclock -- load harness paces real time by design
+						time.Sleep(d) //vw:allow wallclock -- load harness paces real time by design
 					}
 					next = next.Add(period)
 				}
@@ -211,13 +211,13 @@ func RunLoad(s *Server, opts LoadOptions) (LoadReport, error) {
 					Head: vmath.Identity(),
 					Hand: hand,
 				})
-				callStart := time.Now()
+				callStart := time.Now() //vw:allow wallclock -- load harness measures real latency by design
 				out, err := c.Call(wire.ProcFrame, payload)
 				if err != nil {
 					fail(fmt.Errorf("session %d frame %d: %w", i, f, err))
 					return
 				}
-				latencies[i*opts.Frames+f] = time.Since(callStart)
+				latencies[i*opts.Frames+f] = time.Since(callStart) //vw:allow wallclock -- load harness measures real latency by design
 				if _, err := wire.DecodeFrameReply(out); err != nil {
 					fail(fmt.Errorf("session %d frame %d: decode: %w", i, f, err))
 					return
@@ -226,7 +226,7 @@ func RunLoad(s *Server, opts LoadOptions) (LoadReport, error) {
 		}(i)
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //vw:allow wallclock -- load harness measures real latency by design
 
 	after := s.Stats()
 	report := LoadReport{

@@ -10,6 +10,7 @@ import (
 	"repro/internal/dlib"
 	"repro/internal/integrate"
 	"repro/internal/vmath"
+	"repro/internal/vr"
 	"repro/internal/wire"
 )
 
@@ -192,6 +193,40 @@ func TestFrameBytesDeterministic(t *testing.T) {
 	}
 	if r3.Round <= r2.Round {
 		t.Errorf("round did not advance: %d then %d", r2.Round, r3.Round)
+	}
+}
+
+// TestFrameBytesDeterministicGloveInput extends the byte-identity
+// invariant to the full input path: two servers driven by same-seed
+// scripted users (noisy glove fibers, noisy Polhemus tracker, boom
+// head sweep) see identical sensed poses — all device noise comes from
+// injected seeded streams, never the global math/rand — and therefore
+// encode every frame byte-identically outside the nanos span.
+func TestFrameBytesDeterministicGloveInput(t *testing.T) {
+	run := func() [][]byte {
+		_, c, _ := startTestServer(t, Config{Store: testDataset(t, 4)})
+		u, err := vr.NewScriptedUser(42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var frames [][]byte
+		for i := 0; i < 30; i++ {
+			p := u.Step()
+			upd := wire.ClientUpdate{Head: p.Head, Hand: p.Hand, Gesture: uint8(p.Gesture)}
+			if i == 0 {
+				upd.Commands = []wire.Command{
+					addRakeCmd(vmath.V3(1, 4, 4), vmath.V3(1, 12, 4), 4, integrate.ToolStreamline),
+				}
+			}
+			frames = append(frames, stripNanos(t, rawFrame(t, c, upd)))
+		}
+		return frames
+	}
+	a, b := run(), run()
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("glove-driven frame %d differs between same-seed runs", i)
+		}
 	}
 }
 

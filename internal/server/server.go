@@ -25,6 +25,8 @@
 // optional shared timestep cache (store.Cache) sits under the
 // prefetcher so the sessions' overlapping playback positions hit
 // memory instead of re-reading mass storage.
+//
+//vw:deterministic
 package server
 
 import (
@@ -131,6 +133,9 @@ type Server struct {
 	// I/O-backed stores (§5.1: "the current timestep plus the maximum
 	// particle path length").
 	window *store.Window
+	// unsteady is non-nil when the store is fully resident. Immutable
+	// after New, so pool workers may read it without the lock.
+	unsteady *field.Unsteady
 
 	mu sync.Mutex // guards everything below
 	// cur is the loaded timestep backing streamline/streak
@@ -159,8 +164,7 @@ type Server struct {
 	geomGC      []*rakeGeom // aligned with geomWire, for point totals
 	jobs        []rakeJob
 
-	stats    Stats
-	unsteady *field.Unsteady // non-nil when the store is fully resident
+	stats Stats
 }
 
 // rakeGeom memoizes one rake's geometry and the inputs it was computed
@@ -366,6 +370,8 @@ func (s *Server) handleHello(_ *dlib.Ctx, _ []byte) ([]byte, error) {
 // other calls — the mutex protects against Stats() readers and frame
 // buffer releases, which fire from connection goroutines after their
 // writes complete.
+//
+//vw:hotpath
 func (s *Server) handleFrame(ctx *dlib.Ctx, payload []byte) ([]byte, error) {
 	u, err := wire.DecodeClientUpdate(payload)
 	if err != nil {
@@ -507,6 +513,8 @@ func (s *Server) applyCommand(user int64, c wire.Command) {
 // geometry for every rake whose inputs changed (reusing memoized
 // geometry for the rest), and encodes the shared reply into the
 // recycled round buffer. Caller holds s.mu.
+//
+//vw:hotpath
 func (s *Server) recomputeLocked() error {
 	ts := s.env.AdvanceTime()
 	version := s.env.Version()
@@ -532,16 +540,16 @@ func (s *Server) recomputeLocked() error {
 		return nil
 	}
 
-	loadStart := time.Now()
+	loadStart := time.Now() //vw:allow wallclock -- obs-only stage timer, not simulation state
 	if s.cur == nil || step != s.curStep {
 		f, err := s.loadStep(step)
 		if err != nil {
-			return fmt.Errorf("server: load step %d: %w", step, err)
+			return fmt.Errorf("server: load step %d: %w", step, err) //vw:allow hotpath -- error path, frame already lost
 		}
 		s.cur = f
 		s.curStep = step
 	}
-	loadTime := time.Since(loadStart)
+	loadTime := time.Since(loadStart) //vw:allow wallclock -- obs-only stage timer, not simulation state
 
 	// Overlap: kick off the prefetch of the next step along the
 	// playback direction while this frame computes (figure 8's
@@ -564,7 +572,7 @@ func (s *Server) recomputeLocked() error {
 		}
 	}
 
-	computeStart := time.Now()
+	computeStart := time.Now() //vw:allow wallclock -- obs-only stage timer, not simulation state
 	g := s.st.Grid()
 	batch := compute.SteadyBatch{F: s.cur, G: g}
 	s.round++
@@ -640,8 +648,8 @@ func (s *Server) recomputeLocked() error {
 	// Pass 2: recompute dirty rakes, concurrently when there are
 	// several — independent rakes are the paper's natural parallel
 	// unit above the per-seed fan-out inside the engines.
-	s.runJobs(batch, g, ts, step)
-	computeTime := time.Since(computeStart)
+	s.runJobsLocked(batch, g, ts, step)
+	computeTime := time.Since(computeStart) //vw:allow wallclock -- obs-only stage timer, not simulation state
 
 	var totalPoints int64
 	for i, gc := range s.geomGC {
@@ -649,7 +657,7 @@ func (s *Server) recomputeLocked() error {
 		totalPoints += gc.points
 	}
 
-	encodeStart := time.Now()
+	encodeStart := time.Now() //vw:allow wallclock -- obs-only stage timer, not simulation state
 	reply := wire.FrameReply{
 		Time: wire.TimeStatus{
 			Current:  ts.Current,
@@ -671,7 +679,7 @@ func (s *Server) recomputeLocked() error {
 	fb := s.acquireEncodeBufLocked()
 	fb.buf = wire.AppendFrameReply(fb.buf[:0], reply)
 	s.fb = fb
-	encodeTime := time.Since(encodeStart)
+	encodeTime := time.Since(encodeStart) //vw:allow wallclock -- obs-only stage timer, not simulation state
 
 	clear(s.consumedBy)
 	s.lastVersion = version
@@ -697,10 +705,13 @@ func (s *Server) recomputeLocked() error {
 	return nil
 }
 
-// runJobs executes the round's recompute jobs on a bounded worker
-// pool. Each job touches only its own rakeGeom (and streak), so jobs
-// are independent; shared inputs (field, grid, options) are read-only.
-func (s *Server) runJobs(batch compute.SteadyBatch, g *grid.Grid, ts env.TimeState, step int) {
+// runJobsLocked executes the round's recompute jobs on a bounded
+// worker pool. Each job touches only its own rakeGeom (and streak), so
+// jobs are independent; shared inputs (field, grid, options) are
+// read-only. Caller holds s.mu; the job slice is frozen for the whole
+// round and the parent blocks on the WaitGroup, so worker reads of
+// s.jobs race with nothing.
+func (s *Server) runJobsLocked(batch compute.SteadyBatch, g *grid.Grid, ts env.TimeState, step int) {
 	workers := s.cfg.RakeWorkers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -725,7 +736,7 @@ func (s *Server) runJobs(batch compute.SteadyBatch, g *grid.Grid, ts env.TimeSta
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				s.computeRake(&s.jobs[i], batch, g, ts, step)
+				s.computeRake(&s.jobs[i], batch, g, ts, step) //vw:allow lockdiscipline -- jobs are frozen for the round; parent holds mu and blocks on wg
 			}
 		}()
 	}
@@ -735,19 +746,21 @@ func (s *Server) runJobs(batch compute.SteadyBatch, g *grid.Grid, ts env.TimeSta
 // computeRake recomputes one rake's geometry into its memo entry,
 // recycling the previous round's physical-line buffers. Runs on pool
 // workers; must not touch server state beyond the job's own entries.
+//
+//vw:hotpath
 func (s *Server) computeRake(j *rakeJob, batch compute.SteadyBatch, g *grid.Grid, ts env.TimeState, step int) {
 	rake := j.snap.Rake
 	gc := j.gc
 	var lines [][]vmath.Vec3
 	switch rake.Tool {
 	case integrate.ToolStreamline:
-		lines, _ = s.cfg.Engine.Streamlines(batch, gc.seeds, ts.Current, s.cfg.Options)
+		lines, _ = s.cfg.Engine.Streamlines(batch, gc.seeds, ts.Current, s.cfg.Options) //vw:allow hotpath -- one box per dirty rake, not per point
 	case integrate.ToolParticlePath:
 		sampler := s.timeSampler(step)
 		lines, _ = s.cfg.Engine.ParticlePaths(sampler, gc.seeds, ts.Current,
 			float32(ts.NumSteps-1), s.cfg.Options)
 	case integrate.ToolStreakline:
-		j.streak.Advance(batch, gc.seeds, ts.Current, s.cfg.Options.StepSize, s.cfg.Options.Method)
+		j.streak.Advance(batch, gc.seeds, ts.Current, s.cfg.Options.StepSize, s.cfg.Options.Method) //vw:allow hotpath -- one box per dirty rake, not per point
 		lines = j.streak.PolylineBySeed(rake.NumSeeds)
 	}
 	gc.geo = wire.Geometry{
@@ -840,12 +853,14 @@ func (ss *storeSampler) step(t int) *field.Field {
 // toPhysicalLinesInto converts grid-coordinate lines to physical
 // coordinates, recycling prev's buffers (typically the same rake's
 // previous round) where capacity allows.
+//
+//vw:hotpath
 func toPhysicalLinesInto(g *grid.Grid, lines, prev [][]vmath.Vec3) [][]vmath.Vec3 {
 	var out [][]vmath.Vec3
 	if cap(prev) >= len(lines) {
 		out = prev[:len(lines)]
 	} else {
-		out = make([][]vmath.Vec3, len(lines))
+		out = make([][]vmath.Vec3, len(lines)) //vw:allow hotpath -- grow-once: only when a rake gains lines, then recycled every round
 		copy(out, prev)
 	}
 	for i, l := range lines {

@@ -185,6 +185,15 @@ func (s CacheStats) HitRate() float64 {
 	return float64(s.Hits+s.Coalesced) / float64(total)
 }
 
+// String renders the counters as the one-line summary vwserver's stats
+// ticker logs.
+func (s CacheStats) String() string {
+	return fmt.Sprintf(
+		"hits=%d misses=%d coalesced=%d evictions=%d resident=%d (%.1fMB) hit=%.0f%%",
+		s.Hits, s.Misses, s.Coalesced, s.Evictions,
+		s.ResidentSteps, float64(s.ResidentBytes)/(1<<20), 100*s.HitRate())
+}
+
 // Stats reports cumulative cache statistics.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()

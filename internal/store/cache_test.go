@@ -2,6 +2,7 @@ package store
 
 import (
 	"errors"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -298,5 +299,22 @@ func TestCacheMetadataPassthrough(t *testing.T) {
 	}
 	if err := c.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCacheStatsString pins the one-line summary vwserver's stats
+// ticker logs, so the flag-gated main stays a thin formatter call.
+func TestCacheStatsString(t *testing.T) {
+	s := CacheStats{
+		Hits: 9, Misses: 2, Coalesced: 1, Evictions: 3,
+		ResidentSteps: 4, ResidentBytes: 3 << 20,
+	}
+	got := s.String()
+	want := "hits=9 misses=2 coalesced=1 evictions=3 resident=4 (3.0MB) hit=83%"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if zero := (CacheStats{}).String(); !strings.Contains(zero, "hit=0%") {
+		t.Errorf("zero-traffic String() = %q", zero)
 	}
 }

@@ -125,7 +125,7 @@ func (d *Disk) LoadStep(t int) (*field.Field, error) {
 	if t < 0 || t >= d.numSteps {
 		return nil, fmt.Errorf("store: timestep %d out of range [0, %d)", t, d.numSteps)
 	}
-	start := time.Now()
+	start := time.Now() //vw:allow wallclock -- simulated disk bandwidth throttles real time by design
 	path := filepath.Join(d.dir, stepFileName(t))
 	sf, err := os.Open(path)
 	if err != nil {
@@ -141,13 +141,13 @@ func (d *Disk) LoadStep(t int) (*field.Field, error) {
 		// Model a disk delivering bw bytes/sec: the load may not
 		// complete before size/bw seconds have passed.
 		budget := time.Duration(float64(n) / float64(bw) * float64(time.Second))
-		if elapsed := time.Since(start); elapsed < budget {
-			time.Sleep(budget - elapsed)
+		if elapsed := time.Since(start); elapsed < budget { //vw:allow wallclock -- simulated disk bandwidth throttles real time by design
+			time.Sleep(budget - elapsed) //vw:allow wallclock -- simulated disk bandwidth throttles real time by design
 		}
 	}
 	d.bytesRead.Add(n)
 	d.loads.Add(1)
-	d.loadNanos.Add(int64(time.Since(start)))
+	d.loadNanos.Add(int64(time.Since(start))) //vw:allow wallclock -- obs-only load timer
 	return f, nil
 }
 

@@ -4,6 +4,8 @@
 // disk with a bandwidth budget, double-buffered prefetching so disk
 // I/O overlaps computation (figure 8), and the in-memory window of
 // future timesteps that particle paths require.
+//
+//vw:deterministic
 package store
 
 import (

@@ -5,6 +5,8 @@
 // windtunnel consumed — six yoke joint angles folded into a 4x4 head
 // matrix, hand position/orientation with tracker noise, and finger
 // bends interpreted as gestures.
+//
+//vw:deterministic
 package vr
 
 import (

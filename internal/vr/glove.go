@@ -103,6 +103,13 @@ type Glove struct {
 	Tracker *Polhemus
 
 	bends FingerBends
+
+	// noise perturbs raw fiber readings, modeling the optical fibers'
+	// measurement jitter; nil reads are noiseless. Always a privately
+	// seeded generator — never the global math/rand — so glove input
+	// replays identically for a given seed.
+	noise    *rand.Rand
+	noiseStd float32
 }
 
 // NewGlove returns a glove with the given calibration and tracker.
@@ -113,8 +120,33 @@ func NewGlove(c Calibration, tracker *Polhemus) (*Glove, error) {
 	return &Glove{Calib: c, Tracker: tracker}, nil
 }
 
+// SetFiberNoise gives the fibers measurement jitter: every subsequent
+// raw reading is perturbed by N(0, std) radians. Two gloves configured
+// with the same seed and driven through the same pose sequence report
+// identical readings, so noisy glove input stays replayable.
+func (g *Glove) SetFiberNoise(std float32, seed int64) {
+	g.noiseStd = std
+	g.noise = rand.New(rand.NewSource(seed))
+}
+
+// noisy applies the configured fiber jitter to one raw reading set.
+func (g *Glove) noisy(b FingerBends) FingerBends {
+	if g.noise == nil || g.noiseStd == 0 {
+		return b
+	}
+	for f := 0; f < NumFingers; f++ {
+		for j := 0; j < 2; j++ {
+			b[f][j] += float32(g.noise.NormFloat64()) * g.noiseStd
+		}
+	}
+	return b
+}
+
 // SetBends records raw fiber readings.
-func (g *Glove) SetBends(b FingerBends) { g.bends = b }
+func (g *Glove) SetBends(b FingerBends) { g.bends = g.noisy(b) }
+
+// Bends returns the recorded (post-noise) raw readings.
+func (g *Glove) Bends() FingerBends { return g.bends }
 
 // fingerCurl returns the mean normalized bend of one finger.
 func (g *Glove) fingerCurl(f int) float32 {
@@ -156,16 +188,16 @@ func (g *Glove) Recognize() Gesture {
 
 // PoseFist sets raw bends for a grab using the calibration's fist
 // reference — test and script helper.
-func (g *Glove) PoseFist() { g.bends = g.Calib.Fist }
+func (g *Glove) PoseFist() { g.SetBends(g.Calib.Fist) }
 
 // PoseOpen sets raw bends for an open hand.
-func (g *Glove) PoseOpen() { g.bends = g.Calib.Flat }
+func (g *Glove) PoseOpen() { g.SetBends(g.Calib.Flat) }
 
 // PosePoint sets raw bends for a point (index flat, others fisted).
 func (g *Glove) PosePoint() {
 	b := g.Calib.Fist
 	b[Index] = g.Calib.Flat[Index]
-	g.bends = b
+	g.SetBends(b)
 }
 
 // Polhemus models the 3Space magnetic tracker: absolute position and

@@ -29,6 +29,9 @@ func NewScriptedUser(seed int64) (*ScriptedUser, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Fiber jitter small enough never to flip a gesture threshold, on a
+	// stream decorrelated from the tracker's.
+	glove.SetFiberNoise(0.01, seed+1)
 	return &ScriptedUser{
 		Boom:        NewBoom(),
 		Glove:       glove,
