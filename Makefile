@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint chaos fuzz fuzz-server ci bench bench-smoke bench-check load
+.PHONY: all build test race vet lint chaos fuzz fuzz-server ci bench bench-smoke bench-check load soak
 
 all: build test
 
@@ -61,3 +61,9 @@ bench-check:
 # paper's 10 frames/second against one server.
 load:
 	$(GO) run ./cmd/vwload -sessions 64 -frames 100 -fps 10
+
+# Long governed soak: 2000 rounds of the overloaded fleet against the
+# frame-budget governor, checking the compute-stage p99 and allocation
+# stability. (A short version of the same test rides `make test`.)
+soak:
+	$(GO) test ./internal/server/ -run TestSoakGovernedBudget -soakframes 2000 -v

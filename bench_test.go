@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/compute"
@@ -466,6 +467,70 @@ func BenchmarkServerFanoutFrame(b *testing.B) {
 			encodes := srv.Stats().FramesEncoded - encBefore
 			b.ReportMetric(float64(encodes)/float64(b.N), "encodes/op")
 			b.ReportMetric(float64(sessions), "ships/op")
+		})
+	}
+}
+
+// BenchmarkGovernedOverloadFrame measures the frame-budget governor on
+// a deliberately overloaded scene: looping playback dirties six wide
+// rakes every round, so each op recomputes the whole scene. Ungoverned,
+// ns/op is whatever the integration costs; governed, the shed planner
+// clamps the round to the budget once the first ops calibrate its
+// ns/unit rate, and shed/op reports the fraction of rounds shipped
+// degraded.
+func BenchmarkGovernedOverloadFrame(b *testing.B) {
+	u := benchDataset(b)
+	for _, tc := range []struct {
+		name   string
+		budget time.Duration
+	}{
+		{"ungoverned", 0},
+		{"budget=10ms", 10 * time.Millisecond},
+		{"budget=5ms", 5 * time.Millisecond},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv, err := core.Serve(ln, store.NewMemory(u), core.Options{Budget: tc.budget})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { srv.Dlib().Close() })
+			c, err := dlib.Dial(ln.Addr().String())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { c.Close() })
+			cmds := []wire.Command{
+				{Kind: wire.CmdSetLoop, Flag: 1},
+				{Kind: wire.CmdSetSpeed, Value: 1},
+				{Kind: wire.CmdSetPlaying, Flag: 1},
+			}
+			for i := 0; i < 6; i++ {
+				y := 0.3 + 0.08*float32(i)
+				cmds = append(cmds, wire.Command{
+					Kind: wire.CmdAddRake,
+					P0:   vmath.V3(-3, y, 1), P1: vmath.V3(-3, y, 14),
+					NumSeeds: 256, Tool: uint8(integrate.ToolStreamline),
+				})
+			}
+			if _, err := c.Call(wire.ProcFrame, wire.EncodeClientUpdate(wire.ClientUpdate{Commands: cmds})); err != nil {
+				b.Fatal(err)
+			}
+			empty := wire.EncodeClientUpdate(wire.ClientUpdate{})
+			shedBefore := srv.Stats().FramesShed
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Call(wire.ProcFrame, empty); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			shed := srv.Stats().FramesShed - shedBefore
+			b.ReportMetric(float64(shed)/float64(b.N), "shed/op")
 		})
 	}
 }

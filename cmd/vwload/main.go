@@ -49,6 +49,7 @@ func main() {
 		cacheMB  = flag.Int64("cachemb", 0, "shared timestep cache budget in MB (0 = uncapped on that axis)")
 		bw       = flag.Int64("bw", 0, "per-workstation link bandwidth in MB/s (0 = unconstrained)")
 		latency  = flag.Duration("latency", 0, "per-workstation link latency per message")
+		budget   = flag.Duration("budget", 0, "per-frame integration budget for the governor (0 = disabled; vwserver defaults to 100ms)")
 	)
 	flag.Parse()
 
@@ -63,6 +64,7 @@ func main() {
 		Prefetch:   !*resident && *prefetch,
 		CacheSteps: *cacheN,
 		CacheBytes: *cacheMB << 20,
+		Budget:     *budget,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -100,6 +102,11 @@ func main() {
 		rep.Latency.P50.Round(time.Microsecond), rep.Latency.P90.Round(time.Microsecond),
 		rep.Latency.P99.Round(time.Microsecond), rep.Latency.Max.Round(time.Microsecond),
 		rep.Latency.Mean.Round(time.Microsecond))
+	if *budget > 0 {
+		fmt.Printf("governor: budget=%v predicted(avg)=%v shed=%d/%d rounds\n",
+			*budget, avgDur(rep.PredictedTime, rep.FramesEncoded),
+			rep.FramesShed, rep.FramesEncoded)
+	}
 	if rep.HasCache {
 		c := rep.Cache
 		fmt.Printf("timestep cache: hits=%d misses=%d coalesced=%d evictions=%d resident=%d steps (%.1f MB) hit rate %.1f%%\n",
@@ -166,6 +173,14 @@ func openStore(dir string, steps int, resident bool, diskMBps int64) (store.Stor
 		return nil, noop, err
 	}
 	return store.NewMemory(u), noop, nil
+}
+
+// avgDur returns total/n rounded for display, or 0 when n is 0.
+func avgDur(total time.Duration, n int64) time.Duration {
+	if n == 0 {
+		return 0
+	}
+	return (total / time.Duration(n)).Round(time.Microsecond)
 }
 
 func storageMode(resident bool) string {

@@ -41,6 +41,7 @@ func main() {
 		maxSeeds = flag.Int("maxseeds", 0, "per-rake seed count cap enforced on client commands (0 = default 4096)")
 		cacheN   = flag.Int("cachesteps", 0, "shared timestep cache capacity in steps when streaming (0 with -cachemb 0 = no cache)")
 		cacheMB  = flag.Int64("cachemb", 0, "shared timestep cache budget in MB when streaming (0 with -cachesteps 0 = no cache)")
+		budget   = flag.Duration("budget", 100*time.Millisecond, "per-frame integration budget; the governor sheds load to hold it (0 = disabled, frames run unbounded)")
 		debug    = flag.String("debug", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address, e.g. localhost:6060 (empty = disabled)")
 	)
 	flag.Parse()
@@ -86,6 +87,7 @@ func main() {
 		MaxSeedsPerRake: *maxSeeds,
 		CacheSteps:      *cacheN,
 		CacheBytes:      *cacheMB << 20,
+		Budget:          *budget,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -121,12 +123,12 @@ func main() {
 			if s.Frames == 0 {
 				continue
 			}
-			log.Printf("frames=%d points=%d avg_compute=%v avg_load=%v shipped=%.1fMB sessions=%d",
+			log.Printf("frames=%d points=%d avg_compute=%v avg_load=%v shipped=%.1fMB sessions=%d shed=%d",
 				s.Frames, s.Points,
 				(s.ComputeTime / time.Duration(s.Frames)).Round(time.Microsecond),
 				(s.LoadTime / time.Duration(s.Frames)).Round(time.Microsecond),
 				float64(s.BytesShipped)/(1<<20),
-				srv.Dlib().NumSessions())
+				srv.Dlib().NumSessions(), s.FramesShed)
 			log.Printf("  pipeline: %s", srv.Recorder().Snapshot())
 			if cs, ok := srv.CacheStats(); ok {
 				log.Printf("  cache: %s", cs)

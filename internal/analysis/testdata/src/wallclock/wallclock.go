@@ -16,6 +16,11 @@ type clock interface {
 	After(d time.Duration) <-chan time.Time
 }
 
+// RealClock models netsim.RealClock: a package-level var whose methods
+// read the wall clock. Calling through it dodges injection, so the
+// analyzer flags it even though Now/After are method calls here.
+var RealClock clock
+
 func bad() {
 	_ = time.Now()                     // want `time\.Now reads the wall clock`
 	time.Sleep(time.Millisecond)       // want `time\.Sleep reads the wall clock`
@@ -25,6 +30,8 @@ func bad() {
 	_ = rand.Intn(10)                  // want `global rand\.Intn is nondeterministic`
 	_ = rand.Float64()                 // want `global rand\.Float64 is nondeterministic`
 	rand.Shuffle(3, func(i, j int) {}) // want `global rand\.Shuffle is nondeterministic`
+	_ = RealClock.Now()                // want `Now on RealClock bypasses clock injection`
+	_ = RealClock.After(time.Second)   // want `After on RealClock bypasses clock injection`
 }
 
 func good(c clock, r *rand.Rand) {
@@ -35,6 +42,13 @@ func good(c clock, r *rand.Rand) {
 	t0 := time.Unix(0, 0)            // pure constructor
 	_ = t0.Add(time.Second).Sub(t0)  // pure arithmetic
 	_ = time.Duration(3) * time.Hour // conversion
+
+	// A local or field that happens to be named RealClock is an
+	// injection point (the caller chose what to pass), not the global.
+	var RealClock clock = c
+	_ = RealClock.Now()
+	s := struct{ RealClock clock }{RealClock: c}
+	_ = s.RealClock.Now()
 }
 
 func allowed() {

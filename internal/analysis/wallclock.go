@@ -63,6 +63,15 @@ func runWallclock(pass *Pass) {
 				return true
 			}
 			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				// One escape hatch must be caught before the method
+				// exemption: calling Now/After directly on the
+				// package-level RealClock var (netsim's real
+				// implementation) is a method call syntactically, but
+				// it reads the wall clock while dodging injection.
+				if (fn.Name() == "Now" || fn.Name() == "After") && isRealClockVar(pass.Info, call) {
+					pass.Reportf(call.Pos(),
+						"%s on RealClock bypasses clock injection in a deterministic package; accept a netsim.Clock instead", fn.Name())
+				}
 				return true // methods on time.Time etc. are pure
 			}
 			switch fn.Pkg().Path() {
@@ -80,6 +89,32 @@ func runWallclock(pass *Pass) {
 			return true
 		})
 	}
+}
+
+// isRealClockVar reports whether the method call's receiver expression
+// resolves to a package-level variable named "RealClock" — either
+// qualified (netsim.RealClock.Now()) or in scope directly
+// (RealClock.Now()). Locals and struct fields that happen to share the
+// name are injection points, not the global, and stay legal.
+func isRealClockVar(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	var id *ast.Ident
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return false
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.IsField() || v.Name() != "RealClock" || v.Pkg() == nil {
+		return false
+	}
+	return v.Parent() == v.Pkg().Scope()
 }
 
 func pathBase(p string) string {

@@ -52,6 +52,12 @@ type Stats struct {
 	// (an unchanged Round means the shared scene held still).
 	Rounds    int64
 	LastRound uint64
+	// DegradedFrames counts replies carrying a non-zero degradation
+	// byte — rounds the server's frame-budget governor shed load on —
+	// and LastDegraded is the most recent reply's byte (0 = full
+	// fidelity).
+	DegradedFrames int64
+	LastDegraded   uint8
 }
 
 // Workstation is one user's machine.
@@ -79,6 +85,9 @@ type Workstation struct {
 	pending []wire.Command
 	lastErr error
 	rounds  int64 // distinct reply.Round values seen
+	// degradedFrames counts replies received with a non-zero
+	// degradation byte.
+	degradedFrames int64
 }
 
 // newWorkstation builds the renderer side; the caller wires the
@@ -282,6 +291,9 @@ func (w *Workstation) NetStep(pose vr.Pose) error {
 	if !w.haveOne || reply.Round != w.latest.Round {
 		w.rounds++
 	}
+	if reply.Degraded > 0 {
+		w.degradedFrames++
+	}
 	w.latest = reply
 	w.haveOne = true
 	w.lastErr = nil
@@ -313,6 +325,13 @@ func (w *Workstation) RenderFrame(head vmath.Mat4) error {
 // drawScene draws geometry, rakes, and other users (self excluded —
 // you do not see your own head from inside it).
 func drawScene(r *render.Renderer, state wire.FrameReply, selfID int64) {
+	// Degraded frames tint path geometry amber: the governor shed
+	// integration work to hold the frame budget, so what you see is a
+	// reduced-fidelity view of the flow, not the full rake output.
+	pathColor := render.Color{R: 230, G: 230, B: 230}
+	if state.Degraded > 0 {
+		pathColor = render.Color{R: 230, G: 180, B: 90}
+	}
 	for _, g := range state.Geometry {
 		switch g.Tool {
 		case 2: // streakline: smoke
@@ -323,7 +342,7 @@ func drawScene(r *render.Renderer, state wire.FrameReply, selfID int64) {
 			r.Additive = false
 		default:
 			for _, line := range g.Lines {
-				r.Polyline(line, render.Color{R: 230, G: 230, B: 230})
+				r.Polyline(line, pathColor)
 			}
 		}
 	}
@@ -376,15 +395,19 @@ func (w *Workstation) Stats() Stats {
 	w.mu.Lock()
 	rounds := w.rounds
 	lastRound := w.latest.Round
+	degraded := w.degradedFrames
+	lastDegraded := w.latest.Degraded
 	w.mu.Unlock()
 	return Stats{
-		NetFrames:    w.netFrames.Load(),
-		RenderFrames: w.renderFrames.Load(),
-		NetErrors:    w.netErrors.Load(),
-		NetTime:      time.Duration(w.netNanos.Load()),
-		BytesDown:    w.bytesDown.Load(),
-		Rounds:       rounds,
-		LastRound:    lastRound,
+		NetFrames:      w.netFrames.Load(),
+		RenderFrames:   w.renderFrames.Load(),
+		NetErrors:      w.netErrors.Load(),
+		NetTime:        time.Duration(w.netNanos.Load()),
+		BytesDown:      w.bytesDown.Load(),
+		Rounds:         rounds,
+		LastRound:      lastRound,
+		DegradedFrames: degraded,
+		LastDegraded:   lastDegraded,
 	}
 }
 

@@ -61,6 +61,16 @@ func samplesPerStep(m integrate.Method) int64 {
 	}
 }
 
+// UnitsPerPoint returns the work units one path point costs under
+// method m — the §5.3 accounting the CostModel prices: samplesPerStep
+// field accesses per component plus one conversion access per
+// component, three components each. This is the constant the server's
+// frame-budget governor multiplies into seeds x steps to predict a
+// rake's integration cost before running it.
+func UnitsPerPoint(m integrate.Method) int64 {
+	return samplesPerStep(m)*3 + 3
+}
+
 // statsFor computes the §5.3 work accounting for paths with the given
 // total point count (seeds excluded).
 func statsFor(points int64, m integrate.Method) Stats {

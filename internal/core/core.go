@@ -53,6 +53,11 @@ type Options struct {
 	// the server and an I/O-backed store; both zero disables it.
 	CacheSteps int
 	CacheBytes int64
+	// Budget is the server's per-frame integration budget: when the
+	// governor predicts a frame will exceed it, load is shed to hold
+	// TargetFrameRate instead of blowing the §1.2 deadline. Zero
+	// disables the governor.
+	Budget time.Duration
 	// FrameW, FrameH size the workstation display; zero uses 640x512.
 	FrameW, FrameH int
 }
@@ -81,6 +86,7 @@ func LaunchLocal(dataset *field.Unsteady, opts Options) (*Session, error) {
 		Prefetch:        opts.Prefetch,
 		MaxSeedsPerRake: opts.MaxSeedsPerRake,
 		RakeWorkers:     opts.RakeWorkers,
+		Budget:          opts.Budget,
 	})
 	if err != nil {
 		return nil, err
@@ -102,6 +108,7 @@ func Serve(ln net.Listener, st store.Store, opts Options) (*server.Server, error
 		RakeWorkers:     opts.RakeWorkers,
 		CacheSteps:      opts.CacheSteps,
 		CacheBytes:      opts.CacheBytes,
+		Budget:          opts.Budget,
 	})
 	if err != nil {
 		return nil, err

@@ -37,6 +37,14 @@ type FrameSample struct {
 	// Bytes is the encoded reply size.
 	Points int64
 	Bytes  int64
+	// Predicted is the frame-budget governor's pre-frame cost
+	// prediction (zero until its EWMA calibrates); Budget is the
+	// configured frame budget (zero when the governor is disabled);
+	// Shed is the fraction of resident integration work shed this
+	// round (0 = full fidelity).
+	Predicted time.Duration
+	Budget    time.Duration
+	Shed      float64
 }
 
 // Snapshot is the cumulative view of a Recorder. Durations are sums;
@@ -57,6 +65,14 @@ type Snapshot struct {
 	// FramesShipped/Frames is the fan-out factor.
 	FramesShipped int64
 	BytesShipped  int64
+	// Governor gauges: Budget is the configured frame budget (last
+	// non-zero observed), PredictedTime the summed cost predictions,
+	// FramesShed the rounds shipped degraded, and ShedSum the summed
+	// per-round shed fractions (divide by Frames for the mean).
+	Budget        time.Duration
+	PredictedTime time.Duration
+	FramesShed    int64
+	ShedSum       float64
 }
 
 // per returns d averaged over the snapshot's frames.
@@ -76,6 +92,18 @@ func (s Snapshot) AvgIntegrate() time.Duration { return s.per(s.IntegrateTime) }
 // AvgEncode returns mean encode time per frame.
 func (s Snapshot) AvgEncode() time.Duration { return s.per(s.EncodeTime) }
 
+// AvgPredicted returns the mean governor cost prediction per frame.
+func (s Snapshot) AvgPredicted() time.Duration { return s.per(s.PredictedTime) }
+
+// AvgShed returns the mean fraction of integration work shed per
+// frame (0 when the governor never clamped).
+func (s Snapshot) AvgShed() float64 {
+	if s.Frames == 0 {
+		return 0
+	}
+	return s.ShedSum / float64(s.Frames)
+}
+
 // ReuseRatio returns the fraction of rake geometries served from the
 // memo rather than recomputed.
 func (s Snapshot) ReuseRatio() float64 {
@@ -86,9 +114,11 @@ func (s Snapshot) ReuseRatio() float64 {
 	return float64(s.RakesReused) / float64(total)
 }
 
-// String summarizes the snapshot for logs and benchmark tables.
+// String summarizes the snapshot for logs and benchmark tables. The
+// governor column only appears once a budget has been observed, so
+// ungoverned pipelines log exactly as before.
 func (s Snapshot) String() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"frames=%d (reused %d, shipped %d) load=%v integrate=%v encode=%v rakes computed=%d reused=%d (%.0f%%) points=%d bytes=%d shipped=%d",
 		s.Frames, s.FramesReused, s.FramesShipped,
 		s.AvgLoad().Round(time.Microsecond),
@@ -96,6 +126,13 @@ func (s Snapshot) String() string {
 		s.AvgEncode().Round(time.Microsecond),
 		s.RakesComputed, s.RakesReused, 100*s.ReuseRatio(),
 		s.Points, s.Bytes, s.BytesShipped)
+	if s.Budget > 0 {
+		out += fmt.Sprintf(" budget=%v predicted=%v shed frames=%d avg=%.1f%%",
+			s.Budget,
+			s.AvgPredicted().Round(time.Microsecond),
+			s.FramesShed, 100*s.AvgShed())
+	}
+	return out
 }
 
 // Recorder accumulates FrameSamples. The zero value is ready to use;
@@ -120,6 +157,14 @@ func (r *Recorder) Observe(f FrameSample) {
 	r.s.RakesReused += int64(f.RakesReused)
 	r.s.Points += f.Points
 	r.s.Bytes += f.Bytes
+	if f.Budget > 0 {
+		r.s.Budget = f.Budget
+	}
+	r.s.PredictedTime += f.Predicted
+	if f.Shed > 0 {
+		r.s.FramesShed++
+		r.s.ShedSum += f.Shed
+	}
 }
 
 // ObserveShip records one per-session reply send of the given encoded

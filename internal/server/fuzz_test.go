@@ -3,8 +3,10 @@ package server
 import (
 	"math"
 	"testing"
+	"time"
 
 	"repro/internal/dlib"
+	"repro/internal/netsim"
 	"repro/internal/vmath"
 	"repro/internal/wire"
 )
@@ -31,12 +33,22 @@ func checkEnvInvariants(t *testing.T, s *Server) {
 }
 
 // fuzzServer builds a small steady server plus a direct-call context.
+// The frame-budget governor runs hot (tiny budget, pre-calibrated on a
+// ManualClock so plans are deterministic): hostile payloads reach the
+// shed planner and the degraded-byte encoding, not just the
+// full-fidelity path.
 func fuzzServer(t *testing.T) (*Server, *dlib.Ctx) {
 	t.Helper()
-	s, err := New(Config{Store: testDataset(t, 2), MaxSeedsPerRake: 64})
+	s, err := New(Config{
+		Store:           testDataset(t, 2),
+		MaxSeedsPerRake: 64,
+		Budget:          time.Millisecond,
+		Clock:           netsim.NewManualClock(),
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	s.gov.unitNanos = 500
 	t.Cleanup(func() { s.Dlib().Close() })
 	return s, &dlib.Ctx{Session: &dlib.Session{ID: 1}}
 }
@@ -84,6 +96,15 @@ func FuzzHandleFrame(f *testing.F) {
 		{Kind: wire.CmdSetSpeed, Value: nan},
 		{Kind: wire.CmdSeek, Value: inf},
 		{Kind: 99, Rake: -1},
+	}}))
+	// Overload seed: a wide rake under playback pushes the governor
+	// over its budget, so the fuzzer explores the shed planner and the
+	// non-zero Degraded byte from the first generation on.
+	f.Add(wire.EncodeClientUpdate(wire.ClientUpdate{Commands: []wire.Command{
+		{Kind: wire.CmdAddRake, P0: vmath.V3(1, 2, 2), P1: vmath.V3(1, 13, 6), NumSeeds: 64},
+		{Kind: wire.CmdSetLoop, Flag: 1},
+		{Kind: wire.CmdSetSpeed, Value: 1},
+		{Kind: wire.CmdSetPlaying, Flag: 1},
 	}}))
 	f.Add([]byte{})
 	f.Add([]byte{0x01})

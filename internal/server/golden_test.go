@@ -1,0 +1,233 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/integrate"
+	"repro/internal/netsim"
+	"repro/internal/vmath"
+	"repro/internal/wire"
+)
+
+// The golden-frame corpus: committed wire bytes for three canonical
+// sessions, pinned so that (a) the protocol encoding never drifts
+// silently and (b) the governor at a generous budget reproduces the
+// ungoverned output byte for byte — load shedding must be invisible
+// until it actually triggers.
+//
+// Frames are generated under a ManualClock, so ComputeNanos and
+// LoadNanos encode as zero and the bytes are reproducible across runs.
+// Caveat: coordinates are float32 results of the integrators, so the
+// corpus is pinned to platforms whose Go compiler does not fuse
+// multiply-adds differently (amd64/arm64 agree today); regenerate with
+// -update if a toolchain change moves the math.
+//
+// Regenerate with:
+//
+//	go test ./internal/server/ -run TestGoldenFrames -update
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden frame corpus")
+
+// goldenScenario scripts one deterministic session: a named sequence
+// of (session, update) frame exchanges.
+type goldenScenario struct {
+	name string
+	run  func(t *testing.T, s *Server) [][]byte
+}
+
+// runSession drives updates through one direct session in order and
+// returns the raw reply bytes.
+func runSession(t *testing.T, s *Server, id int64, updates []wire.ClientUpdate) [][]byte {
+	t.Helper()
+	d := newDirectSession(t, s, id)
+	frames := make([][]byte, len(updates))
+	for i, u := range updates {
+		frames[i] = d.rawFrame(u)
+	}
+	return frames
+}
+
+var goldenScenarios = []goldenScenario{
+	{
+		// Steady streamlines: build a two-rake scene, hold still for two
+		// frames (whole-frame memo path), then move the hand (re-encode,
+		// no recompute).
+		name: "steady-streamlines",
+		run: func(t *testing.T, s *Server) [][]byte {
+			return runSession(t, s, 1, []wire.ClientUpdate{
+				{Commands: []wire.Command{
+					addRakeCmd(vmath.V3(1, 4, 4), vmath.V3(1, 8, 4), 5, integrate.ToolStreamline),
+					addRakeCmd(vmath.V3(2, 9, 3), vmath.V3(2, 13, 3), 4, integrate.ToolStreamline),
+				}},
+				{},
+				{},
+				{Hand: vmath.V3(3, 2, 1)},
+			})
+		},
+	},
+	{
+		// Streakline seek: smoke source under looping playback, then a
+		// seek (which resets the particle history), then more playback.
+		name: "streakline-seek",
+		run: func(t *testing.T, s *Server) [][]byte {
+			return runSession(t, s, 1, []wire.ClientUpdate{
+				{Commands: []wire.Command{
+					addRakeCmd(vmath.V3(1, 6, 4), vmath.V3(1, 10, 4), 3, integrate.ToolStreakline),
+					{Kind: wire.CmdSetLoop, Flag: 1},
+					{Kind: wire.CmdSetSpeed, Value: 1},
+					{Kind: wire.CmdSetPlaying, Flag: 1},
+				}},
+				{},
+				{},
+				{Commands: []wire.Command{{Kind: wire.CmdSeek, Value: 0.5}}},
+				{},
+				{},
+			})
+		},
+	},
+	{
+		// Multi-user grab: a second workstation joins, grabs the first
+		// user's rake, drags it, and releases — exercising user-list
+		// encoding, FCFS lock state on the wire, and rake-move
+		// recomputes. Frames alternate session 1, session 2 in a fixed
+		// order so the byte stream is reproducible.
+		name: "multiuser-grab",
+		run: func(t *testing.T, s *Server) [][]byte {
+			d1 := newDirectSession(t, s, 1)
+			d2 := newDirectSession(t, s, 2)
+			var frames [][]byte
+			f1 := func(u wire.ClientUpdate) { frames = append(frames, d1.rawFrame(u)) }
+			f2 := func(u wire.ClientUpdate) { frames = append(frames, d2.rawFrame(u)) }
+			f1(wire.ClientUpdate{Commands: []wire.Command{
+				addRakeCmd(vmath.V3(1, 4, 4), vmath.V3(1, 9, 4), 4, integrate.ToolStreamline),
+			}})
+			f2(wire.ClientUpdate{Hand: vmath.V3(1, 6, 4)})
+			f2(wire.ClientUpdate{Commands: []wire.Command{
+				{Kind: wire.CmdGrab, Rake: 1, Grab: uint8(integrate.GrabCenter)},
+			}})
+			f1(wire.ClientUpdate{})
+			f2(wire.ClientUpdate{Commands: []wire.Command{
+				{Kind: wire.CmdMove, Rake: 1, Pos: vmath.V3(4, 7, 4)},
+			}})
+			f1(wire.ClientUpdate{})
+			f2(wire.ClientUpdate{Commands: []wire.Command{
+				{Kind: wire.CmdRelease, Rake: 1},
+			}})
+			f1(wire.ClientUpdate{})
+			return frames
+		},
+	},
+}
+
+// goldenPath returns the scenario's corpus file.
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden", name+".bin")
+}
+
+// encodeFrames packs frames as u32 length-prefixed records.
+func encodeFrames(frames [][]byte) []byte {
+	var buf bytes.Buffer
+	for _, f := range frames {
+		var n [4]byte
+		binary.LittleEndian.PutUint32(n[:], uint32(len(f)))
+		buf.Write(n[:])
+		buf.Write(f)
+	}
+	return buf.Bytes()
+}
+
+// decodeFrames splits a corpus file back into frames.
+func decodeFrames(data []byte) ([][]byte, error) {
+	var frames [][]byte
+	for len(data) > 0 {
+		if len(data) < 4 {
+			return nil, fmt.Errorf("truncated length prefix")
+		}
+		n := binary.LittleEndian.Uint32(data[:4])
+		data = data[4:]
+		if uint32(len(data)) < n {
+			return nil, fmt.Errorf("truncated frame: want %d bytes, have %d", n, len(data))
+		}
+		frames = append(frames, data[:n])
+		data = data[n:]
+	}
+	return frames, nil
+}
+
+// goldenServer builds the scenario server: fixed dataset, ManualClock
+// (zero nanos on the wire), and the given governor configuration.
+func goldenServer(t *testing.T, budget time.Duration, unitNanos float64) *Server {
+	t.Helper()
+	s, err := New(Config{
+		Store:  testDataset(t, 4),
+		Budget: budget,
+		Clock:  netsim.NewManualClock(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.gov.unitNanos = unitNanos
+	return s
+}
+
+func TestGoldenFrames(t *testing.T) {
+	for _, sc := range goldenScenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			// The reference run: governor disabled, exactly the
+			// pre-governor pipeline.
+			frames := sc.run(t, goldenServer(t, 0, 0))
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(goldenPath(sc.name)), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenPath(sc.name), encodeFrames(frames), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s: %d frames", goldenPath(sc.name), len(frames))
+				return
+			}
+			data, err := os.ReadFile(goldenPath(sc.name))
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			golden, err := decodeFrames(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareFrames(t, "ungoverned", frames, golden)
+
+			// The governed run at a budget no frame can exceed, with a
+			// calibrated rate so the planner actually prices every frame:
+			// shedding must be a strict no-op, byte for byte.
+			governed := sc.run(t, goldenServer(t, time.Hour, 100))
+			compareFrames(t, "governed-at-infinite-budget", governed, golden)
+		})
+	}
+}
+
+// compareFrames asserts byte identity frame by frame, reporting the
+// first diverging frame and offset rather than a blob dump.
+func compareFrames(t *testing.T, label string, got, want [][]byte) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d frames, golden has %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if bytes.Equal(got[i], want[i]) {
+			continue
+		}
+		off := 0
+		for off < len(got[i]) && off < len(want[i]) && got[i][off] == want[i][off] {
+			off++
+		}
+		t.Fatalf("%s: frame %d differs at byte %d (lengths %d vs golden %d)",
+			label, i, off, len(got[i]), len(want[i]))
+	}
+}

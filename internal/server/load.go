@@ -64,6 +64,12 @@ type LoadReport struct {
 	BytesShipped  int64
 	Points        int64
 
+	// FramesShed counts encoded rounds shipped degraded and
+	// PredictedTime the governor's summed cost predictions over the
+	// run (both zero with the governor disabled).
+	FramesShed    int64
+	PredictedTime time.Duration
+
 	// Latency is the distribution of per-session frame call times.
 	Latency LatencyStats
 	// Errors counts failed frame calls (the run continues past them).
@@ -85,15 +91,20 @@ func (r LoadReport) FanOut() float64 {
 	return float64(r.FramesShipped) / float64(r.Rounds)
 }
 
-// String formats the report as a one-run summary table.
+// String formats the report as a one-run summary table. The shed
+// column only appears when the governor degraded at least one round.
 func (r LoadReport) String() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"sessions=%d frames=%d elapsed=%v rounds=%d encoded=%d reused=%d shipped=%d (fan-out %.1fx) bytes=%d errors=%d lat p50=%v p90=%v p99=%v max=%v",
 		r.Sessions, r.Frames, r.Elapsed.Round(time.Millisecond),
 		r.Rounds, r.FramesEncoded, r.FramesReused, r.FramesShipped,
 		r.FanOut(), r.BytesShipped, r.Errors,
 		r.Latency.P50.Round(time.Microsecond), r.Latency.P90.Round(time.Microsecond),
 		r.Latency.P99.Round(time.Microsecond), r.Latency.Max.Round(time.Microsecond))
+	if r.FramesShed > 0 {
+		out += fmt.Sprintf(" shed=%d/%d", r.FramesShed, r.FramesEncoded)
+	}
+	return out
 }
 
 // RunLoad drives the server with opts.Sessions simulated workstations
@@ -239,6 +250,8 @@ func RunLoad(s *Server, opts LoadOptions) (LoadReport, error) {
 		FramesShipped: after.FramesShipped - before.FramesShipped,
 		BytesShipped:  after.BytesShipped - before.BytesShipped,
 		Points:        after.Points - before.Points,
+		FramesShed:    after.FramesShed - before.FramesShed,
+		PredictedTime: after.PredictedTime - before.PredictedTime,
 		Errors:        errCount,
 	}
 	if cs, ok := s.CacheStats(); ok {

@@ -43,6 +43,7 @@ import (
 	"repro/internal/field"
 	"repro/internal/grid"
 	"repro/internal/integrate"
+	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/vmath"
@@ -81,6 +82,17 @@ type Config struct {
 	// are already the cache.
 	CacheSteps int
 	CacheBytes int64
+	// Budget is the per-frame integration budget the governor holds
+	// the server under by predictive load-shedding (§5.3: only as many
+	// path points fit a frame as the machine can integrate in 0.1 s).
+	// 0 disables the governor entirely — every frame runs at full
+	// fidelity, byte-identical to pre-governor behavior.
+	Budget time.Duration
+	// Clock supplies stage timing and the governor's calibration
+	// measurements; nil uses the real wall clock. Tests inject a
+	// netsim.ManualClock, under which every stage measures zero, the
+	// EWMA freezes, and frames replay byte-identically.
+	Clock netsim.Clock
 }
 
 // Stats is a snapshot of server-side performance counters.
@@ -114,14 +126,22 @@ type Stats struct {
 	// grows with the number of attached workstations.
 	FramesEncoded int64
 	FramesShipped int64
+	// FramesShed counts encoded rounds that went out with a non-zero
+	// degradation byte — rounds where the governor clamped work, or
+	// was still serving clamped geometry from an earlier clamp.
+	FramesShed int64
+	// PredictedTime is the cumulative governor cost prediction over
+	// encoded rounds (zero until the EWMA calibrates).
+	PredictedTime time.Duration
 }
 
 // Server is the remote-host application layered on a dlib server.
 type Server struct {
-	d   *dlib.Server
-	cfg Config
-	env *env.Environment
-	rec obs.Recorder
+	d     *dlib.Server
+	cfg   Config
+	env   *env.Environment
+	rec   obs.Recorder
+	clock netsim.Clock
 
 	// st is the effective store: cfg.Store, optionally wrapped by the
 	// shared timestep cache. All dataset access goes through it.
@@ -150,11 +170,12 @@ type Server struct {
 	// round yet), the env version and point count it was computed at,
 	// and which sessions have consumed it. free holds drained buffers
 	// for reuse. All buffers below recycle across rounds.
-	fb          *frameBuf
-	free        []*frameBuf
-	consumedBy  map[int64]bool
-	lastVersion uint64
-	lastPoints  int64
+	fb           *frameBuf
+	free         []*frameBuf
+	consumedBy   map[int64]bool
+	lastVersion  uint64
+	lastPoints   int64
+	lastDegraded uint8
 
 	userScratch []env.UserSnapshot
 	rakeScratch []env.RakeSnapshot
@@ -163,6 +184,13 @@ type Server struct {
 	geomWire    []wire.Geometry
 	geomGC      []*rakeGeom // aligned with geomWire, for point totals
 	jobs        []rakeJob
+
+	// Governor state: the planner itself plus recycled scratch for its
+	// per-frame request/level/job-index triples.
+	gov        *governor
+	reqScratch []shedRequest
+	reqJobs    []int
+	lvlScratch []shedLevel
 
 	stats Stats
 }
@@ -185,14 +213,35 @@ type rakeGeom struct {
 	geo    wire.Geometry
 	points int64  // cached geo.NumPoints()
 	touch  uint64 // last round this rake was seen, for sweeping
+
+	// shedSeeds/shedSteps record the fidelity the cached geometry was
+	// computed at. A memo hit requires full fidelity; a valid-but-shed
+	// entry is an upgrade candidate the governor re-admits when load
+	// drops, and its gap feeds the frame's degradation byte.
+	shedSeeds int
+	shedSteps int
 }
 
-// rakeJob is one dirty rake queued for recomputation.
+// rakeJob is one dirty rake queued for recomputation, carrying the
+// governor's per-rake decision for the round.
 type rakeJob struct {
 	idx    int // index into geomWire
 	snap   env.RakeSnapshot
 	gc     *rakeGeom
 	streak *integrate.Streak // non-nil for streakline rakes
+
+	// upgrade marks a rake whose memo is valid but was computed at
+	// shed fidelity; the planner either re-admits it to full fidelity
+	// or sets skip to keep serving the clamped memo.
+	upgrade bool
+	skip    bool
+	// level is the planned fidelity; engine overrides cfg.Engine for
+	// shed batches (nil = configured engine).
+	level  shedLevel
+	engine compute.Engine
+	// units is the measured §5.3 work the job actually did, written by
+	// computeRake and folded into the governor's EWMA.
+	units int64
 }
 
 // frameBuf is one round's encoded reply, shared zero-copy by every
@@ -265,11 +314,20 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxSeedsPerRake == 0 {
 		cfg.MaxSeedsPerRake = 4096
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = netsim.RealClock
+	}
+	govWorkers := cfg.RakeWorkers
+	if govWorkers <= 0 {
+		govWorkers = runtime.GOMAXPROCS(0)
+	}
 	s := &Server{
 		d:          dlib.NewServer(),
 		cfg:        cfg,
 		st:         cfg.Store,
 		env:        env.New(cfg.Store.NumSteps()),
+		clock:      cfg.Clock,
+		gov:        newGovernor(cfg.Budget, cfg.Clock, govWorkers),
 		streaks:    make(map[int32]*integrate.Streak),
 		geoCache:   make(map[int32]*rakeGeom),
 		consumedBy: make(map[int64]bool),
@@ -524,9 +582,11 @@ func (s *Server) recomputeLocked() error {
 	// streakline needs advancing, the previous round's bytes are this
 	// round's bytes — the round buffer is served again (same Round on
 	// the wire, so clients can tell the scene held still). This is
-	// also what makes identical frames encode byte-identically.
+	// also what makes identical frames encode byte-identically. A
+	// degraded frame is never frozen this way: the round must rerun so
+	// the governor can admit upgrades and restore full fidelity.
 	if s.fb != nil && version == s.lastVersion &&
-		step == s.curStep && len(s.streaks) == 0 {
+		step == s.curStep && len(s.streaks) == 0 && s.lastDegraded == 0 {
 		clear(s.consumedBy)
 		s.stats.Frames++
 		s.stats.FramesReused++
@@ -540,7 +600,7 @@ func (s *Server) recomputeLocked() error {
 		return nil
 	}
 
-	loadStart := time.Now() //vw:allow wallclock -- obs-only stage timer, not simulation state
+	loadStart := s.clock.Now()
 	if s.cur == nil || step != s.curStep {
 		f, err := s.loadStep(step)
 		if err != nil {
@@ -549,7 +609,7 @@ func (s *Server) recomputeLocked() error {
 		s.cur = f
 		s.curStep = step
 	}
-	loadTime := time.Since(loadStart) //vw:allow wallclock -- obs-only stage timer, not simulation state
+	loadTime := s.clock.Now().Sub(loadStart)
 
 	// Overlap: kick off the prefetch of the next step along the
 	// playback direction while this frame computes (figure 8's
@@ -572,7 +632,7 @@ func (s *Server) recomputeLocked() error {
 		}
 	}
 
-	computeStart := time.Now() //vw:allow wallclock -- obs-only stage timer, not simulation state
+	computeStart := s.clock.Now()
 	g := s.st.Grid()
 	batch := compute.SteadyBatch{F: s.cur, G: g}
 	s.round++
@@ -619,8 +679,9 @@ func (s *Server) recomputeLocked() error {
 		idx := len(s.geomWire)
 		s.geomWire = append(s.geomWire, wire.Geometry{})
 		s.geomGC = append(s.geomGC, gc)
-		if rake.Tool != integrate.ToolStreakline && gc.haveGeo &&
-			gc.version == snap.Version && gc.step == step && gc.timeKey == ts.Current {
+		memoValid := rake.Tool != integrate.ToolStreakline && gc.haveGeo &&
+			gc.version == snap.Version && gc.step == step && gc.timeKey == ts.Current
+		if memoValid && gc.shedSeeds == len(gc.seeds) && gc.shedSteps == s.cfg.Options.MaxSteps {
 			s.geomWire[idx] = gc.geo
 			reused++
 			continue
@@ -633,7 +694,10 @@ func (s *Server) recomputeLocked() error {
 				s.streaks[rake.ID] = streak
 			}
 		}
-		s.jobs = append(s.jobs, rakeJob{idx: idx, snap: snap, gc: gc, streak: streak})
+		// A valid-but-shed memo is an upgrade candidate: the planner
+		// either re-admits it to full fidelity or keeps serving the
+		// clamped geometry.
+		s.jobs = append(s.jobs, rakeJob{idx: idx, snap: snap, gc: gc, streak: streak, upgrade: memoValid})
 	}
 	if len(s.geoCache) > len(s.rakeScratch) {
 		// Rakes removed outside CmdRemoveRake (direct env use): sweep
@@ -645,19 +709,46 @@ func (s *Server) recomputeLocked() error {
 		}
 	}
 
+	// Plan: price every job in §5.3 units and decide this round's shed
+	// levels before any integration runs.
+	predicted := s.planJobsLocked()
+	computed := 0
+	for i := range s.jobs {
+		if s.jobs[i].skip {
+			reused++
+		} else {
+			computed++
+		}
+	}
+
 	// Pass 2: recompute dirty rakes, concurrently when there are
 	// several — independent rakes are the paper's natural parallel
 	// unit above the per-seed fan-out inside the engines.
 	s.runJobsLocked(batch, g, ts, step)
-	computeTime := time.Since(computeStart) //vw:allow wallclock -- obs-only stage timer, not simulation state
+	computeTime := s.clock.Now().Sub(computeStart)
+
+	// Calibrate the EWMA from what the integrate stage actually cost
+	// per unit of work it actually did.
+	var jobUnits int64
+	for i := range s.jobs {
+		if !s.jobs[i].skip {
+			jobUnits += s.jobs[i].units
+		}
+	}
+	s.gov.observe(computeTime, jobUnits)
 
 	var totalPoints int64
+	var fullU, actualU int64
+	fullSteps := int64(s.cfg.Options.MaxSteps)
 	for i, gc := range s.geomGC {
 		s.geomWire[i] = gc.geo
 		totalPoints += gc.points
+		fullU += int64(len(gc.seeds)) * fullSteps
+		actualU += int64(gc.shedSeeds) * int64(gc.shedSteps)
 	}
+	degraded := degradedByte(actualU, fullU)
 
-	encodeStart := time.Now() //vw:allow wallclock -- obs-only stage timer, not simulation state
+	encodeStart := s.clock.Now()
 	reply := wire.FrameReply{
 		Time: wire.TimeStatus{
 			Current:  ts.Current,
@@ -672,6 +763,7 @@ func (s *Server) recomputeLocked() error {
 		ComputeNanos: computeTime.Nanoseconds(),
 		LoadNanos:    loadTime.Nanoseconds(),
 		Round:        s.round,
+		Degraded:     degraded,
 	}
 	// Encode once into a buffer no in-flight send still references:
 	// the current buffer in place when its references have drained
@@ -679,11 +771,12 @@ func (s *Server) recomputeLocked() error {
 	fb := s.acquireEncodeBufLocked()
 	fb.buf = wire.AppendFrameReply(fb.buf[:0], reply)
 	s.fb = fb
-	encodeTime := time.Since(encodeStart) //vw:allow wallclock -- obs-only stage timer, not simulation state
+	encodeTime := s.clock.Now().Sub(encodeStart)
 
 	clear(s.consumedBy)
 	s.lastVersion = version
 	s.lastPoints = totalPoints
+	s.lastDegraded = degraded
 
 	s.stats.Frames++
 	s.stats.FramesEncoded++
@@ -691,18 +784,114 @@ func (s *Server) recomputeLocked() error {
 	s.stats.ComputeTime += computeTime
 	s.stats.LoadTime += loadTime
 	s.stats.EncodeTime += encodeTime
-	s.stats.RakesComputed += int64(len(s.jobs))
+	s.stats.RakesComputed += int64(computed)
 	s.stats.RakesReused += int64(reused)
+	s.stats.PredictedTime += predicted
+	if degraded > 0 {
+		s.stats.FramesShed++
+	}
+	var shedFrac float64
+	if fullU > 0 {
+		shedFrac = 1 - float64(actualU)/float64(fullU)
+	}
 	s.rec.Observe(obs.FrameSample{
 		Load:          loadTime,
 		Integrate:     computeTime,
 		Encode:        encodeTime,
-		RakesComputed: len(s.jobs),
+		RakesComputed: computed,
 		RakesReused:   reused,
 		Points:        totalPoints,
 		Bytes:         int64(len(fb.buf)),
+		Predicted:     predicted,
+		Budget:        s.gov.budget,
+		Shed:          shedFrac,
 	})
 	return nil
+}
+
+// planJobsLocked runs the governor over this round's jobs: it prices
+// each mandatory (dirty) job, asks the planner for shed levels, then
+// greedily re-admits upgrade candidates — valid memos computed at shed
+// fidelity — back to full fidelity in rake order while the predicted
+// frame stays under budget. Caller holds s.mu.
+func (s *Server) planJobsLocked() time.Duration {
+	upp := compute.UnitsPerPoint(s.cfg.Options.Method)
+	fullSteps := s.cfg.Options.MaxSteps
+	s.reqScratch = s.reqScratch[:0]
+	s.reqJobs = s.reqJobs[:0]
+	for i := range s.jobs {
+		j := &s.jobs[i]
+		j.level = shedLevel{Seeds: len(j.gc.seeds), Steps: fullSteps}
+		j.engine = nil
+		j.skip = false
+		j.units = 0
+		if j.upgrade {
+			continue
+		}
+		req := shedRequest{Seeds: len(j.gc.seeds), Steps: fullSteps}
+		if j.streak != nil {
+			// Streaklines advance existing particles plus one emission
+			// per seed; they are priced but never clamped.
+			req.Fixed = true
+			req.Units = (int64(len(j.streak.Particles)) + int64(req.Seeds)) * upp
+		} else {
+			req.Units = int64(req.Seeds) * int64(req.Steps) * upp
+			req.Held = j.snap.Holder != 0
+		}
+		s.reqScratch = append(s.reqScratch, req)
+		s.reqJobs = append(s.reqJobs, i)
+	}
+	if cap(s.lvlScratch) < len(s.reqScratch) {
+		s.lvlScratch = make([]shedLevel, len(s.reqScratch))
+	}
+	lvls := s.lvlScratch[:len(s.reqScratch)]
+	predicted, shed := s.gov.plan(s.reqScratch, lvls)
+	for k, i := range s.reqJobs {
+		j := &s.jobs[i]
+		j.level = lvls[k]
+		if shed && j.streak == nil {
+			// Only shed rounds switch engines, so an ungoverned (or
+			// under-budget) server stays byte-identical to the
+			// configured engine's output.
+			j.engine = s.gov.engineFor(j.level.Seeds)
+		}
+	}
+	for i := range s.jobs {
+		j := &s.jobs[i]
+		if !j.upgrade {
+			continue
+		}
+		units := int64(len(j.gc.seeds)) * int64(fullSteps) * upp
+		cost := s.gov.predict(units)
+		if shed || (s.gov.enabled() && s.gov.calibrated() && predicted+cost > s.gov.budget) {
+			j.skip = true
+			continue
+		}
+		predicted += cost
+	}
+	// Guarantee progress on idle rounds: when no rake is dirty and the
+	// budget admitted nothing (a single rake's full cost can exceed
+	// the budget), restore the first candidate anyway — otherwise a
+	// paused, degraded scene would stay degraded forever.
+	if len(s.reqScratch) == 0 {
+		admitted := false
+		for i := range s.jobs {
+			if s.jobs[i].upgrade && !s.jobs[i].skip {
+				admitted = true
+				break
+			}
+		}
+		if !admitted {
+			for i := range s.jobs {
+				if s.jobs[i].upgrade {
+					s.jobs[i].skip = false
+					predicted += s.gov.predict(int64(len(s.jobs[i].gc.seeds)) * int64(fullSteps) * upp)
+					break
+				}
+			}
+		}
+	}
+	return predicted
 }
 
 // runJobsLocked executes the round's recompute jobs on a bounded
@@ -743,26 +932,53 @@ func (s *Server) runJobsLocked(batch compute.SteadyBatch, g *grid.Grid, ts env.T
 	wg.Wait()
 }
 
-// computeRake recomputes one rake's geometry into its memo entry,
-// recycling the previous round's physical-line buffers. Runs on pool
-// workers; must not touch server state beyond the job's own entries.
+// computeRake recomputes one rake's geometry into its memo entry at
+// the planned fidelity, recycling the previous round's physical-line
+// buffers. Runs on pool workers; must not touch server state beyond
+// the job's own entries.
 //
 //vw:hotpath
 func (s *Server) computeRake(j *rakeJob, batch compute.SteadyBatch, g *grid.Grid, ts env.TimeState, step int) {
+	if j.skip {
+		// The planner kept this rake's shed-fidelity memo; the round
+		// serves gc.geo verbatim.
+		return
+	}
 	rake := j.snap.Rake
 	gc := j.gc
+	seeds := gc.seeds
+	opts := s.cfg.Options
+	if j.streak == nil {
+		// Shed levels: a prefix of the seed row and a truncated step
+		// bound, so a tighter budget strictly shrinks the output.
+		if j.level.Seeds > 0 && j.level.Seeds < len(seeds) {
+			seeds = seeds[:j.level.Seeds]
+		}
+		if j.level.Steps > 0 && j.level.Steps < opts.MaxSteps {
+			opts.MaxSteps = j.level.Steps
+		}
+	}
+	eng := s.cfg.Engine
+	if j.engine != nil {
+		eng = j.engine
+	}
 	var lines [][]vmath.Vec3
+	var st compute.Stats
 	switch rake.Tool {
 	case integrate.ToolStreamline:
-		lines, _ = s.cfg.Engine.Streamlines(batch, gc.seeds, ts.Current, s.cfg.Options) //vw:allow hotpath -- one box per dirty rake, not per point
+		lines, st = eng.Streamlines(batch, seeds, ts.Current, opts) //vw:allow hotpath -- one box per dirty rake, not per point
 	case integrate.ToolParticlePath:
 		sampler := s.timeSampler(step)
-		lines, _ = s.cfg.Engine.ParticlePaths(sampler, gc.seeds, ts.Current,
-			float32(ts.NumSteps-1), s.cfg.Options)
+		lines, st = eng.ParticlePaths(sampler, seeds, ts.Current,
+			float32(ts.NumSteps-1), opts)
 	case integrate.ToolStreakline:
-		j.streak.Advance(batch, gc.seeds, ts.Current, s.cfg.Options.StepSize, s.cfg.Options.Method) //vw:allow hotpath -- one box per dirty rake, not per point
+		j.streak.Advance(batch, seeds, ts.Current, opts.StepSize, opts.Method) //vw:allow hotpath -- one box per dirty rake, not per point
 		lines = j.streak.PolylineBySeed(rake.NumSeeds)
+		st = compute.Stats{Points: int64(len(j.streak.Particles))}
+		st.SampleUnits = st.Points * (compute.UnitsPerPoint(opts.Method) - 3)
+		st.ConvertUnits = st.Points * 3
 	}
+	j.units = st.Units()
 	gc.geo = wire.Geometry{
 		Rake:  rake.ID,
 		Tool:  uint8(rake.Tool),
@@ -773,6 +989,8 @@ func (s *Server) computeRake(j *rakeJob, batch compute.SteadyBatch, g *grid.Grid
 	gc.version = j.snap.Version
 	gc.step = step
 	gc.timeKey = ts.Current
+	gc.shedSeeds = len(seeds)
+	gc.shedSteps = opts.MaxSteps
 }
 
 // loadStep fetches a timestep through the prefetcher when present.

@@ -101,6 +101,7 @@ func AppendFrameReply(dst []byte, r FrameReply) []byte {
 	e.i64(r.ComputeNanos)
 	e.i64(r.LoadNanos)
 	e.u64(r.Round)
+	e.u8(r.Degraded)
 
 	e.u32(uint32(len(r.Users)))
 	for _, u := range r.Users {
@@ -144,6 +145,7 @@ func DecodeFrameReply(buf []byte) (FrameReply, error) {
 	r.ComputeNanos = d.i64()
 	r.LoadNanos = d.i64()
 	r.Round = d.u64()
+	r.Degraded = d.u8()
 
 	const userBytes = 85
 	nUsers := d.countSized(maxEntities, userBytes)

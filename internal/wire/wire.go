@@ -139,6 +139,12 @@ type FrameReply struct {
 	// fan-out); a workstation seeing an unchanged Round knows the
 	// shared scene did not change.
 	Round uint64
+	// Degraded reports the frame-budget governor's load-shedding
+	// decision for this round: 0 means full fidelity, 1..255 scales
+	// with the fraction of integration work shed to hold the frame
+	// budget (255 ~ everything clamped to the floor). Clients render a
+	// "degraded" cue when it is non-zero.
+	Degraded uint8
 }
 
 // TotalPoints returns the point count across all geometry, the

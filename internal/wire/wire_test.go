@@ -123,6 +123,7 @@ func randomReply(rng *rand.Rand) FrameReply {
 		ComputeNanos: rng.Int63(),
 		LoadNanos:    rng.Int63(),
 		Round:        rng.Uint64(),
+		Degraded:     uint8(rng.Intn(256)),
 	}
 	for i := 0; i < rng.Intn(3); i++ {
 		r.Users = append(r.Users, UserState{
@@ -159,7 +160,7 @@ func randomReply(rng *rand.Rand) FrameReply {
 
 func repliesEqual(a, b FrameReply) bool {
 	if a.Time != b.Time || a.ComputeNanos != b.ComputeNanos || a.LoadNanos != b.LoadNanos ||
-		a.Round != b.Round {
+		a.Round != b.Round || a.Degraded != b.Degraded {
 		return false
 	}
 	if len(a.Users) != len(b.Users) || len(a.Rakes) != len(b.Rakes) || len(a.Geometry) != len(b.Geometry) {
