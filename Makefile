@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint chaos fuzz fuzz-server ci bench bench-smoke bench-check load soak
+.PHONY: all build test race vet lint chaos fuzz fuzz-server fuzz-wire ci bench bench-smoke bench-check load soak
 
 all: build test
 
@@ -40,8 +40,15 @@ fuzz-server:
 	$(GO) test -fuzz FuzzHandleFrame -fuzztime 30s ./internal/server/
 	$(GO) test -fuzz FuzzApplyCommand -fuzztime 30s ./internal/server/
 
+# Short fuzz pass over the codec-v2 frame decoder: hostile counts,
+# truncations, and ref-to-unknown records against a stateful decoder.
+# The 10s budget keeps it ci-sized; run `make fuzz` for the longer
+# framing passes.
+fuzz-wire:
+	$(GO) test -fuzz FuzzDecodeFrameV2 -fuzztime 10s ./internal/wire/
+
 # The gate a change must pass before merging.
-ci: vet lint race bench-check
+ci: vet lint race bench-check fuzz-wire
 
 bench:
 	$(GO) test -bench . -benchmem ./...

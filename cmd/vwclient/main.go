@@ -38,8 +38,13 @@ func main() {
 		dump   = flag.String("dump", "", "directory to write every 10th frame as PPM")
 		bwMBs  = flag.Int64("bw", 0, "simulate a link of this many MB/s (0 = none)")
 		script = flag.String("script", "", "console command script to run before the frames (see internal/client.ParseScript)")
+		codec  = flag.Int("codec", 2, "frame codec to request: 1 = classic full frames, 2 = delta/quantized (falls back to 1 against old servers)")
 	)
 	flag.Parse()
+	if *codec < 1 || *codec > 2 {
+		log.Fatalf("-codec %d: must be 1 or 2", *codec)
+	}
+	opts := core.Options{Codec: uint8(*codec)}
 
 	var sess *core.Session
 	var err error
@@ -49,9 +54,9 @@ func main() {
 			log.Fatal(derr)
 		}
 		link := netsim.Link{BandwidthBytesPerSec: *bwMBs << 20}.Wrap(raw)
-		sess, err = core.Connect("", link, core.Options{})
+		sess, err = core.Connect("", link, opts)
 	} else {
-		sess, err = core.Connect(*addr, nil, core.Options{})
+		sess, err = core.Connect(*addr, nil, opts)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -59,8 +64,9 @@ func main() {
 	defer sess.Close()
 
 	info := sess.WS.Info()
-	log.Printf("dataset: %dx%dx%d grid, %d timesteps, bounds %v..%v",
-		info.NI, info.NJ, info.NK, info.NumSteps, info.BoundsMin, info.BoundsMax)
+	log.Printf("dataset: %dx%dx%d grid, %d timesteps, bounds %v..%v (codec v%d)",
+		info.NI, info.NJ, info.NK, info.NumSteps, info.BoundsMin, info.BoundsMax,
+		sess.WS.Codec())
 
 	if *script != "" {
 		f, err := os.Open(*script)

@@ -50,8 +50,12 @@ func main() {
 		bw       = flag.Int64("bw", 0, "per-workstation link bandwidth in MB/s (0 = unconstrained)")
 		latency  = flag.Duration("latency", 0, "per-workstation link latency per message")
 		budget   = flag.Duration("budget", 0, "per-frame integration budget for the governor (0 = disabled; vwserver defaults to 100ms)")
+		codec    = flag.Int("codec", 2, "frame codec each workstation requests: 1 = classic full frames, 2 = delta/quantized")
 	)
 	flag.Parse()
+	if *codec < 1 || *codec > 2 {
+		log.Fatalf("-codec %d: must be 1 or 2", *codec)
+	}
 
 	st, cleanup, err := openStore(*data, *steps, *resident, *diskBW)
 	if err != nil {
@@ -83,6 +87,7 @@ func main() {
 		SeedsPerRake: *seeds,
 		ActiveUsers:  *active,
 		Play:         *play,
+		Codec:        uint8(*codec),
 		Link: netsim.Link{
 			BandwidthBytesPerSec: *bw << 20,
 			Latency:              *latency,
@@ -95,9 +100,10 @@ func main() {
 	fmt.Println(rep)
 	achieved := float64(rep.FramesShipped) / rep.Elapsed.Seconds() / float64(rep.Sessions)
 	fmt.Printf("per-session rate: %.1f frames/s (target %g)\n", achieved, *fps)
-	fmt.Printf("rounds computed=%d encoded=%d reused=%d; shipped %d frames (%.1fx fan-out), %.1f MB\n",
+	fmt.Printf("rounds computed=%d encoded=%d reused=%d; shipped %d frames (%.1fx fan-out), %.1f MB, %.0f bytes/frame (codec v%d)\n",
 		rep.Rounds, rep.FramesEncoded, rep.FramesReused,
-		rep.FramesShipped, rep.FanOut(), float64(rep.BytesShipped)/(1<<20))
+		rep.FramesShipped, rep.FanOut(), float64(rep.BytesShipped)/(1<<20),
+		rep.BytesPerFrame(), *codec)
 	fmt.Printf("latency: p50=%v p90=%v p99=%v max=%v mean=%v\n",
 		rep.Latency.P50.Round(time.Microsecond), rep.Latency.P90.Round(time.Microsecond),
 		rep.Latency.P99.Round(time.Microsecond), rep.Latency.Max.Round(time.Microsecond),

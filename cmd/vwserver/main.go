@@ -42,12 +42,16 @@ func main() {
 		cacheN   = flag.Int("cachesteps", 0, "shared timestep cache capacity in steps when streaming (0 with -cachemb 0 = no cache)")
 		cacheMB  = flag.Int64("cachemb", 0, "shared timestep cache budget in MB when streaming (0 with -cachesteps 0 = no cache)")
 		budget   = flag.Duration("budget", 100*time.Millisecond, "per-frame integration budget; the governor sheds load to hold it (0 = disabled, frames run unbounded)")
+		codec    = flag.Int("codec", 2, "highest frame codec to negotiate: 1 = classic full frames only, 2 = allow delta/quantized (v1 clients still served byte-for-byte)")
 		debug    = flag.String("debug", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address, e.g. localhost:6060 (empty = disabled)")
 	)
 	flag.Parse()
 	if *data == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *codec < 1 || *codec > 2 {
+		log.Fatalf("-codec %d: must be 1 or 2", *codec)
 	}
 
 	disk, err := store.OpenDisk(*data, store.DiskOptions{BandwidthBytesPerSec: *diskBW << 20})
@@ -88,6 +92,7 @@ func main() {
 		CacheSteps:      *cacheN,
 		CacheBytes:      *cacheMB << 20,
 		Budget:          *budget,
+		MaxCodec:        *codec,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -9,6 +9,7 @@ package client
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -35,6 +36,11 @@ type Config struct {
 	// Clock times network frames and decoupled runs; nil uses the wall
 	// clock. Tests inject a netsim.ManualClock for replayable pacing.
 	Clock netsim.Clock
+	// Codec is the highest frame codec to request at hello. Zero or
+	// wire.CodecV1 keeps the legacy v1 exchange byte-for-byte;
+	// wire.CodecV2 negotiates delta/quantized frames, falling back to
+	// v1 against servers that predate the vw.hello2 procedure.
+	Codec uint8
 }
 
 // Stats are the workstation's performance counters.
@@ -65,6 +71,9 @@ type Workstation struct {
 	c      dlib.Caller
 	redial *dlib.RedialClient // non-nil in resilient mode
 	clock  netsim.Clock
+	// wantCodec is the Config.Codec request; the negotiated result
+	// lives under mu (it can change across reconnects).
+	wantCodec uint8
 
 	fb  *render.Framebuffer
 	rig render.StereoRig
@@ -80,6 +89,8 @@ type Workstation struct {
 	mu      sync.Mutex // guards everything below
 	info    wire.DatasetInfo
 	selfID  int64
+	codec   uint8              // negotiated frame codec for this connection
+	dec     *wire.FrameDecoder // codec-v2 delta state; fresh per connection
 	latest  wire.FrameReply
 	haveOne bool
 	pending []wire.Command
@@ -121,26 +132,65 @@ func newWorkstation(cfg Config) (*Workstation, error) {
 	}, nil
 }
 
-// handshake runs the connect-time exchange: dataset info, then our
-// session identity. It reruns on every reconnect, because dlib session
-// state dies with the connection.
-func handshake(c dlib.Caller) (wire.DatasetInfo, int64, error) {
-	out, err := c.Call(wire.ProcHello, nil)
-	if err != nil {
-		return wire.DatasetInfo{}, 0, fmt.Errorf("client: hello: %w", err)
+// handshake runs the connect-time exchange: dataset info (with codec
+// negotiation when a v2 codec is wanted), then our session identity.
+// It reruns on every reconnect, because dlib session state — including
+// the server side of the delta shadow — dies with the connection.
+func handshake(c dlib.Caller, want uint8) (wire.DatasetInfo, uint8, int64, error) {
+	var info wire.DatasetInfo
+	codec := uint8(wire.CodecV1)
+	if want >= wire.CodecV2 {
+		out, err := c.Call(wire.ProcHello2, wire.EncodeHelloRequest(want))
+		var re *dlib.RemoteError
+		switch {
+		case err == nil:
+			codec, info, err = wire.DecodeHelloReply(out)
+			if err != nil {
+				return wire.DatasetInfo{}, 0, 0, err
+			}
+		case errors.As(err, &re):
+			// A pre-v2 server has no vw.hello2: fall back to the
+			// legacy exchange and speak v1 for this connection.
+			want = wire.CodecV1
+		default:
+			return wire.DatasetInfo{}, 0, 0, fmt.Errorf("client: hello2: %w", err)
+		}
 	}
-	info, err := wire.DecodeDatasetInfo(out)
-	if err != nil {
-		return wire.DatasetInfo{}, 0, err
+	if want < wire.CodecV2 {
+		out, err := c.Call(wire.ProcHello, nil)
+		if err != nil {
+			return wire.DatasetInfo{}, 0, 0, fmt.Errorf("client: hello: %w", err)
+		}
+		info, err = wire.DecodeDatasetInfo(out)
+		if err != nil {
+			return wire.DatasetInfo{}, 0, 0, err
+		}
 	}
 	idBytes, err := c.Call(wire.ProcWhoAmI, nil)
 	if err != nil {
-		return wire.DatasetInfo{}, 0, fmt.Errorf("client: whoami: %w", err)
+		return wire.DatasetInfo{}, 0, 0, fmt.Errorf("client: whoami: %w", err)
 	}
 	if len(idBytes) != 8 {
-		return wire.DatasetInfo{}, 0, fmt.Errorf("client: whoami reply of %d bytes", len(idBytes))
+		return wire.DatasetInfo{}, 0, 0, fmt.Errorf("client: whoami reply of %d bytes", len(idBytes))
 	}
-	return info, int64(binary.LittleEndian.Uint64(idBytes)), nil
+	return info, codec, int64(binary.LittleEndian.Uint64(idBytes)), nil
+}
+
+// adoptConnection installs the post-handshake connection state: the
+// negotiated codec and, for v2, a fresh frame decoder whose empty
+// shadow matches the server's fresh per-session encoder — the first
+// frame after any (re)connect is a full keyframe by construction.
+func (w *Workstation) adoptConnection(info wire.DatasetInfo, codec uint8, selfID int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.info = info
+	w.selfID = selfID
+	w.codec = codec
+	if codec >= wire.CodecV2 {
+		w.dec = wire.NewFrameDecoder(info.Quantizer())
+	} else {
+		w.dec = nil
+	}
 }
 
 // New connects the application layer over an established dlib client:
@@ -150,13 +200,13 @@ func New(c *dlib.Client, cfg Config) (*Workstation, error) {
 	if err != nil {
 		return nil, err
 	}
-	info, selfID, err := handshake(c)
+	w.wantCodec = cfg.Codec
+	info, codec, selfID, err := handshake(c, w.wantCodec)
 	if err != nil {
 		return nil, err
 	}
 	w.c = c
-	w.info = info
-	w.selfID = selfID
+	w.adoptConnection(info, codec, selfID)
 	return w, nil
 }
 
@@ -172,18 +222,16 @@ func NewResilient(dial dlib.DialFunc, cfg Config, ropts dlib.RedialOptions) (*Wo
 	if err != nil {
 		return nil, err
 	}
+	w.wantCodec = cfg.Codec
 	if ropts.CallTimeout <= 0 {
 		ropts.CallTimeout = 2 * time.Second
 	}
 	ropts.OnConnect = func(c *dlib.Client) error {
-		info, selfID, err := handshake(c)
+		info, codec, selfID, err := handshake(c, w.wantCodec)
 		if err != nil {
 			return err
 		}
-		w.mu.Lock()
-		w.info = info
-		w.selfID = selfID
-		w.mu.Unlock()
+		w.adoptConnection(info, codec, selfID)
 		return nil
 	}
 	r := dlib.NewRedialClient(dial, ropts)
@@ -208,6 +256,14 @@ func (w *Workstation) SelfID() int64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.selfID
+}
+
+// Codec returns the frame codec negotiated for the current connection
+// (wire.CodecV1 or wire.CodecV2).
+func (w *Workstation) Codec() uint8 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.codec
 }
 
 // Reconnects returns how many times the network layer has redialed
@@ -279,7 +335,18 @@ func (w *Workstation) NetStep(pose vr.Pose) error {
 		w.mu.Unlock()
 		return fmt.Errorf("client: frame call: %w", err)
 	}
-	reply, err := wire.DecodeFrameReply(out)
+	// A reconnect during the Call above reran the handshake, so the
+	// codec and decoder read here are the ones the replying connection
+	// negotiated.
+	w.mu.Lock()
+	dec := w.dec
+	w.mu.Unlock()
+	var reply wire.FrameReply
+	if dec != nil {
+		reply, err = dec.Decode(out)
+	} else {
+		reply, err = wire.DecodeFrameReply(out)
+	}
 	if err != nil {
 		return err
 	}

@@ -60,6 +60,14 @@ type Options struct {
 	Budget time.Duration
 	// FrameW, FrameH size the workstation display; zero uses 640x512.
 	FrameW, FrameH int
+	// MaxCodec caps the frame codec the server negotiates at hello;
+	// zero serves up to wire.MaxCodec, wire.CodecV1 pins the classic
+	// encoding for every session.
+	MaxCodec int
+	// Codec is the frame codec the workstation requests; zero or
+	// wire.CodecV1 runs the legacy v1 exchange, wire.CodecV2 asks for
+	// delta/quantized frames (falling back to v1 against old servers).
+	Codec uint8
 }
 
 // Session is a connected windtunnel: a workstation (always) and, for
@@ -87,6 +95,7 @@ func LaunchLocal(dataset *field.Unsteady, opts Options) (*Session, error) {
 		MaxSeedsPerRake: opts.MaxSeedsPerRake,
 		RakeWorkers:     opts.RakeWorkers,
 		Budget:          opts.Budget,
+		MaxCodec:        opts.MaxCodec,
 	})
 	if err != nil {
 		return nil, err
@@ -109,6 +118,7 @@ func Serve(ln net.Listener, st store.Store, opts Options) (*server.Server, error
 		CacheSteps:      opts.CacheSteps,
 		CacheBytes:      opts.CacheBytes,
 		Budget:          opts.Budget,
+		MaxCodec:        opts.MaxCodec,
 	})
 	if err != nil {
 		return nil, err
@@ -138,7 +148,7 @@ func Connect(addr string, conn net.Conn, opts Options) (*Session, error) {
 }
 
 func newSession(c *dlib.Client, srv *server.Server, opts Options) (*Session, error) {
-	ws, err := client.New(c, client.Config{FrameW: opts.FrameW, FrameH: opts.FrameH})
+	ws, err := client.New(c, client.Config{FrameW: opts.FrameW, FrameH: opts.FrameH, Codec: opts.Codec})
 	if err != nil {
 		c.Close()
 		return nil, err

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/integrate"
+	"repro/internal/vmath"
+	"repro/internal/wire"
+)
+
+// The codec-v2 golden corpus: committed wire bytes for canonical v2
+// sessions, pinned alongside the v1 corpus. The same determinism rules
+// apply (ManualClock zeroes the nanos fields); additionally the delta
+// machinery makes the bytes a function of the session's whole history,
+// so each scenario drives one decoder across the full frame sequence
+// to prove the stream decodes as well as matching.
+//
+// Regenerate with:
+//
+//	go test ./internal/server/ -run TestGoldenFramesV2 -update
+
+var goldenV2Scenarios = []goldenScenario{
+	{
+		// Steady deltas: keyframe on rake creation, two whole-frame-memo
+		// rounds that must encode as pure reference frames, then a hand
+		// move (re-encode, still all references — geometry unchanged).
+		name: "v2-steady-delta",
+		run: func(t *testing.T, s *Server) [][]byte {
+			d := newV2Session(t, s, 1)
+			updates := []wire.ClientUpdate{
+				{Commands: []wire.Command{
+					addRakeCmd(vmath.V3(1, 4, 4), vmath.V3(1, 8, 4), 5, integrate.ToolStreamline),
+					addRakeCmd(vmath.V3(2, 9, 3), vmath.V3(2, 13, 3), 4, integrate.ToolStreamline),
+				}},
+				{},
+				{},
+				{Hand: vmath.V3(3, 2, 1)},
+			}
+			frames := make([][]byte, len(updates))
+			for i, u := range updates {
+				frames[i] = d.rawFrame(u)
+			}
+			return frames
+		},
+	},
+	{
+		// Rake-grab keyframe burst: a second session grabs and drags the
+		// first session's rake. Every drag bumps the rake's version, so
+		// both sessions' frames re-send it inline while the untouched
+		// rake stays a reference — the v2 shape of multiuser-grab.
+		name: "v2-grab-keyframe",
+		run: func(t *testing.T, s *Server) [][]byte {
+			d1 := newV2Session(t, s, 1)
+			d2 := newV2Session(t, s, 2)
+			var frames [][]byte
+			f1 := func(u wire.ClientUpdate) { frames = append(frames, d1.rawFrame(u)) }
+			f2 := func(u wire.ClientUpdate) { frames = append(frames, d2.rawFrame(u)) }
+			f1(wire.ClientUpdate{Commands: []wire.Command{
+				addRakeCmd(vmath.V3(1, 4, 4), vmath.V3(1, 9, 4), 4, integrate.ToolStreamline),
+				addRakeCmd(vmath.V3(2, 10, 3), vmath.V3(2, 13, 3), 3, integrate.ToolStreamline),
+			}})
+			f2(wire.ClientUpdate{Hand: vmath.V3(1, 6, 4)})
+			f2(wire.ClientUpdate{Commands: []wire.Command{
+				{Kind: wire.CmdGrab, Rake: 1, Grab: uint8(integrate.GrabCenter)},
+			}})
+			f1(wire.ClientUpdate{})
+			f2(wire.ClientUpdate{Commands: []wire.Command{
+				{Kind: wire.CmdMove, Rake: 1, Pos: vmath.V3(4, 7, 4)},
+			}})
+			f1(wire.ClientUpdate{})
+			f2(wire.ClientUpdate{Commands: []wire.Command{
+				{Kind: wire.CmdRelease, Rake: 1},
+			}})
+			f1(wire.ClientUpdate{})
+			return frames
+		},
+	},
+	{
+		// Streakline varint: smoke under looping playback grows a
+		// particle history of many short lines — the varint-heavy
+		// encoding path — then a seek resets it.
+		name: "v2-streak-varint",
+		run: func(t *testing.T, s *Server) [][]byte {
+			d := newV2Session(t, s, 1)
+			updates := []wire.ClientUpdate{
+				{Commands: []wire.Command{
+					addRakeCmd(vmath.V3(1, 6, 4), vmath.V3(1, 10, 4), 3, integrate.ToolStreakline),
+					{Kind: wire.CmdSetLoop, Flag: 1},
+					{Kind: wire.CmdSetSpeed, Value: 1},
+					{Kind: wire.CmdSetPlaying, Flag: 1},
+				}},
+				{},
+				{},
+				{Commands: []wire.Command{{Kind: wire.CmdSeek, Value: 0.5}}},
+				{},
+				{},
+			}
+			frames := make([][]byte, len(updates))
+			for i, u := range updates {
+				frames[i] = d.rawFrame(u)
+			}
+			return frames
+		},
+	},
+}
+
+func TestGoldenFramesV2(t *testing.T) {
+	for _, sc := range goldenV2Scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			frames := sc.run(t, goldenServer(t, 0, 0))
+			// Byte determinism across runs: a fresh server replaying the
+			// same script must reproduce the stream exactly — the delta
+			// state machine leaves no room for incidental divergence.
+			again := sc.run(t, goldenServer(t, 0, 0))
+			compareFrames(t, "rerun", again, frames)
+			// The whole stream must decode through one stateful decoder
+			// (references resolve in order) with no error.
+			dec := wire.NewFrameDecoder(quantizerOf(t))
+			for i, f := range frames {
+				if _, err := dec.Decode(f); err != nil {
+					t.Fatalf("frame %d does not decode: %v", i, err)
+				}
+			}
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(goldenPath(sc.name)), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenPath(sc.name), encodeFrames(frames), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s: %d frames", goldenPath(sc.name), len(frames))
+				return
+			}
+			data, err := os.ReadFile(goldenPath(sc.name))
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			golden, err := decodeFrames(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareFrames(t, "ungoverned", frames, golden)
+
+			// Governed at a budget no frame can exceed: shedding must be
+			// a strict no-op for v2 exactly as for v1.
+			governed := sc.run(t, goldenServer(t, time.Hour, 100))
+			compareFrames(t, "governed-at-infinite-budget", governed, golden)
+		})
+	}
+}

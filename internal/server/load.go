@@ -42,6 +42,11 @@ type LoadOptions struct {
 	// Play starts looping playback at speed 1 before the run, driving
 	// timestep traffic through the store (and cache, if configured).
 	Play bool
+	// Codec is the frame codec each workstation requests at hello; 0 or
+	// wire.CodecV1 runs the legacy exchange, wire.CodecV2 negotiates
+	// delta/quantized frames (each session decoding through its own
+	// stateful decoder, as a real workstation would).
+	Codec uint8
 }
 
 // LatencyStats summarizes per-call frame latencies.
@@ -54,6 +59,7 @@ type LatencyStats struct {
 type LoadReport struct {
 	Sessions int
 	Frames   int // per session
+	Codec    uint8
 	Elapsed  time.Duration
 
 	// Server-side deltas over the run.
@@ -91,14 +97,28 @@ func (r LoadReport) FanOut() float64 {
 	return float64(r.FramesShipped) / float64(r.Rounds)
 }
 
+// BytesPerFrame returns the mean wire bytes per shipped frame — the
+// paper's Table 1 bandwidth column, and the number codec v2's deltas
+// and quantization exist to shrink.
+func (r LoadReport) BytesPerFrame() float64 {
+	if r.FramesShipped == 0 {
+		return 0
+	}
+	return float64(r.BytesShipped) / float64(r.FramesShipped)
+}
+
 // String formats the report as a one-run summary table. The shed
 // column only appears when the governor degraded at least one round.
 func (r LoadReport) String() string {
+	codec := r.Codec
+	if codec == 0 {
+		codec = wire.CodecV1
+	}
 	out := fmt.Sprintf(
-		"sessions=%d frames=%d elapsed=%v rounds=%d encoded=%d reused=%d shipped=%d (fan-out %.1fx) bytes=%d errors=%d lat p50=%v p90=%v p99=%v max=%v",
-		r.Sessions, r.Frames, r.Elapsed.Round(time.Millisecond),
+		"sessions=%d frames=%d codec=v%d elapsed=%v rounds=%d encoded=%d reused=%d shipped=%d (fan-out %.1fx) bytes=%d bytes/frame=%.0f errors=%d lat p50=%v p90=%v p99=%v max=%v",
+		r.Sessions, r.Frames, codec, r.Elapsed.Round(time.Millisecond),
 		r.Rounds, r.FramesEncoded, r.FramesReused, r.FramesShipped,
-		r.FanOut(), r.BytesShipped, r.Errors,
+		r.FanOut(), r.BytesShipped, r.BytesPerFrame(), r.Errors,
 		r.Latency.P50.Round(time.Microsecond), r.Latency.P90.Round(time.Microsecond),
 		r.Latency.P99.Round(time.Microsecond), r.Latency.Max.Round(time.Microsecond))
 	if r.FramesShed > 0 {
@@ -196,7 +216,22 @@ func RunLoad(s *Server, opts LoadOptions) (LoadReport, error) {
 			go s.d.ServeConn(serverEnd)
 			c := dlib.NewClient(clientEnd)
 			defer c.Close()
-			if _, err := c.Call(wire.ProcHello, nil); err != nil {
+			var dec *wire.FrameDecoder
+			if opts.Codec >= wire.CodecV2 {
+				out, err := c.Call(wire.ProcHello2, wire.EncodeHelloRequest(opts.Codec))
+				if err != nil {
+					fail(fmt.Errorf("session %d: hello2: %w", i, err))
+					return
+				}
+				codec, info, err := wire.DecodeHelloReply(out)
+				if err != nil {
+					fail(fmt.Errorf("session %d: hello2 reply: %w", i, err))
+					return
+				}
+				if codec >= wire.CodecV2 {
+					dec = wire.NewFrameDecoder(info.Quantizer())
+				}
+			} else if _, err := c.Call(wire.ProcHello, nil); err != nil {
 				fail(fmt.Errorf("session %d: hello: %w", i, err))
 				return
 			}
@@ -229,7 +264,12 @@ func RunLoad(s *Server, opts LoadOptions) (LoadReport, error) {
 					return
 				}
 				latencies[i*opts.Frames+f] = time.Since(callStart) //vw:allow wallclock -- load harness measures real latency by design
-				if _, err := wire.DecodeFrameReply(out); err != nil {
+				if dec != nil {
+					_, err = dec.Decode(out)
+				} else {
+					_, err = wire.DecodeFrameReply(out)
+				}
+				if err != nil {
 					fail(fmt.Errorf("session %d frame %d: decode: %w", i, f, err))
 					return
 				}
@@ -243,6 +283,7 @@ func RunLoad(s *Server, opts LoadOptions) (LoadReport, error) {
 	report := LoadReport{
 		Sessions:      opts.Sessions,
 		Frames:        opts.Frames,
+		Codec:         opts.Codec,
 		Elapsed:       elapsed,
 		Rounds:        after.Frames - before.Frames,
 		FramesReused:  after.FramesReused - before.FramesReused,

@@ -89,6 +89,47 @@ func TestLoadEncodeOnceFanOut(t *testing.T) {
 	}
 }
 
+// TestLoadCodecV2BytesPerFrame is the Wire 2.0 acceptance: on the
+// steady scenario (scene holds still; the active user's hand motion
+// forces a re-encode every round) a 64-session fleet speaking codec v2
+// must report bytes/frame at least 4x below the same fleet on v1 —
+// unchanged rakes ship as references, not re-sent geometry.
+func TestLoadCodecV2BytesPerFrame(t *testing.T) {
+	const sessions, frames = 64, 5
+	run := func(codec uint8) LoadReport {
+		s, err := New(Config{Store: testDataset(t, 4)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Dlib().Close()
+		rep, err := RunLoad(s, LoadOptions{
+			Sessions: sessions,
+			Frames:   frames,
+			Codec:    codec,
+		})
+		if err != nil {
+			t.Fatalf("codec %d: %v", codec, err)
+		}
+		t.Logf("%v", rep)
+		if rep.Errors != 0 {
+			t.Fatalf("codec %d: load errors: %+v", codec, rep)
+		}
+		if want := int64(sessions * frames); rep.FramesShipped != want {
+			t.Fatalf("codec %d: shipped %d frames, want %d", codec, rep.FramesShipped, want)
+		}
+		return rep
+	}
+	v1 := run(wire.CodecV1)
+	v2 := run(wire.CodecV2)
+	if v2.BytesPerFrame() <= 0 {
+		t.Fatalf("v2 bytes/frame not reported: %+v", v2)
+	}
+	if ratio := v1.BytesPerFrame() / v2.BytesPerFrame(); ratio < 4 {
+		t.Errorf("codec v2 bytes/frame %.0f vs v1 %.0f: %.1fx reduction, want >= 4x",
+			v2.BytesPerFrame(), v1.BytesPerFrame(), ratio)
+	}
+}
+
 // TestLoadCacheHitRate is the store acceptance: a figure-8 unsteady
 // replay (looping playback over an I/O-backed dataset) against a cache
 // with capacity >= the loop must serve >= 90% of timestep loads from

@@ -93,6 +93,11 @@ type Config struct {
 	// netsim.ManualClock, under which every stage measures zero, the
 	// EWMA freezes, and frames replay byte-identically.
 	Clock netsim.Clock
+	// MaxCodec caps the wire codec negotiated at hello: 0 or
+	// wire.MaxCodec offers codec v2 (delta frames + quantized points),
+	// 1 pins every session to the original v1 encoding. Sessions that
+	// never call ProcHello2 always speak v1, byte for byte.
+	MaxCodec int
 }
 
 // Stats is a snapshot of server-side performance counters.
@@ -133,6 +138,13 @@ type Stats struct {
 	// PredictedTime is the cumulative governor cost prediction over
 	// encoded rounds (zero until the EWMA calibrates).
 	PredictedTime time.Duration
+	// V2Frames counts replies shipped with codec v2; V2RakesInline and
+	// V2RakesRef split their geometry directory entries into full
+	// (quantized) segments vs delta references to geometry the session
+	// already holds. A high ref share is the Wire 2.0 bandwidth win.
+	V2Frames      int64
+	V2RakesInline int64
+	V2RakesRef    int64
 }
 
 // Server is the remote-host application layered on a dlib server.
@@ -177,6 +189,23 @@ type Server struct {
 	lastPoints   int64
 	lastDegraded uint8
 
+	// Wire 2.0 state. The round layer splits into a shared payload —
+	// lastMeta (the round's header fields) plus the per-rake encoded
+	// segments cached on each rakeGeom — and a per-session part: the
+	// codec negotiated at hello and the delta-shadow FrameEncoder that
+	// decides, per rake, whether this session gets the shared segment
+	// or a reference record. geoSeq numbers geometry content: it is
+	// bumped once per rake recompute, in job order, so segments (and
+	// therefore frames) stay deterministic per (client, round).
+	maxCodec uint8
+	quant    wire.Quantizer
+	codecs   map[int64]*sessionState
+	lastMeta wire.FrameReply // Geometry nil; slices alias the wire scratch
+	geoSeq   uint64
+
+	seqScratch []uint64
+	segScratch [][]byte
+
 	userScratch []env.UserSnapshot
 	rakeScratch []env.RakeSnapshot
 	usersWire   []wire.UserState
@@ -220,6 +249,26 @@ type rakeGeom struct {
 	// drops, and its gap feeds the frame's degradation byte.
 	shedSeeds int
 	shedSteps int
+
+	// seq numbers this rake's geometry content for codec v2: it
+	// changes exactly when computeRake rewrites geo, so a session
+	// whose shadow holds (rake, seq) can be sent a reference instead
+	// of the points. seg caches the encoded v2 segment for the current
+	// seq (segSeq tracks which); it is built lazily on the first v2
+	// consumer and shared by every session that needs the full rake.
+	seq    uint64
+	seg    []byte
+	segSeq uint64
+}
+
+// sessionState is the per-session wire state: the codec accepted at
+// hello and, for v2 sessions, the delta-shadow encoder tracking which
+// geometry sequence numbers the workstation already holds. Guarded by
+// Server.mu; it dies with the session (disconnect), which is what
+// forces a full keyframe on reconnect.
+type sessionState struct {
+	codec uint8
+	enc   *wire.FrameEncoder
 }
 
 // rakeJob is one dirty rake queued for recomputation, carrying the
@@ -293,6 +342,19 @@ func (s *Server) acquireEncodeBufLocked() *frameBuf {
 	return s.newFrameBuf()
 }
 
+// acquireSessionBufLocked returns a buffer for a per-session codec-v2
+// assembly. Unlike the round buffer it is never reused in place — it
+// is referenced exactly once, by the send it was built for, and its
+// release hook returns it to the same free list. Caller holds s.mu.
+func (s *Server) acquireSessionBufLocked() *frameBuf {
+	if n := len(s.free); n > 0 {
+		fb := s.free[n-1]
+		s.free = s.free[:n-1]
+		return fb
+	}
+	return s.newFrameBuf()
+}
+
 // New builds the application and registers its procedures on a fresh
 // dlib server.
 func New(cfg Config) (*Server, error) {
@@ -317,6 +379,13 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = netsim.RealClock
 	}
+	if cfg.MaxCodec == 0 {
+		cfg.MaxCodec = wire.MaxCodec
+	}
+	if cfg.MaxCodec < wire.CodecV1 || cfg.MaxCodec > wire.MaxCodec {
+		return nil, fmt.Errorf("server: MaxCodec %d outside [%d, %d]",
+			cfg.MaxCodec, wire.CodecV1, wire.MaxCodec)
+	}
 	govWorkers := cfg.RakeWorkers
 	if govWorkers <= 0 {
 		govWorkers = runtime.GOMAXPROCS(0)
@@ -331,6 +400,9 @@ func New(cfg Config) (*Server, error) {
 		streaks:    make(map[int32]*integrate.Streak),
 		geoCache:   make(map[int32]*rakeGeom),
 		consumedBy: make(map[int64]bool),
+		maxCodec:   uint8(cfg.MaxCodec),
+		quant:      wire.Quantizer{Min: cfg.Store.Grid().Bounds().Min, Max: cfg.Store.Grid().Bounds().Max},
+		codecs:     make(map[int64]*sessionState),
 	}
 	// Frame replies opt out of copy-under-dispatch via the per-send
 	// reference on the round buffer (Ctx.ReplyDone); the flag still
@@ -366,6 +438,7 @@ func New(cfg Config) (*Server, error) {
 		s.window = w
 	}
 	s.d.Register(wire.ProcHello, s.handleHello)
+	s.d.Register(wire.ProcHello2, s.handleHello2)
 	s.d.Register(wire.ProcFrame, s.handleFrame)
 	s.d.Register(wire.ProcWhoAmI, func(ctx *dlib.Ctx, _ []byte) ([]byte, error) {
 		var out [8]byte
@@ -376,9 +449,12 @@ func New(cfg Config) (*Server, error) {
 		s.env.ReleaseAll(id)
 		// Round accounting must not leak: a departed session's
 		// consumed-mark would otherwise sit in the map forever (and a
-		// reconnecting session gets a fresh id anyway).
+		// reconnecting session gets a fresh id anyway). The codec state
+		// dies with the session too — that is what guarantees a
+		// reconnecting v2 workstation restarts from a keyframe.
 		s.mu.Lock()
 		delete(s.consumedBy, id)
+		delete(s.codecs, id)
 		s.mu.Unlock()
 	}
 	return s, nil
@@ -411,16 +487,49 @@ func (s *Server) CacheStats() (stats store.CacheStats, ok bool) {
 	return s.cache.Stats(), true
 }
 
-func (s *Server) handleHello(_ *dlib.Ctx, _ []byte) ([]byte, error) {
+// datasetInfo describes the dataset for both hello variants. The
+// bounds double as the codec-v2 quantization box, so they must match
+// s.quant exactly.
+func (s *Server) datasetInfo() wire.DatasetInfo {
 	g := s.st.Grid()
 	b := g.Bounds()
-	return wire.EncodeDatasetInfo(wire.DatasetInfo{
+	return wire.DatasetInfo{
 		NI: uint32(g.NI), NJ: uint32(g.NJ), NK: uint32(g.NK),
 		NumSteps:  uint32(s.st.NumSteps()),
 		DT:        s.st.DT(),
 		BoundsMin: b.Min,
 		BoundsMax: b.Max,
-	}), nil
+	}
+}
+
+func (s *Server) handleHello(_ *dlib.Ctx, _ []byte) ([]byte, error) {
+	return wire.EncodeDatasetInfo(s.datasetInfo()), nil
+}
+
+// handleHello2 is the codec-negotiating hello: the client states the
+// highest codec it speaks, the server answers with the codec this
+// session will use (bounded by Config.MaxCodec) plus the dataset info.
+// Sessions that never call it stay on codec v1. Re-negotiating
+// mid-session resets the delta shadow, so the next frame is a
+// keyframe.
+func (s *Server) handleHello2(ctx *dlib.Ctx, payload []byte) ([]byte, error) {
+	req, err := wire.DecodeHelloRequest(payload)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	codec := wire.NegotiateCodec(req, s.maxCodec)
+	st := s.codecs[ctx.Session.ID]
+	if st == nil {
+		st = &sessionState{}
+		s.codecs[ctx.Session.ID] = st
+	}
+	st.codec = codec
+	if st.enc != nil {
+		st.enc.Reset()
+	}
+	s.mu.Unlock()
+	return wire.EncodeHelloReply(codec, s.datasetInfo()), nil
 }
 
 // handleFrame is the once-per-frame exchange. dlib guarantees serial
@@ -459,6 +568,12 @@ func (s *Server) handleFrame(ctx *dlib.Ctx, payload []byte) ([]byte, error) {
 		}
 	}
 	s.consumedBy[user] = true
+	// Codec v2 sessions get a per-session assembly: the shared round
+	// payload (header meta + cached per-rake segments) filtered through
+	// this session's delta shadow.
+	if st := s.codecs[user]; st != nil && st.codec >= wire.CodecV2 {
+		return s.serveFrameV2Locked(ctx, st)
+	}
 	// Encode-once fan-out: hand this session a reference to the shared
 	// round buffer; dlib writes it zero-copy and the release hook
 	// drops the reference when the send is done.
@@ -466,6 +581,45 @@ func (s *Server) handleFrame(ctx *dlib.Ctx, payload []byte) ([]byte, error) {
 	fb.refs++
 	ctx.ReplyDone(fb.release)
 	s.stats.FramesShipped++
+	s.stats.BytesShipped += int64(len(fb.buf))
+	s.rec.ObserveShip(int64(len(fb.buf)))
+	return fb.buf, nil
+}
+
+// serveFrameV2Locked assembles this session's codec-v2 reply from the
+// shared round payload: the round's header fields (lastMeta) plus, per
+// rake, either the shared cached segment (encoded once per geometry
+// version, for every session) or — when the session's shadow already
+// holds the rake's current sequence — a few-byte reference record.
+// The reply lands in a pooled per-session buffer released by the same
+// ReplyDone mechanism as round buffers. Caller holds s.mu.
+func (s *Server) serveFrameV2Locked(ctx *dlib.Ctx, st *sessionState) ([]byte, error) {
+	if st.enc == nil {
+		st.enc = wire.NewFrameEncoder(s.quant)
+	}
+	s.seqScratch = s.seqScratch[:0]
+	s.segScratch = s.segScratch[:0]
+	for _, gc := range s.geomGC {
+		if gc.segSeq != gc.seq {
+			// Encode-once, v2 edition: the segment is built the first
+			// time any v2 session needs this geometry version and
+			// reused until the rake recomputes.
+			gc.seg = wire.AppendGeomV2(gc.seg[:0], gc.geo, s.quant)
+			gc.segSeq = gc.seq
+		}
+		s.seqScratch = append(s.seqScratch, gc.seq)
+		s.segScratch = append(s.segScratch, gc.seg)
+	}
+	reply := s.lastMeta
+	reply.Geometry = s.geomWire
+	fb := s.acquireSessionBufLocked()
+	fb.buf = st.enc.AppendFrame(fb.buf[:0], reply, s.seqScratch, s.segScratch)
+	fb.refs++
+	ctx.ReplyDone(fb.release)
+	s.stats.FramesShipped++
+	s.stats.V2Frames++
+	s.stats.V2RakesInline += int64(st.enc.LastInline)
+	s.stats.V2RakesRef += int64(st.enc.LastRef)
 	s.stats.BytesShipped += int64(len(fb.buf))
 	s.rec.ObserveShip(int64(len(fb.buf)))
 	return fb.buf, nil
@@ -727,6 +881,16 @@ func (s *Server) recomputeLocked() error {
 	s.runJobsLocked(batch, g, ts, step)
 	computeTime := s.clock.Now().Sub(computeStart)
 
+	// Assign codec-v2 geometry sequence numbers in job order: serial,
+	// deterministic, and bumped exactly when a rake's geometry was
+	// recomputed this round. Delta encoders key their shadows on these.
+	for i := range s.jobs {
+		if !s.jobs[i].skip {
+			s.geoSeq++
+			s.jobs[i].gc.seq = s.geoSeq
+		}
+	}
+
 	// Calibrate the EWMA from what the integrate stage actually cost
 	// per unit of work it actually did.
 	var jobUnits int64
@@ -771,6 +935,11 @@ func (s *Server) recomputeLocked() error {
 	fb := s.acquireEncodeBufLocked()
 	fb.buf = wire.AppendFrameReply(fb.buf[:0], reply)
 	s.fb = fb
+	// Shared round payload for codec-v2 sessions: the header fields
+	// without geometry. Each v2 session marries it to the cached
+	// per-rake segments through its own delta shadow.
+	s.lastMeta = reply
+	s.lastMeta.Geometry = nil
 	encodeTime := s.clock.Now().Sub(encodeStart)
 
 	clear(s.consumedBy)

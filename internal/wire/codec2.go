@@ -1,0 +1,656 @@
+package wire
+
+// Codec v2 ("Wire 2.0") attacks Table 1's bandwidth wall at the
+// encoder. Three mechanisms stack:
+//
+//   - Quantized points: path points ship as three 16-bit fixed-point
+//     offsets against the dataset's grid bounding box — 6 bytes/point
+//     instead of the paper's 12, with a worst-case round-trip error of
+//     half a quantization step per axis (extent/131070, far below half
+//     a grid cell for any realistic grid).
+//   - Delta frames: each rake's geometry carries a sequence number
+//     that changes exactly when its content changes. A per-session
+//     encoder remembers which (rake, seq) the peer already holds and
+//     replaces unchanged geometry with a tiny reference record; the
+//     per-session decoder reassembles full frames from its shadow. A
+//     fresh session (or a reconnect, which is a fresh session) starts
+//     with an empty shadow, so the first frame is a full keyframe by
+//     construction. User and rake state records delta the same way,
+//     by content: an entity whose state equals the session shadow
+//     ships as id + one flag byte — with a fleet of workstations the
+//     user list is most of a steady frame's bytes.
+//   - Varint counts: line and point counts — dominated by streakline
+//     histories whose per-seed lengths vary frame to frame — use
+//     unsigned varints instead of fixed u32s.
+//
+// The codec is negotiated per session at hello (ProcHello2); v1
+// sessions keep receiving the original encoding byte for byte.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/vmath"
+)
+
+// Codec version numbers, negotiated at hello.
+const (
+	// CodecV1 is the original fixed-width encoding (12 bytes/point).
+	CodecV1 = 1
+	// CodecV2 adds delta frames, quantized points, and varint counts.
+	CodecV2 = 2
+	// MaxCodec is the newest codec this build speaks.
+	MaxCodec = CodecV2
+)
+
+// ProcHello2 is the dlib procedure for the codec-negotiating hello:
+// payload is a 1-byte requested codec, reply is the accepted codec
+// followed by DatasetInfo. Servers predating codec v2 do not register
+// it; clients fall back to ProcHello (and codec v1) on a remote error.
+const ProcHello2 = "vw.hello2"
+
+// QuantBytes is codec v2's wire cost per path point: three uint16s.
+const QuantBytes = 6
+
+// quantSteps is the number of quantization intervals per axis.
+const quantSteps = 65535
+
+// Directory record kinds, shared by the user, rake, and geometry
+// sections: a reference means "unchanged since I last inlined it to
+// you", an inline record carries the full payload.
+const (
+	geomRef    = 0 // peer already holds this entry; no payload
+	geomInline = 1 // full payload follows
+)
+
+// EncodeHelloRequest marshals the client's highest supported codec.
+func EncodeHelloRequest(codec uint8) []byte { return []byte{codec} }
+
+// DecodeHelloRequest unmarshals a hello request; an empty payload
+// means codec v1.
+func DecodeHelloRequest(buf []byte) (uint8, error) {
+	if len(buf) == 0 {
+		return CodecV1, nil
+	}
+	return buf[0], nil
+}
+
+// EncodeHelloReply marshals the accepted codec and the dataset info.
+func EncodeHelloReply(codec uint8, info DatasetInfo) []byte {
+	return append([]byte{codec}, EncodeDatasetInfo(info)...)
+}
+
+// DecodeHelloReply unmarshals a hello reply.
+func DecodeHelloReply(buf []byte) (uint8, DatasetInfo, error) {
+	if len(buf) < 1 {
+		return 0, DatasetInfo{}, fmt.Errorf("wire: empty hello reply")
+	}
+	info, err := DecodeDatasetInfo(buf[1:])
+	return buf[0], info, err
+}
+
+// NegotiateCodec returns the codec a server speaking up to max accepts
+// for a client requesting req. Unknown (future) client versions settle
+// on the server's max; anything at or below v1 settles on v1.
+func NegotiateCodec(req, max uint8) uint8 {
+	if max < CodecV1 || max > MaxCodec {
+		max = MaxCodec
+	}
+	if req > max {
+		return max
+	}
+	if req < CodecV1 {
+		return CodecV1
+	}
+	return req
+}
+
+// --- quantization ----------------------------------------------------
+
+// Quantizer maps physical coordinates to 16-bit fixed point against an
+// axis-aligned bounding box — the dataset grid's physical bounds, which
+// both ends learn at hello. Points outside the box clamp to its faces;
+// a degenerate (flat) axis quantizes to 0 and dequantizes to the axis
+// minimum, exactly.
+type Quantizer struct {
+	Min, Max vmath.Vec3
+}
+
+// Quantizer returns the quantizer both ends derive from the dataset
+// bounds exchanged at hello.
+func (i DatasetInfo) Quantizer() Quantizer {
+	return Quantizer{Min: i.BoundsMin, Max: i.BoundsMax}
+}
+
+// quant1 maps v into [0, quantSteps] against [lo, hi]. The arithmetic
+// runs in float64 so the forward map is exact enough that the
+// round-trip error stays within half a quantization step.
+func quant1(v, lo, hi float32) uint16 {
+	span := float64(hi) - float64(lo)
+	if span <= 0 {
+		return 0
+	}
+	t := (float64(v) - float64(lo)) / span
+	if t <= 0 {
+		return 0
+	}
+	if t >= 1 {
+		return quantSteps
+	}
+	return uint16(math.Round(t * quantSteps))
+}
+
+// dequant1 is the inverse map onto the box.
+func dequant1(q uint16, lo, hi float32) float32 {
+	span := float64(hi) - float64(lo)
+	if span <= 0 {
+		return lo
+	}
+	return float32(float64(lo) + float64(q)/quantSteps*span)
+}
+
+// Quant maps a physical point to its quantized triple.
+func (q Quantizer) Quant(p vmath.Vec3) (x, y, z uint16) {
+	return quant1(p.X, q.Min.X, q.Max.X),
+		quant1(p.Y, q.Min.Y, q.Max.Y),
+		quant1(p.Z, q.Min.Z, q.Max.Z)
+}
+
+// Dequant maps a quantized triple back to physical coordinates.
+func (q Quantizer) Dequant(x, y, z uint16) vmath.Vec3 {
+	return vmath.Vec3{
+		X: dequant1(x, q.Min.X, q.Max.X),
+		Y: dequant1(y, q.Min.Y, q.Max.Y),
+		Z: dequant1(z, q.Min.Z, q.Max.Z),
+	}
+}
+
+// RoundTrip returns Dequant(Quant(p)) — what the peer will see for p.
+func (q Quantizer) RoundTrip(p vmath.Vec3) vmath.Vec3 {
+	x, y, z := q.Quant(p)
+	return q.Dequant(x, y, z)
+}
+
+// MaxError returns the per-axis worst-case round-trip error for points
+// inside the box: half a quantization step, extent/131070. Tests pin
+// this against half a grid cell.
+func (q Quantizer) MaxError() vmath.Vec3 {
+	return vmath.Vec3{
+		X: float32((float64(q.Max.X) - float64(q.Min.X)) / (2 * quantSteps)),
+		Y: float32((float64(q.Max.Y) - float64(q.Min.Y)) / (2 * quantSteps)),
+		Z: float32((float64(q.Max.Z) - float64(q.Min.Z)) / (2 * quantSteps)),
+	}
+}
+
+// --- varint helpers --------------------------------------------------
+
+func (e *encoder) uvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+// uvarint reads one unsigned varint, failing on truncation and on
+// overlong/overflowing encodings.
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.err = fmt.Errorf("wire: bad varint (n=%d)", n)
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+// uvarintCount reads a varint element count for elements of at least
+// elemBytes each and requires the remaining buffer to be large enough
+// to hold them — the DecodePoints hostile-count guard, varint edition.
+func (d *decoder) uvarintCount(max, elemBytes int) int {
+	v := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if v > uint64(max) {
+		d.err = fmt.Errorf("wire: count %d exceeds limit %d", v, max)
+		return 0
+	}
+	n := int(v)
+	if n*elemBytes > len(d.buf) {
+		d.err = fmt.Errorf("wire: count %d x %d bytes exceeds remaining %d",
+			n, elemBytes, len(d.buf))
+		return 0
+	}
+	return n
+}
+
+// --- geometry segments -----------------------------------------------
+
+// AppendGeomV2 appends one rake's geometry as a codec-v2 segment:
+// tool byte, varint line count, then per line a varint point count and
+// 6 quantized bytes per point. The rake id lives in the enclosing
+// frame's directory, not the segment.
+func AppendGeomV2(dst []byte, g Geometry, q Quantizer) []byte {
+	e := encoder{buf: dst}
+	e.u8(g.Tool)
+	e.uvarint(uint64(len(g.Lines)))
+	for _, line := range g.Lines {
+		e.uvarint(uint64(len(line)))
+		for _, p := range line {
+			x, y, z := q.Quant(p)
+			var b [QuantBytes]byte
+			binary.LittleEndian.PutUint16(b[0:], x)
+			binary.LittleEndian.PutUint16(b[2:], y)
+			binary.LittleEndian.PutUint16(b[4:], z)
+			e.buf = append(e.buf, b[:]...)
+		}
+	}
+	return e.buf
+}
+
+// decodeGeomV2 parses one segment for rake into a Geometry, counting
+// decoded points against the caller's remaining point budget.
+func decodeGeomV2(buf []byte, rake int32, q Quantizer, budget int) (Geometry, int, error) {
+	d := decoder{buf: buf}
+	g := Geometry{Rake: rake}
+	g.Tool = d.u8()
+	nLines := d.uvarintCount(maxEntities, 1)
+	if d.err != nil {
+		return Geometry{}, 0, d.err
+	}
+	g.Lines = make([][]vmath.Vec3, nLines)
+	var total int
+	for l := range g.Lines {
+		nPts := d.uvarintCount(maxPoints, QuantBytes)
+		if d.err != nil {
+			return Geometry{}, 0, d.err
+		}
+		total += nPts
+		if total > budget {
+			return Geometry{}, 0, d.errf("too many total points")
+		}
+		line := make([]vmath.Vec3, nPts)
+		for p := range line {
+			b := d.take(QuantBytes)
+			if b == nil {
+				return Geometry{}, 0, d.err
+			}
+			line[p] = q.Dequant(
+				binary.LittleEndian.Uint16(b[0:]),
+				binary.LittleEndian.Uint16(b[2:]),
+				binary.LittleEndian.Uint16(b[4:]))
+		}
+		g.Lines[l] = line
+	}
+	if len(d.buf) != 0 {
+		return Geometry{}, 0, fmt.Errorf("wire: %d trailing bytes in geometry segment", len(d.buf))
+	}
+	return g, total, nil
+}
+
+// --- frame encoder ---------------------------------------------------
+
+// FrameEncoder encodes codec-v2 frames for one session. It shadows
+// which (rake, sequence) pairs the peer holds — every geometry it has
+// inlined since the last Reset — and replaces unchanged rakes with
+// reference records. One encoder must serve exactly one ordered frame
+// stream; a reconnecting peer gets a fresh encoder (server sessions
+// die with their connection), which forces a full keyframe.
+type FrameEncoder struct {
+	// Q quantizes points; both ends must build it from the same hello
+	// bounds.
+	Q Quantizer
+
+	// LastInline and LastRef report the geometry directory composition
+	// of the most recent AppendFrame, for stats.
+	LastInline, LastRef int
+
+	shadow  map[int32]uint64
+	users   map[int64]UserState
+	rakes   map[int32]RakeState
+	scratch []byte
+}
+
+// NewFrameEncoder returns an encoder with an empty shadow.
+func NewFrameEncoder(q Quantizer) *FrameEncoder {
+	return &FrameEncoder{
+		Q:      q,
+		shadow: make(map[int32]uint64),
+		users:  make(map[int64]UserState),
+		rakes:  make(map[int32]RakeState),
+	}
+}
+
+// Reset forgets the peer's shadow; the next frame is a full keyframe.
+func (e *FrameEncoder) Reset() {
+	clear(e.shadow)
+	clear(e.users)
+	clear(e.rakes)
+}
+
+// AppendFrame appends the codec-v2 encoding of r for this session.
+// seqs is aligned with r.Geometry: seqs[i] must change exactly when
+// that rake's geometry content changes (a zero seq disables delta
+// tracking for the entry and always inlines it). segs, when non-nil,
+// supplies pre-encoded segment bytes aligned with r.Geometry — the
+// server's encode-once segment cache; nil entries are encoded fresh.
+func (e *FrameEncoder) AppendFrame(dst []byte, r FrameReply, seqs []uint64, segs [][]byte) []byte {
+	e.LastInline, e.LastRef = 0, 0
+	enc := encoder{buf: dst}
+	enc.u8(CodecV2)
+	enc.f32(r.Time.Current)
+	enc.f32(r.Time.Speed)
+	enc.bool(r.Time.Playing)
+	enc.bool(r.Time.Loop)
+	enc.u32(r.Time.NumSteps)
+	enc.i64(r.ComputeNanos)
+	enc.i64(r.LoadNanos)
+	enc.u64(r.Round)
+	enc.u8(r.Degraded)
+
+	enc.uvarint(uint64(len(r.Users)))
+	for _, u := range r.Users {
+		enc.i64(u.ID)
+		if prev, ok := e.users[u.ID]; ok && prev == u {
+			enc.u8(geomRef)
+			continue
+		}
+		enc.u8(geomInline)
+		enc.mat4(u.Head)
+		enc.vec3(u.Hand)
+		enc.u8(u.Gesture)
+		e.users[u.ID] = u
+	}
+	pruneUsers(e.users, r.Users)
+	enc.uvarint(uint64(len(r.Rakes)))
+	for _, rk := range r.Rakes {
+		enc.i32(rk.ID)
+		if prev, ok := e.rakes[rk.ID]; ok && prev == rk {
+			enc.u8(geomRef)
+			continue
+		}
+		enc.u8(geomInline)
+		enc.vec3(rk.P0)
+		enc.vec3(rk.P1)
+		enc.u32(rk.NumSeeds)
+		enc.u8(rk.Tool)
+		enc.i64(rk.Holder)
+		enc.u8(rk.Grab)
+		e.rakes[rk.ID] = rk
+	}
+	pruneRakes(e.rakes, r.Rakes)
+
+	enc.uvarint(uint64(len(r.Geometry)))
+	for i := range r.Geometry {
+		g := &r.Geometry[i]
+		var seq uint64
+		if seqs != nil {
+			seq = seqs[i]
+		}
+		enc.uvarint(uint64(uint32(g.Rake)))
+		if seq != 0 && e.shadow[g.Rake] == seq {
+			enc.u8(geomRef)
+			enc.uvarint(seq)
+			e.LastRef++
+			continue
+		}
+		enc.u8(geomInline)
+		enc.uvarint(seq)
+		var seg []byte
+		if segs != nil && segs[i] != nil {
+			seg = segs[i]
+		} else {
+			e.scratch = AppendGeomV2(e.scratch[:0], *g, e.Q)
+			seg = e.scratch
+		}
+		enc.uvarint(uint64(len(seg)))
+		enc.buf = append(enc.buf, seg...)
+		if seq != 0 {
+			e.shadow[g.Rake] = seq
+		} else {
+			delete(e.shadow, g.Rake)
+		}
+		e.LastInline++
+	}
+	pruneShadow(e.shadow, r.Geometry)
+	return enc.buf
+}
+
+// pruneUsers drops user-shadow entries for users absent from the
+// frame, mirroring pruneShadow: both ends prune identically, so a
+// departed-then-returned user cannot be wrongly referenced.
+func pruneUsers[V any](shadow map[int64]V, users []UserState) {
+	if len(shadow) <= len(users) {
+		return
+	}
+	for id := range shadow {
+		found := false
+		for i := range users {
+			if users[i].ID == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			delete(shadow, id)
+		}
+	}
+}
+
+// pruneRakes is pruneUsers for the rake-state shadow.
+func pruneRakes[V any](shadow map[int32]V, rakes []RakeState) {
+	if len(shadow) <= len(rakes) {
+		return
+	}
+	for id := range shadow {
+		found := false
+		for i := range rakes {
+			if rakes[i].ID == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			delete(shadow, id)
+		}
+	}
+}
+
+// pruneShadow drops shadow entries for rakes absent from the frame:
+// the peer prunes identically, so a removed-then-readded rake cannot
+// be wrongly referenced. Rake counts are small; the linear membership
+// scan beats allocating a set.
+func pruneShadow[V any](shadow map[int32]V, geoms []Geometry) {
+	if len(shadow) <= len(geoms) {
+		return
+	}
+	for id := range shadow {
+		found := false
+		for i := range geoms {
+			if geoms[i].Rake == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			delete(shadow, id)
+		}
+	}
+}
+
+// --- frame decoder ---------------------------------------------------
+
+// decodedGeom is one shadow entry: the sequence number the geometry
+// was inlined under and the decoded result.
+type decodedGeom struct {
+	seq uint64
+	geo Geometry
+}
+
+// FrameDecoder reassembles full FrameReply values from one session's
+// codec-v2 stream, holding the decoded geometry shadow that reference
+// records resolve against. After a decode error the shadow may be
+// stale; Reset it (and resync with the peer — in practice, redial) or
+// drop the decoder.
+type FrameDecoder struct {
+	// Q dequantizes points; both ends must build it from the same
+	// hello bounds.
+	Q Quantizer
+
+	shadow map[int32]decodedGeom
+	users  map[int64]UserState
+	rakes  map[int32]RakeState
+}
+
+// NewFrameDecoder returns a decoder with an empty shadow.
+func NewFrameDecoder(q Quantizer) *FrameDecoder {
+	return &FrameDecoder{
+		Q:      q,
+		shadow: make(map[int32]decodedGeom),
+		users:  make(map[int64]UserState),
+		rakes:  make(map[int32]RakeState),
+	}
+}
+
+// Reset forgets all shadowed state (reconnect resync).
+func (d *FrameDecoder) Reset() {
+	clear(d.shadow)
+	clear(d.users)
+	clear(d.rakes)
+}
+
+// Decode unmarshals one codec-v2 frame, resolving reference records
+// against the shadow and folding inlined segments into it.
+func (d *FrameDecoder) Decode(buf []byte) (FrameReply, error) {
+	dec := decoder{buf: buf}
+	if v := dec.u8(); dec.err == nil && v != CodecV2 {
+		return FrameReply{}, fmt.Errorf("wire: frame codec %d, want %d", v, CodecV2)
+	}
+	var r FrameReply
+	r.Time.Current = dec.f32()
+	r.Time.Speed = dec.f32()
+	r.Time.Playing = dec.bool()
+	r.Time.Loop = dec.bool()
+	r.Time.NumSteps = dec.u32()
+	r.ComputeNanos = dec.i64()
+	r.LoadNanos = dec.i64()
+	r.Round = dec.u64()
+	r.Degraded = dec.u8()
+
+	nUsers := dec.uvarintCount(maxEntities, 9) // id + kind minimum
+	if dec.err != nil {
+		return FrameReply{}, dec.err
+	}
+	r.Users = make([]UserState, nUsers)
+	for i := range r.Users {
+		u := &r.Users[i]
+		u.ID = dec.i64()
+		switch kind := dec.u8(); {
+		case dec.err != nil:
+			return FrameReply{}, dec.err
+		case kind == geomRef:
+			prev, ok := d.users[u.ID]
+			if !ok {
+				return FrameReply{}, fmt.Errorf("wire: reference to unknown user %d", u.ID)
+			}
+			*u = prev
+		case kind == geomInline:
+			u.Head = dec.mat4()
+			u.Hand = dec.vec3()
+			u.Gesture = dec.u8()
+			if dec.err != nil {
+				return FrameReply{}, dec.err
+			}
+			d.users[u.ID] = *u
+		default:
+			return FrameReply{}, fmt.Errorf("wire: unknown user record kind %d", kind)
+		}
+	}
+	pruneUsers(d.users, r.Users)
+	nRakes := dec.uvarintCount(maxEntities, 5) // id + kind minimum
+	if dec.err != nil {
+		return FrameReply{}, dec.err
+	}
+	r.Rakes = make([]RakeState, nRakes)
+	for i := range r.Rakes {
+		rk := &r.Rakes[i]
+		rk.ID = dec.i32()
+		switch kind := dec.u8(); {
+		case dec.err != nil:
+			return FrameReply{}, dec.err
+		case kind == geomRef:
+			prev, ok := d.rakes[rk.ID]
+			if !ok {
+				return FrameReply{}, fmt.Errorf("wire: reference to unknown rake %d", rk.ID)
+			}
+			*rk = prev
+		case kind == geomInline:
+			rk.P0 = dec.vec3()
+			rk.P1 = dec.vec3()
+			rk.NumSeeds = dec.u32()
+			rk.Tool = dec.u8()
+			rk.Holder = dec.i64()
+			rk.Grab = dec.u8()
+			if dec.err != nil {
+				return FrameReply{}, dec.err
+			}
+			d.rakes[rk.ID] = *rk
+		default:
+			return FrameReply{}, fmt.Errorf("wire: unknown rake record kind %d", kind)
+		}
+	}
+	pruneRakes(d.rakes, r.Rakes)
+
+	nGeom := dec.uvarintCount(maxEntities, 3) // rake + kind + seq minimum
+	if dec.err != nil {
+		return FrameReply{}, dec.err
+	}
+	r.Geometry = make([]Geometry, 0, nGeom)
+	var total int
+	for i := 0; i < nGeom; i++ {
+		rake := int32(uint32(dec.uvarint()))
+		kind := dec.u8()
+		seq := dec.uvarint()
+		if dec.err != nil {
+			return FrameReply{}, dec.err
+		}
+		switch kind {
+		case geomRef:
+			cg, ok := d.shadow[rake]
+			if !ok || cg.seq != seq {
+				return FrameReply{}, fmt.Errorf(
+					"wire: reference to unknown geometry (rake %d seq %d)", rake, seq)
+			}
+			total += cg.geo.NumPoints()
+			if total > maxPoints {
+				return FrameReply{}, fmt.Errorf("wire: too many total points")
+			}
+			r.Geometry = append(r.Geometry, cg.geo)
+		case geomInline:
+			segLen := dec.uvarintCount(len(dec.buf), 1)
+			seg := dec.take(segLen)
+			if dec.err != nil {
+				return FrameReply{}, dec.err
+			}
+			g, pts, err := decodeGeomV2(seg, rake, d.Q, maxPoints-total)
+			if err != nil {
+				return FrameReply{}, err
+			}
+			total += pts
+			if seq != 0 {
+				d.shadow[rake] = decodedGeom{seq: seq, geo: g}
+			} else {
+				delete(d.shadow, rake)
+			}
+			r.Geometry = append(r.Geometry, g)
+		default:
+			return FrameReply{}, fmt.Errorf("wire: unknown geometry record kind %d", kind)
+		}
+	}
+	if len(dec.buf) != 0 {
+		return FrameReply{}, fmt.Errorf("wire: %d trailing bytes in frame", len(dec.buf))
+	}
+	pruneShadow(d.shadow, r.Geometry)
+	return r, dec.err
+}

@@ -59,6 +59,62 @@ func FuzzDecodeFrameReply(f *testing.F) {
 	})
 }
 
+// FuzzDecodeFrameV2 feeds hostile bytes to the stateful codec-v2
+// decoder. Seeds cover the nasty corners: truncated varints, reference
+// records for never-sent rakes, extreme quantized coordinates, and
+// hostile counts. Each input decodes twice on one decoder so the
+// shadow-holding (second-frame) path is explored too.
+func FuzzDecodeFrameV2(f *testing.F) {
+	q := Quantizer{Min: vmath.V3(0, 0, 0), Max: vmath.V3(10, 10, 10)}
+	frame := FrameReply{
+		Time:  TimeStatus{Current: 1, NumSteps: 10},
+		Users: []UserState{{ID: 3, Head: vmath.Identity()}},
+		Rakes: []RakeState{{ID: 1, NumSeeds: 3}},
+		Geometry: []Geometry{{
+			Rake:  1,
+			Lines: [][]vmath.Vec3{{vmath.V3(1, 2, 3), vmath.V3(9, 9, 9)}},
+		}},
+	}
+	f.Add([]byte{})
+	f.Add([]byte{CodecV2})
+	enc := NewFrameEncoder(q)
+	f.Add(enc.AppendFrame(nil, frame, []uint64{7}, nil)) // keyframe
+	f.Add(enc.AppendFrame(nil, frame, []uint64{7}, nil)) // all-ref frame: on a fresh decoder, a never-sent reference
+	// Truncated varint: a keyframe cut mid-count.
+	key := NewFrameEncoder(q).AppendFrame(nil, frame, []uint64{7}, nil)
+	f.Add(key[:len(key)-7])
+	// Extreme quantized coordinates (0xFFFF everywhere past the header).
+	hostile := append([]byte{}, key...)
+	for i := len(key) - 12; i < len(key); i++ {
+		hostile[i] = 0xff
+	}
+	f.Add(hostile)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewFrameDecoder(q)
+		for pass := 0; pass < 2; pass++ {
+			r, err := d.Decode(data)
+			if err != nil {
+				return
+			}
+			if r.TotalPoints() > maxPoints {
+				t.Fatalf("decoder allowed %d points", r.TotalPoints())
+			}
+			// Every decoded point must land inside the quantization box.
+			for _, g := range r.Geometry {
+				for _, line := range g.Lines {
+					for _, p := range line {
+						if p.X < q.Min.X || p.X > q.Max.X ||
+							p.Y < q.Min.Y || p.Y > q.Max.Y ||
+							p.Z < q.Min.Z || p.Z > q.Max.Z {
+							t.Fatalf("decoded point %v escapes the box", p)
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
 func FuzzDecodeDatasetInfo(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(EncodeDatasetInfo(DatasetInfo{NI: 64, NJ: 64, NK: 32, NumSteps: 800, DT: 0.05}))
