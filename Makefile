@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint chaos fuzz fuzz-server fuzz-wire ci bench bench-smoke bench-check load soak
+.PHONY: all build test race vet lint chaos fuzz fuzz-server fuzz-wire ci bench bench-smoke bench-check load load-relay relay soak
 
 all: build test
 
@@ -47,8 +47,14 @@ fuzz-server:
 fuzz-wire:
 	$(GO) test -fuzz FuzzDecodeFrameV2 -fuzztime 10s ./internal/wire/
 
+# The cluster-tier battery: relay golden replays (one and two hops,
+# both codecs), chaos (upstream loss, partition, cross-hop lock
+# release), the relay wire codec, and the relayed load harness.
+relay:
+	$(GO) test -race -count=1 -run 'Relay' ./internal/server/ ./internal/wire/
+
 # The gate a change must pass before merging.
-ci: vet lint race bench-check fuzz-wire
+ci: vet lint race relay bench-check fuzz-wire load-relay
 
 bench:
 	$(GO) test -bench . -benchmem ./...
@@ -68,6 +74,12 @@ bench-check:
 # paper's 10 frames/second against one server.
 load:
 	$(GO) run ./cmd/vwload -sessions 64 -frames 100 -fps 10
+
+# Cluster-tier smoke: 256 workstations through 4 relay nodes. The
+# origin should encode each round once, with per-tier amplification
+# and the relay cache hit rate in the report.
+load-relay:
+	$(GO) run ./cmd/vwload -sessions 256 -frames 20 -fps 10 -relays 4
 
 # Long governed soak: 2000 rounds of the overloaded fleet against the
 # frame-budget governor, checking the compute-stage p99 and allocation

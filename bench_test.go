@@ -25,6 +25,7 @@ import (
 	"repro/internal/integrate"
 	"repro/internal/isosurf"
 	"repro/internal/netsim"
+	"repro/internal/relay"
 	"repro/internal/store"
 	"repro/internal/vmath"
 	"repro/internal/wire"
@@ -466,6 +467,90 @@ func BenchmarkServerFanoutFrame(b *testing.B) {
 			b.StopTimer()
 			encodes := srv.Stats().FramesEncoded - encBefore
 			b.ReportMetric(float64(encodes)/float64(b.N), "encodes/op")
+			b.ReportMetric(float64(sessions), "ships/op")
+		})
+	}
+}
+
+// BenchmarkRelayFanoutFrame measures the cluster tier's steady-state
+// exchange: sessions workstations attached through one relay/cache
+// node, one of them moving its hand each op so every round re-encodes
+// at the origin. The relay fetches each round's bytes upstream once
+// (fulls/op ~ 1) and re-fans them locally — encodes/op stays ~1 while
+// ships scale with the session count, now without the origin seeing
+// per-workstation traffic.
+func BenchmarkRelayFanoutFrame(b *testing.B) {
+	u := benchDataset(b)
+	for _, sessions := range []int{8, 64} {
+		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
+			oln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv, err := core.Serve(oln, store.NewMemory(u), core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { srv.Dlib().Close() })
+			origin := oln.Addr().String()
+			r, err := relay.New(relay.Config{Upstreams: []dlib.DialFunc{
+				func() (net.Conn, error) { return net.Dial("tcp", origin) },
+			}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			go r.Dlib().Serve(rln)
+			b.Cleanup(func() {
+				r.Dlib().Close()
+				r.Close()
+			})
+			clients := make([]*dlib.Client, sessions)
+			for i := range clients {
+				c, err := dlib.Dial(rln.Addr().String())
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { c.Close() })
+				clients[i] = c
+			}
+			if _, err := clients[0].Call(wire.ProcFrame, wire.EncodeClientUpdate(wire.ClientUpdate{
+				Commands: []wire.Command{{
+					Kind: wire.CmdAddRake,
+					P0:   vmath.V3(-3, 0.4, 1), P1: vmath.V3(-3, 0.4, 14),
+					NumSeeds: 16, Tool: uint8(integrate.ToolStreamline),
+				}},
+			})); err != nil {
+				b.Fatal(err)
+			}
+			moves := [2][]byte{
+				wire.EncodeClientUpdate(wire.ClientUpdate{Hand: vmath.V3(0, 0.1, 0)}),
+				wire.EncodeClientUpdate(wire.ClientUpdate{Hand: vmath.V3(0, 0.2, 0)}),
+			}
+			follow := wire.EncodeClientUpdate(wire.ClientUpdate{})
+			encBefore := srv.Stats().FramesEncoded
+			fullsBefore := r.Stats().UpFulls
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for k, c := range clients {
+					payload := follow
+					if k == 0 {
+						payload = moves[i%2]
+					}
+					if _, err := c.Call(wire.ProcFrame, payload); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			encodes := srv.Stats().FramesEncoded - encBefore
+			fulls := r.Stats().UpFulls - fullsBefore
+			b.ReportMetric(float64(encodes)/float64(b.N), "encodes/op")
+			b.ReportMetric(float64(fulls)/float64(b.N), "fulls/op")
 			b.ReportMetric(float64(sessions), "ships/op")
 		})
 	}

@@ -28,6 +28,12 @@ type Baseline struct {
 	// Benchtime records how the numbers were taken, for reproducibility.
 	Benchtime  string               `json:"benchtime"`
 	Benchmarks map[string]Benchmark `json:"benchmarks"`
+	// Untracked names benchmarks deliberately outside the regression
+	// gate (figure/table reproductions, ablations). Any benchmark in
+	// the package that is neither matched by -bench nor listed here
+	// fails the run: new benchmarks must opt in or opt out explicitly
+	// instead of silently never running.
+	Untracked []string `json:"untracked,omitempty"`
 }
 
 // Benchmark is one benchmark's recorded costs.
@@ -46,7 +52,7 @@ func main() {
 	log.SetPrefix("benchcheck: ")
 	var (
 		baselinePath = flag.String("baseline", "bench_baseline.json", "baseline file")
-		benchRe      = flag.String("bench", "BenchmarkServerMultiRakeFrame|BenchmarkServerFanoutFrame|BenchmarkFrameEncodeV2", "benchmarks to run")
+		benchRe      = flag.String("bench", "BenchmarkServerMultiRakeFrame|BenchmarkServerFanoutFrame|BenchmarkRelayFanoutFrame|BenchmarkFrameEncodeV2", "benchmarks to run")
 		benchtime    = flag.String("benchtime", "200x", "go test -benchtime")
 		pkg          = flag.String("pkg", ".", "package holding the benchmarks")
 		factor       = flag.Float64("factor", 2.0, "regression threshold multiplier")
@@ -56,6 +62,11 @@ func main() {
 	)
 	flag.Parse()
 
+	gate, err := regexp.Compile(*benchRe)
+	if err != nil {
+		log.Fatalf("-bench %q: %v", *benchRe, err)
+	}
+
 	got, raw, err := runBench(*pkg, *benchRe, *benchtime)
 	if err != nil {
 		log.Fatalf("bench run failed: %v\n%s", err, raw)
@@ -64,8 +75,12 @@ func main() {
 		log.Fatalf("no benchmark results matched %q:\n%s", *benchRe, raw)
 	}
 
+	// The prior baseline also carries the untracked opt-out list; read
+	// it even in -update mode so an update can't quietly drop it.
+	base, baseErr := readBaseline(*baselinePath)
+
 	if *update {
-		b := Baseline{Benchtime: *benchtime, Benchmarks: got}
+		b := Baseline{Benchtime: *benchtime, Benchmarks: got, Untracked: base.Untracked}
 		buf, err := json.MarshalIndent(b, "", "  ")
 		if err != nil {
 			log.Fatal(err)
@@ -77,11 +92,23 @@ func main() {
 		return
 	}
 
-	base, err := readBaseline(*baselinePath)
+	if baseErr != nil {
+		log.Fatalf("%v (run with -update to create it)", baseErr)
+	}
+
+	// Coverage: every benchmark the package declares must be gated or
+	// declared untracked — a benchmark the regex never matches would
+	// otherwise never run and never be compared, a silent pass.
+	listed, err := listBenchmarks(*pkg)
 	if err != nil {
-		log.Fatalf("%v (run with -update to create it)", err)
+		log.Fatalf("benchmark list failed: %v", err)
 	}
 	var failures []string
+	for _, name := range uncovered(listed, gate, base.Untracked) {
+		failures = append(failures, fmt.Sprintf(
+			"%s: not matched by -bench %q and not in the baseline's untracked list — gate it or opt it out",
+			name, *benchRe))
+	}
 	for name, cur := range got {
 		want, ok := base.Benchmarks[name]
 		if !ok {
@@ -121,6 +148,41 @@ func main() {
 		os.Exit(1)
 	}
 	log.Printf("ok: %d benchmarks within tolerance", len(got))
+}
+
+// listBenchmarks enumerates every top-level benchmark the package
+// declares, independent of what -bench selects.
+func listBenchmarks(pkg string) ([]string, error) {
+	cmd := exec.Command("go", "test", "-run", "xxx", "-list", "^Benchmark", pkg)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("%v\n%s", err, out)
+	}
+	var names []string
+	for _, line := range strings.Split(string(out), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "Benchmark") {
+			names = append(names, line)
+		}
+	}
+	return names, nil
+}
+
+// uncovered returns the benchmarks that would silently never run: not
+// matched by the gate regex and not opted out via the baseline's
+// untracked list.
+func uncovered(listed []string, gate *regexp.Regexp, untracked []string) []string {
+	skip := make(map[string]bool, len(untracked))
+	for _, n := range untracked {
+		skip[n] = true
+	}
+	var missing []string
+	for _, name := range listed {
+		if !gate.MatchString(name) && !skip[name] {
+			missing = append(missing, name)
+		}
+	}
+	return missing
 }
 
 // runBench executes the benchmarks and parses the -benchmem rows.

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"reflect"
+	"regexp"
+	"testing"
+)
+
+// TestUncovered is the regression for the silent pass on unknown
+// benchmarks: a benchmark the -bench regex never matches used to never
+// run and never be compared — no failure, no trace. It must now be
+// reported unless the baseline explicitly opts it out.
+func TestUncovered(t *testing.T) {
+	gate := regexp.MustCompile("BenchmarkServerMultiRakeFrame|BenchmarkFrameEncodeV2")
+	listed := []string{
+		"BenchmarkServerMultiRakeFrame",  // gated
+		"BenchmarkFrameEncodeV2",         // gated
+		"BenchmarkTable1NetworkTransfer", // opted out
+		"BenchmarkRelayFanoutFrame",      // neither: must be reported
+	}
+	untracked := []string{"BenchmarkTable1NetworkTransfer"}
+
+	got := uncovered(listed, gate, untracked)
+	want := []string{"BenchmarkRelayFanoutFrame"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("uncovered() = %v, want %v", got, want)
+	}
+
+	// Fully covered packages report nothing.
+	if got := uncovered(listed[:3], gate, untracked); got != nil {
+		t.Errorf("covered set reported %v", got)
+	}
+	// An empty untracked list gives no free passes.
+	if got := uncovered([]string{"BenchmarkNew"}, gate, nil); len(got) != 1 {
+		t.Errorf("unknown benchmark with no opt-outs: %v", got)
+	}
+}
+
+// TestBenchLineParsing pins the -benchmem row parser against real
+// `go test -bench` output shapes, including extra custom metrics.
+func TestBenchLineParsing(t *testing.T) {
+	m := benchLine.FindStringSubmatch(
+		"BenchmarkServerFanoutFrame/sessions=8-16  100  163889 ns/op  1.000 encodes/op  68408 B/op  73 allocs/op")
+	if m == nil {
+		t.Fatal("row with custom metrics did not parse")
+	}
+	if m[1] != "BenchmarkServerFanoutFrame/sessions=8" {
+		t.Errorf("name = %q", m[1])
+	}
+	if m[2] != "163889" {
+		t.Errorf("ns/op = %q", m[2])
+	}
+	if benchLine.FindStringSubmatch("ok  \trepro\t0.3s") != nil {
+		t.Error("non-benchmark line parsed as a result")
+	}
+}

@@ -11,6 +11,7 @@
 //	vwload -sessions 64 -frames 100 -fps 10
 //	vwload -data data/cyl -sessions 32 -resident=false -diskbw 40 -cachesteps 8
 //	vwload -sessions 16 -bw 10 -latency 5ms   # shaped workstation links
+//	vwload -sessions 1024 -relays 8 -hops 2   # cluster tier: leaves + mid relay
 package main
 
 import (
@@ -51,6 +52,9 @@ func main() {
 		latency  = flag.Duration("latency", 0, "per-workstation link latency per message")
 		budget   = flag.Duration("budget", 0, "per-frame integration budget for the governor (0 = disabled; vwserver defaults to 100ms)")
 		codec    = flag.Int("codec", 2, "frame codec each workstation requests: 1 = classic full frames, 2 = delta/quantized")
+		relays   = flag.Int("relays", 0, "leaf relay/cache nodes between the fleet and the origin (0 = direct connect)")
+		hops     = flag.Int("hops", 1, "relay tier depth with -relays: 1 = leaves on the origin, 2 = leaves through one mid relay")
+		maxDrop  = flag.Float64("maxdropped", 0, "tolerated fraction of dropped latency samples before the run fails (0 = any failure fails)")
 	)
 	flag.Parse()
 	if *codec < 1 || *codec > 2 {
@@ -80,14 +84,17 @@ func main() {
 		g.NI, g.NJ, g.NK, st.NumSteps(), storageMode(*resident), *sessions, *frames, *fps)
 
 	rep, err := server.RunLoad(srv, server.LoadOptions{
-		Sessions:     *sessions,
-		Frames:       *frames,
-		FrameRate:    *fps,
-		Rakes:        *rakes,
-		SeedsPerRake: *seeds,
-		ActiveUsers:  *active,
-		Play:         *play,
-		Codec:        uint8(*codec),
+		Sessions:       *sessions,
+		Frames:         *frames,
+		FrameRate:      *fps,
+		Rakes:          *rakes,
+		SeedsPerRake:   *seeds,
+		ActiveUsers:    *active,
+		Play:           *play,
+		Codec:          uint8(*codec),
+		Relays:         *relays,
+		RelayHops:      *hops,
+		MaxDroppedFrac: *maxDrop,
 		Link: netsim.Link{
 			BandwidthBytesPerSec: *bw << 20,
 			Latency:              *latency,
@@ -98,12 +105,17 @@ func main() {
 	}
 
 	fmt.Println(rep)
-	achieved := float64(rep.FramesShipped) / rep.Elapsed.Seconds() / float64(rep.Sessions)
+	delivered, deliveredBytes := rep.Delivered()
+	achieved := float64(delivered) / rep.Elapsed.Seconds() / float64(rep.Sessions)
 	fmt.Printf("per-session rate: %.1f frames/s (target %g)\n", achieved, *fps)
-	fmt.Printf("rounds computed=%d encoded=%d reused=%d; shipped %d frames (%.1fx fan-out), %.1f MB, %.0f bytes/frame (codec v%d)\n",
+	fmt.Printf("rounds computed=%d encoded=%d reused=%d; delivered %d frames (%.1fx fan-out), %.1f MB, %.0f bytes/frame (codec v%d)\n",
 		rep.Rounds, rep.FramesEncoded, rep.FramesReused,
-		rep.FramesShipped, rep.FanOut(), float64(rep.BytesShipped)/(1<<20),
+		delivered, rep.FanOut(), float64(deliveredBytes)/(1<<20),
 		rep.BytesPerFrame(), *codec)
+	if rep.DroppedSamples > 0 {
+		fmt.Printf("dropped %d/%d latency samples (tolerating up to %.1f%%)\n",
+			rep.DroppedSamples, *sessions**frames, 100**maxDrop)
+	}
 	fmt.Printf("latency: p50=%v p90=%v p99=%v max=%v mean=%v\n",
 		rep.Latency.P50.Round(time.Microsecond), rep.Latency.P90.Round(time.Microsecond),
 		rep.Latency.P99.Round(time.Microsecond), rep.Latency.Max.Round(time.Microsecond),

@@ -102,6 +102,16 @@ func main() {
 
 	if *debug != "" {
 		obs.Publish("vwserver.frames", srv.Recorder())
+		// The cluster-tier counters: full round payloads vs cheap markers
+		// answered to downstream vwrelay nodes.
+		obs.PublishFunc("vwserver.relay", func() any {
+			st := srv.Stats()
+			return map[string]int64{
+				"Fulls":   st.RelayFulls,
+				"Markers": st.RelayMarkers,
+				"Bytes":   st.RelayBytes,
+			}
+		})
 		if _, ok := srv.CacheStats(); ok {
 			obs.PublishFunc("vwserver.cache", func() any {
 				cs, _ := srv.CacheStats()

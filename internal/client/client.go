@@ -348,7 +348,23 @@ func (w *Workstation) NetStep(pose vr.Pose) error {
 		reply, err = wire.DecodeFrameReply(out)
 	}
 	if err != nil {
-		return err
+		// A failed v2 decode leaves the decoder's shadow partially
+		// applied — every later delta would build on state the server
+		// never sent. Re-run the codec handshake: the server resets its
+		// per-session encoder, we install a fresh decoder, and the next
+		// frame is a full keyframe by construction.
+		w.netErrors.Add(1)
+		var resyncErr error
+		if dec != nil {
+			resyncErr = w.resyncCodec()
+		}
+		w.mu.Lock()
+		w.lastErr = err
+		w.mu.Unlock()
+		if resyncErr != nil {
+			return fmt.Errorf("client: frame decode: %v (codec resync also failed: %w)", err, resyncErr)
+		}
+		return fmt.Errorf("client: frame decode: %w", err)
 	}
 	w.netNanos.Add(int64(w.clock.Now().Sub(start)))
 	w.netFrames.Add(1)
@@ -365,6 +381,31 @@ func (w *Workstation) NetStep(pose vr.Pose) error {
 	w.haveOne = true
 	w.lastErr = nil
 	w.mu.Unlock()
+	return nil
+}
+
+// resyncCodec re-runs the frame-codec handshake on the live
+// connection after a corrupted codec-v2 stream: vw.hello2 makes the
+// server drop its per-session delta shadow and start the stream over
+// from a keyframe, and the fresh decoder installed here matches it.
+func (w *Workstation) resyncCodec() error {
+	out, err := w.c.Call(wire.ProcHello2, wire.EncodeHelloRequest(w.wantCodec))
+	if err != nil {
+		return err
+	}
+	codec, info, err := wire.DecodeHelloReply(out)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.info = info
+	w.codec = codec
+	if codec >= wire.CodecV2 {
+		w.dec = wire.NewFrameDecoder(info.Quantizer())
+	} else {
+		w.dec = nil
+	}
 	return nil
 }
 

@@ -44,6 +44,27 @@ type Ctx struct {
 	// reply buffer. Accessed only under the serial dispatch lock or by
 	// the one goroutine that took ownership of the pending hook.
 	replyDone func()
+
+	// hangup, when set by the current handler via Hangup, closes the
+	// connection after this call's reply (or error) is written. Same
+	// access discipline as replyDone.
+	hangup bool
+}
+
+// Hangup asks the server to close this connection once the current
+// call's reply (or error) has been written. The peer sees a transport
+// failure on its next operation and — with a redial-capable client —
+// reconnects and replays its handshake. Proxies use this to propagate
+// an upstream connection loss downstream: the session state on both
+// hops dies together, so the re-handshake rebuilds it coherently
+// (fresh identity, fresh codec shadows, keyframe resync).
+func (c *Ctx) Hangup() { c.hangup = true }
+
+// takeHangup consumes a pending hangup request.
+func (c *Ctx) takeHangup() bool {
+	h := c.hangup
+	c.hangup = false
+	return h
 }
 
 // ReplyDone registers fn to run exactly once when the server no longer
@@ -272,7 +293,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
-		reply, done := s.dispatch(ctx, f, &replyScratch)
+		reply, done, hangup := s.dispatch(ctx, f, &replyScratch)
 		if s.WriteTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout)) //vw:allow wallclock -- net.Conn deadline
 		}
@@ -287,6 +308,12 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			if s.Logf != nil {
 				s.Logf("dlib: session %d write: %v", sess.ID, err)
+			}
+			return
+		}
+		if hangup {
+			if s.Logf != nil {
+				s.Logf("dlib: session %d hung up by handler", sess.ID)
 			}
 			return
 		}
@@ -307,13 +334,15 @@ func (s *Server) ReapedSessions() int64 { return s.reaped.Load() }
 // The second return value is the handler's pending ReplyDone hook when
 // the reply ships zero-copy: the caller must invoke it once the reply
 // bytes are no longer needed. In every other outcome (error, copy,
-// timeout) dispatch settles the hook itself and returns nil.
-func (s *Server) dispatch(ctx *Ctx, f frame, scratch *[]byte) (frame, func()) {
+// timeout) dispatch settles the hook itself and returns nil. The third
+// return value reports a handler Hangup request: the caller closes the
+// connection after writing this reply.
+func (s *Server) dispatch(ctx *Ctx, f frame, scratch *[]byte) (frame, func(), bool) {
 	s.mu.Lock()
 	h, ok := s.handlers[f.proc]
 	s.mu.Unlock()
 	if !ok {
-		return frame{kind: frameError, id: f.id, payload: []byte("unknown procedure " + f.proc)}, nil
+		return frame{kind: frameError, id: f.id, payload: []byte("unknown procedure " + f.proc)}, nil, false
 	}
 	clk := s.clock()
 	s.dispatchMu.Lock()
@@ -324,20 +353,21 @@ func (s *Server) dispatch(ctx *Ctx, f frame, scratch *[]byte) (frame, func()) {
 		out, err := safeCall(h, ctx, f.payload)
 		s.metrics.record(f.proc, clk.Now().Sub(start), len(f.payload), len(out), err != nil)
 		cb := ctx.takeReplyDone()
+		hang := ctx.takeHangup()
 		if err != nil {
 			// The reply buffer is never used; settle the hook now.
 			if cb != nil {
 				cb()
 			}
 			s.dispatchMu.Unlock()
-			return frame{kind: frameError, id: f.id, payload: []byte(err.Error())}, nil
+			return frame{kind: frameError, id: f.id, payload: []byte(err.Error())}, nil, hang
 		}
 		if cb == nil && s.CopyReplies {
 			*scratch = append((*scratch)[:0], out...)
 			out = *scratch
 		}
 		s.dispatchMu.Unlock()
-		return frame{kind: frameReply, id: f.id, payload: out}, cb
+		return frame{kind: frameReply, id: f.id, payload: out}, cb, hang
 	}
 
 	// Bounded execution: run the handler aside and wait at most
@@ -357,19 +387,20 @@ func (s *Server) dispatch(ctx *Ctx, f frame, scratch *[]byte) (frame, func()) {
 	case res := <-done:
 		s.metrics.record(f.proc, clk.Now().Sub(start), len(f.payload), len(res.out), res.err != nil)
 		cb := ctx.takeReplyDone()
+		hang := ctx.takeHangup()
 		if res.err != nil {
 			if cb != nil {
 				cb()
 			}
 			s.dispatchMu.Unlock()
-			return frame{kind: frameError, id: f.id, payload: []byte(res.err.Error())}, nil
+			return frame{kind: frameError, id: f.id, payload: []byte(res.err.Error())}, nil, hang
 		}
 		if cb == nil && s.CopyReplies {
 			*scratch = append((*scratch)[:0], res.out...)
 			res.out = *scratch
 		}
 		s.dispatchMu.Unlock()
-		return frame{kind: frameReply, id: f.id, payload: res.out}, cb
+		return frame{kind: frameReply, id: f.id, payload: res.out}, cb, hang
 	case <-clk.After(s.HandlerTimeout):
 		s.metrics.record(f.proc, clk.Now().Sub(start), len(f.payload), 0, true)
 		if s.Logf != nil {
@@ -378,15 +409,17 @@ func (s *Server) dispatch(ctx *Ctx, f frame, scratch *[]byte) (frame, func()) {
 		go func() {
 			<-done // wait out the straggler, then free serial dispatch
 			// The caller already got an error frame; the straggler's
-			// reply buffer is discarded, so settle its hook here while
-			// still holding the dispatch lock.
+			// reply buffer is discarded, so settle its hook (and any
+			// hangup request) here while still holding the dispatch
+			// lock.
 			if cb := ctx.takeReplyDone(); cb != nil {
 				cb()
 			}
+			ctx.takeHangup()
 			s.dispatchMu.Unlock()
 		}()
 		return frame{kind: frameError, id: f.id,
-			payload: []byte(fmt.Sprintf("%s timed out after %v", f.proc, s.HandlerTimeout))}, nil
+			payload: []byte(fmt.Sprintf("%s timed out after %v", f.proc, s.HandlerTimeout))}, nil, false
 	}
 }
 

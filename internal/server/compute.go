@@ -1,0 +1,623 @@
+package server
+
+// The compute layer: timestep loading, dirty-rake planning under the
+// frame-budget governor, streamline/path/streak integration on the
+// bounded worker pool, and the encode of the shared round buffer. It
+// is driven only through recomputeLocked and knows nothing about
+// sessions, codecs, or relays — the session layer (session.go) decides
+// when a round advances and how its bytes reach each consumer.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/compute"
+	"repro/internal/env"
+	"repro/internal/field"
+	"repro/internal/grid"
+	"repro/internal/integrate"
+	"repro/internal/obs"
+	"repro/internal/store"
+	"repro/internal/vmath"
+	"repro/internal/wire"
+)
+
+// rakeGeom memoizes one rake's geometry and the inputs it was computed
+// from. Streamlines and particle paths are pure functions of (rake
+// version, timestep, time), so matching inputs mean the cached
+// wire.Geometry is the answer; streaklines always advance and are
+// never memoized. The line buffers are recycled on recompute.
+type rakeGeom struct {
+	haveGeo bool
+	version uint64  // rake mutation counter at compute time
+	step    int     // timestep the field came from
+	timeKey float32 // continuous time the integrators saw
+
+	seeds        []vmath.Vec3 // cached SeedsGrid, keyed by seedsVersion
+	seedsVersion uint64
+	haveSeeds    bool
+
+	geo    wire.Geometry
+	points int64  // cached geo.NumPoints()
+	touch  uint64 // last round this rake was seen, for sweeping
+
+	// shedSeeds/shedSteps record the fidelity the cached geometry was
+	// computed at. A memo hit requires full fidelity; a valid-but-shed
+	// entry is an upgrade candidate the governor re-admits when load
+	// drops, and its gap feeds the frame's degradation byte.
+	shedSeeds int
+	shedSteps int
+
+	// seq numbers this rake's geometry content for codec v2: it
+	// changes exactly when computeRake rewrites geo, so a session
+	// whose shadow holds (rake, seq) can be sent a reference instead
+	// of the points. seg caches the encoded v2 segment for the current
+	// seq (segSeq tracks which); it is built lazily on the first v2
+	// consumer and shared by every session that needs the full rake.
+	seq    uint64
+	seg    []byte
+	segSeq uint64
+}
+
+// rakeJob is one dirty rake queued for recomputation, carrying the
+// governor's per-rake decision for the round.
+type rakeJob struct {
+	idx    int // index into geomWire
+	snap   env.RakeSnapshot
+	gc     *rakeGeom
+	streak *integrate.Streak // non-nil for streakline rakes
+
+	// upgrade marks a rake whose memo is valid but was computed at
+	// shed fidelity; the planner either re-admits it to full fidelity
+	// or sets skip to keep serving the clamped memo.
+	upgrade bool
+	skip    bool
+	// level is the planned fidelity; engine overrides cfg.Engine for
+	// shed batches (nil = configured engine).
+	level  shedLevel
+	engine compute.Engine
+	// units is the measured §5.3 work the job actually did, written by
+	// computeRake and folded into the governor's EWMA.
+	units int64
+}
+
+// recomputeLocked advances time, loads the needed timestep, computes
+// geometry for every rake whose inputs changed (reusing memoized
+// geometry for the rest), and encodes the shared reply into the
+// recycled round buffer. Caller holds s.mu.
+//
+//vw:hotpath
+func (s *Server) recomputeLocked() error {
+	ts := s.env.AdvanceTime()
+	version := s.env.Version()
+	step := ts.Step()
+
+	// Whole-frame memo: if nothing observable changed and no
+	// streakline needs advancing, the previous round's bytes are this
+	// round's bytes — the round buffer is served again (same Round on
+	// the wire, so clients can tell the scene held still). This is
+	// also what makes identical frames encode byte-identically. A
+	// degraded frame is never frozen this way: the round must rerun so
+	// the governor can admit upgrades and restore full fidelity.
+	if s.fb != nil && version == s.lastVersion &&
+		step == s.curStep && len(s.streaks) == 0 && s.lastDegraded == 0 {
+		clear(s.consumedBy)
+		s.stats.Frames++
+		s.stats.FramesReused++
+		s.stats.Points += s.lastPoints
+		s.rec.Observe(obs.FrameSample{
+			FrameReused: true,
+			RakesReused: len(s.geoCache),
+			Points:      s.lastPoints,
+			Bytes:       int64(len(s.fb.buf)),
+		})
+		return nil
+	}
+
+	loadStart := s.clock.Now()
+	if s.cur == nil || step != s.curStep {
+		f, err := s.loadStep(step)
+		if err != nil {
+			return fmt.Errorf("server: load step %d: %w", step, err) //vw:allow hotpath -- error path, frame already lost
+		}
+		s.cur = f
+		s.curStep = step
+	}
+	loadTime := s.clock.Now().Sub(loadStart)
+
+	// Overlap: kick off the prefetch of the next step along the
+	// playback direction while this frame computes (figure 8's
+	// right-hand process). At a non-looping dataset boundary there is
+	// no next step — skip rather than asking the prefetcher for an
+	// out-of-range load.
+	if s.prefetcher != nil {
+		next := step + 1
+		if ts.Speed < 0 {
+			next = step - 1
+		}
+		if ts.Loop && next >= s.st.NumSteps() {
+			next = 0
+		}
+		if ts.Loop && next < 0 {
+			next = s.st.NumSteps() - 1
+		}
+		if next >= 0 && next < s.st.NumSteps() {
+			s.prefetcher.Prefetch(next)
+		}
+	}
+
+	computeStart := s.clock.Now()
+	g := s.st.Grid()
+	batch := compute.SteadyBatch{F: s.cur, G: g}
+	s.round++
+
+	s.userScratch = s.env.AppendUsers(s.userScratch[:0])
+	s.usersWire = s.usersWire[:0]
+	for _, u := range s.userScratch {
+		s.usersWire = append(s.usersWire, wire.UserState{
+			ID: u.ID, Head: u.Pose.Head, Hand: u.Pose.Hand, Gesture: u.Pose.Gesture,
+		})
+	}
+
+	// Pass 1 (serial): snapshot rakes, refresh seed caches, and split
+	// rakes into memo hits and recompute jobs.
+	s.rakeScratch = s.env.AppendRakes(s.rakeScratch[:0])
+	s.rakesWire = s.rakesWire[:0]
+	s.geomWire = s.geomWire[:0]
+	s.geomGC = s.geomGC[:0]
+	s.jobs = s.jobs[:0]
+	reused := 0
+	for _, snap := range s.rakeScratch {
+		rake := snap.Rake
+		s.rakesWire = append(s.rakesWire, wire.RakeState{
+			ID: rake.ID, P0: rake.P0, P1: rake.P1,
+			NumSeeds: uint32(rake.NumSeeds),
+			Tool:     uint8(rake.Tool),
+			Holder:   snap.Holder,
+			Grab:     uint8(snap.Grab),
+		})
+		gc := s.geoCache[rake.ID]
+		if gc == nil {
+			gc = &rakeGeom{}
+			s.geoCache[rake.ID] = gc
+		}
+		gc.touch = s.round
+		if !gc.haveSeeds || gc.seedsVersion != snap.Version {
+			gc.seeds = rake.SeedsGrid(g)
+			gc.seedsVersion = snap.Version
+			gc.haveSeeds = true
+		}
+		if len(gc.seeds) == 0 {
+			continue
+		}
+		idx := len(s.geomWire)
+		s.geomWire = append(s.geomWire, wire.Geometry{})
+		s.geomGC = append(s.geomGC, gc)
+		memoValid := rake.Tool != integrate.ToolStreakline && gc.haveGeo &&
+			gc.version == snap.Version && gc.step == step && gc.timeKey == ts.Current
+		if memoValid && gc.shedSeeds == len(gc.seeds) && gc.shedSteps == s.cfg.Options.MaxSteps {
+			s.geomWire[idx] = gc.geo
+			reused++
+			continue
+		}
+		var streak *integrate.Streak
+		if rake.Tool == integrate.ToolStreakline {
+			streak = s.streaks[rake.ID]
+			if streak == nil {
+				streak = integrate.NewStreak(s.cfg.MaxStreakParticles)
+				s.streaks[rake.ID] = streak
+			}
+		}
+		// A valid-but-shed memo is an upgrade candidate: the planner
+		// either re-admits it to full fidelity or keeps serving the
+		// clamped geometry.
+		s.jobs = append(s.jobs, rakeJob{idx: idx, snap: snap, gc: gc, streak: streak, upgrade: memoValid})
+	}
+	if len(s.geoCache) > len(s.rakeScratch) {
+		// Rakes removed outside CmdRemoveRake (direct env use): sweep
+		// cache entries not seen this round.
+		for id, gc := range s.geoCache {
+			if gc.touch != s.round {
+				delete(s.geoCache, id)
+			}
+		}
+	}
+
+	// Plan: price every job in §5.3 units and decide this round's shed
+	// levels before any integration runs.
+	predicted := s.planJobsLocked()
+	computed := 0
+	for i := range s.jobs {
+		if s.jobs[i].skip {
+			reused++
+		} else {
+			computed++
+		}
+	}
+
+	// Pass 2: recompute dirty rakes, concurrently when there are
+	// several — independent rakes are the paper's natural parallel
+	// unit above the per-seed fan-out inside the engines.
+	s.runJobsLocked(batch, g, ts, step)
+	computeTime := s.clock.Now().Sub(computeStart)
+
+	// Assign codec-v2 geometry sequence numbers in job order: serial,
+	// deterministic, and bumped exactly when a rake's geometry was
+	// recomputed this round. Delta encoders key their shadows on these.
+	for i := range s.jobs {
+		if !s.jobs[i].skip {
+			s.geoSeq++
+			s.jobs[i].gc.seq = s.geoSeq
+		}
+	}
+
+	// Calibrate the EWMA from what the integrate stage actually cost
+	// per unit of work it actually did.
+	var jobUnits int64
+	for i := range s.jobs {
+		if !s.jobs[i].skip {
+			jobUnits += s.jobs[i].units
+		}
+	}
+	s.gov.observe(computeTime, jobUnits)
+
+	var totalPoints int64
+	var fullU, actualU int64
+	fullSteps := int64(s.cfg.Options.MaxSteps)
+	for i, gc := range s.geomGC {
+		s.geomWire[i] = gc.geo
+		totalPoints += gc.points
+		fullU += int64(len(gc.seeds)) * fullSteps
+		actualU += int64(gc.shedSeeds) * int64(gc.shedSteps)
+	}
+	degraded := degradedByte(actualU, fullU)
+
+	encodeStart := s.clock.Now()
+	reply := wire.FrameReply{
+		Time: wire.TimeStatus{
+			Current:  ts.Current,
+			Speed:    ts.Speed,
+			Playing:  ts.Playing,
+			Loop:     ts.Loop,
+			NumSteps: uint32(ts.NumSteps),
+		},
+		Users:        s.usersWire,
+		Rakes:        s.rakesWire,
+		Geometry:     s.geomWire,
+		ComputeNanos: computeTime.Nanoseconds(),
+		LoadNanos:    loadTime.Nanoseconds(),
+		Round:        s.round,
+		Degraded:     degraded,
+	}
+	// Encode once into a buffer no in-flight send still references:
+	// the current buffer in place when its references have drained
+	// (steady state), a recycled drained buffer otherwise.
+	fb := s.acquireEncodeBufLocked()
+	fb.buf = wire.AppendFrameReply(fb.buf[:0], reply)
+	s.fb = fb
+	// Shared round payload for codec-v2 sessions: the header fields
+	// without geometry. Each v2 session marries it to the cached
+	// per-rake segments through its own delta shadow.
+	s.lastMeta = reply
+	s.lastMeta.Geometry = nil
+	encodeTime := s.clock.Now().Sub(encodeStart)
+
+	clear(s.consumedBy)
+	s.lastVersion = version
+	s.lastPoints = totalPoints
+	s.lastDegraded = degraded
+
+	s.stats.Frames++
+	s.stats.FramesEncoded++
+	s.stats.Points += totalPoints
+	s.stats.ComputeTime += computeTime
+	s.stats.LoadTime += loadTime
+	s.stats.EncodeTime += encodeTime
+	s.stats.RakesComputed += int64(computed)
+	s.stats.RakesReused += int64(reused)
+	s.stats.PredictedTime += predicted
+	if degraded > 0 {
+		s.stats.FramesShed++
+	}
+	var shedFrac float64
+	if fullU > 0 {
+		shedFrac = 1 - float64(actualU)/float64(fullU)
+	}
+	s.rec.Observe(obs.FrameSample{
+		Load:          loadTime,
+		Integrate:     computeTime,
+		Encode:        encodeTime,
+		RakesComputed: computed,
+		RakesReused:   reused,
+		Points:        totalPoints,
+		Bytes:         int64(len(fb.buf)),
+		Predicted:     predicted,
+		Budget:        s.gov.budget,
+		Shed:          shedFrac,
+	})
+	return nil
+}
+
+// planJobsLocked runs the governor over this round's jobs: it prices
+// each mandatory (dirty) job, asks the planner for shed levels, then
+// greedily re-admits upgrade candidates — valid memos computed at shed
+// fidelity — back to full fidelity in rake order while the predicted
+// frame stays under budget. Caller holds s.mu.
+func (s *Server) planJobsLocked() time.Duration {
+	upp := compute.UnitsPerPoint(s.cfg.Options.Method)
+	fullSteps := s.cfg.Options.MaxSteps
+	s.reqScratch = s.reqScratch[:0]
+	s.reqJobs = s.reqJobs[:0]
+	for i := range s.jobs {
+		j := &s.jobs[i]
+		j.level = shedLevel{Seeds: len(j.gc.seeds), Steps: fullSteps}
+		j.engine = nil
+		j.skip = false
+		j.units = 0
+		if j.upgrade {
+			continue
+		}
+		req := shedRequest{Seeds: len(j.gc.seeds), Steps: fullSteps}
+		if j.streak != nil {
+			// Streaklines advance existing particles plus one emission
+			// per seed; they are priced but never clamped.
+			req.Fixed = true
+			req.Units = (int64(len(j.streak.Particles)) + int64(req.Seeds)) * upp
+		} else {
+			req.Units = int64(req.Seeds) * int64(req.Steps) * upp
+			req.Held = j.snap.Holder != 0
+		}
+		s.reqScratch = append(s.reqScratch, req)
+		s.reqJobs = append(s.reqJobs, i)
+	}
+	if cap(s.lvlScratch) < len(s.reqScratch) {
+		s.lvlScratch = make([]shedLevel, len(s.reqScratch))
+	}
+	lvls := s.lvlScratch[:len(s.reqScratch)]
+	predicted, shed := s.gov.plan(s.reqScratch, lvls)
+	for k, i := range s.reqJobs {
+		j := &s.jobs[i]
+		j.level = lvls[k]
+		if shed && j.streak == nil {
+			// Only shed rounds switch engines, so an ungoverned (or
+			// under-budget) server stays byte-identical to the
+			// configured engine's output.
+			j.engine = s.gov.engineFor(j.level.Seeds)
+		}
+	}
+	for i := range s.jobs {
+		j := &s.jobs[i]
+		if !j.upgrade {
+			continue
+		}
+		units := int64(len(j.gc.seeds)) * int64(fullSteps) * upp
+		cost := s.gov.predict(units)
+		if shed || (s.gov.enabled() && s.gov.calibrated() && predicted+cost > s.gov.budget) {
+			j.skip = true
+			continue
+		}
+		predicted += cost
+	}
+	// Guarantee progress on idle rounds: when no rake is dirty and the
+	// budget admitted nothing (a single rake's full cost can exceed
+	// the budget), restore the first candidate anyway — otherwise a
+	// paused, degraded scene would stay degraded forever.
+	if len(s.reqScratch) == 0 {
+		admitted := false
+		for i := range s.jobs {
+			if s.jobs[i].upgrade && !s.jobs[i].skip {
+				admitted = true
+				break
+			}
+		}
+		if !admitted {
+			for i := range s.jobs {
+				if s.jobs[i].upgrade {
+					s.jobs[i].skip = false
+					predicted += s.gov.predict(int64(len(s.jobs[i].gc.seeds)) * int64(fullSteps) * upp)
+					break
+				}
+			}
+		}
+	}
+	return predicted
+}
+
+// runJobsLocked executes the round's recompute jobs on a bounded
+// worker pool. Each job touches only its own rakeGeom (and streak), so
+// jobs are independent; shared inputs (field, grid, options) are
+// read-only. Caller holds s.mu; the job slice is frozen for the whole
+// round and the parent blocks on the WaitGroup, so worker reads of
+// s.jobs race with nothing.
+func (s *Server) runJobsLocked(batch compute.SteadyBatch, g *grid.Grid, ts env.TimeState, step int) {
+	workers := s.cfg.RakeWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(s.jobs) {
+		workers = len(s.jobs)
+	}
+	if workers <= 1 {
+		for i := range s.jobs {
+			s.computeRake(&s.jobs[i], batch, g, ts, step)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, len(s.jobs))
+	for i := range s.jobs {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				s.computeRake(&s.jobs[i], batch, g, ts, step) //vw:allow lockdiscipline -- jobs are frozen for the round; parent holds mu and blocks on wg
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// computeRake recomputes one rake's geometry into its memo entry at
+// the planned fidelity, recycling the previous round's physical-line
+// buffers. Runs on pool workers; must not touch server state beyond
+// the job's own entries.
+//
+//vw:hotpath
+func (s *Server) computeRake(j *rakeJob, batch compute.SteadyBatch, g *grid.Grid, ts env.TimeState, step int) {
+	if j.skip {
+		// The planner kept this rake's shed-fidelity memo; the round
+		// serves gc.geo verbatim.
+		return
+	}
+	rake := j.snap.Rake
+	gc := j.gc
+	seeds := gc.seeds
+	opts := s.cfg.Options
+	if j.streak == nil {
+		// Shed levels: a prefix of the seed row and a truncated step
+		// bound, so a tighter budget strictly shrinks the output.
+		if j.level.Seeds > 0 && j.level.Seeds < len(seeds) {
+			seeds = seeds[:j.level.Seeds]
+		}
+		if j.level.Steps > 0 && j.level.Steps < opts.MaxSteps {
+			opts.MaxSteps = j.level.Steps
+		}
+	}
+	eng := s.cfg.Engine
+	if j.engine != nil {
+		eng = j.engine
+	}
+	var lines [][]vmath.Vec3
+	var st compute.Stats
+	switch rake.Tool {
+	case integrate.ToolStreamline:
+		lines, st = eng.Streamlines(batch, seeds, ts.Current, opts) //vw:allow hotpath -- one box per dirty rake, not per point
+	case integrate.ToolParticlePath:
+		sampler := s.timeSampler(step)
+		lines, st = eng.ParticlePaths(sampler, seeds, ts.Current,
+			float32(ts.NumSteps-1), opts)
+	case integrate.ToolStreakline:
+		j.streak.Advance(batch, seeds, ts.Current, opts.StepSize, opts.Method) //vw:allow hotpath -- one box per dirty rake, not per point
+		lines = j.streak.PolylineBySeed(rake.NumSeeds)
+		st = compute.Stats{Points: int64(len(j.streak.Particles))}
+		st.SampleUnits = st.Points * (compute.UnitsPerPoint(opts.Method) - 3)
+		st.ConvertUnits = st.Points * 3
+	}
+	j.units = st.Units()
+	gc.geo = wire.Geometry{
+		Rake:  rake.ID,
+		Tool:  uint8(rake.Tool),
+		Lines: toPhysicalLinesInto(g, lines, gc.geo.Lines),
+	}
+	gc.points = int64(gc.geo.NumPoints())
+	gc.haveGeo = true
+	gc.version = j.snap.Version
+	gc.step = step
+	gc.timeKey = ts.Current
+	gc.shedSeeds = len(seeds)
+	gc.shedSteps = opts.MaxSteps
+}
+
+// loadStep fetches a timestep through the prefetcher when present.
+func (s *Server) loadStep(step int) (*field.Field, error) {
+	if s.prefetcher != nil {
+		return s.prefetcher.LoadStep(step)
+	}
+	return s.st.LoadStep(step)
+}
+
+// timeSampler returns an unsteady sampler for particle paths starting
+// at timestep. With a resident dataset it samples with time
+// interpolation; for I/O-backed stores it slides the resident window
+// over [step, step+MaxSteps] first (§5.1's strategy), then samples
+// through it.
+func (s *Server) timeSampler(step int) integrate.Sampler {
+	if s.unsteady != nil {
+		return integrate.UnsteadySampler{U: s.unsteady}
+	}
+	src := s.st
+	if s.window != nil {
+		// A failed slide degrades to on-demand loads; the sampler
+		// still works.
+		_ = s.window.SetBase(step)
+		src = s.window
+	}
+	return &storeSampler{st: src, cache: make(map[int]*field.Field)}
+}
+
+// storeSampler samples an I/O-backed store with linear time
+// interpolation, caching loaded steps for the duration of one
+// computation (particle paths revisit the same bracketing steps for
+// every seed).
+type storeSampler struct {
+	st    store.Store
+	cache map[int]*field.Field
+	mu    sync.Mutex
+}
+
+// Grid implements integrate.Sampler.
+func (ss *storeSampler) Grid() *grid.Grid { return ss.st.Grid() }
+
+// SampleVelocity implements integrate.Sampler.
+func (ss *storeSampler) SampleVelocity(gc vmath.Vec3, t float32) vmath.Vec3 {
+	last := ss.st.NumSteps() - 1
+	if t <= 0 {
+		return ss.step(0).Sample(ss.st.Grid(), gc)
+	}
+	if t >= float32(last) {
+		return ss.step(last).Sample(ss.st.Grid(), gc)
+	}
+	t0 := int(t)
+	frac := t - float32(t0)
+	a := ss.step(t0).Sample(ss.st.Grid(), gc)
+	b := ss.step(t0+1).Sample(ss.st.Grid(), gc)
+	return a.Lerp(b, frac)
+}
+
+// step loads (and caches) timestep t; on load failure it returns an
+// empty field, terminating paths at stagnation rather than crashing
+// the frame. The cache is locked because the parallel engines sample
+// from several goroutines.
+func (ss *storeSampler) step(t int) *field.Field {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if f, ok := ss.cache[t]; ok {
+		return f
+	}
+	f, err := ss.st.LoadStep(t)
+	if err != nil {
+		g := ss.st.Grid()
+		f = field.NewField(g.NI, g.NJ, g.NK, field.GridCoords)
+	}
+	ss.cache[t] = f
+	return f
+}
+
+// toPhysicalLinesInto converts grid-coordinate lines to physical
+// coordinates, recycling prev's buffers (typically the same rake's
+// previous round) where capacity allows.
+//
+//vw:hotpath
+func toPhysicalLinesInto(g *grid.Grid, lines, prev [][]vmath.Vec3) [][]vmath.Vec3 {
+	var out [][]vmath.Vec3
+	if cap(prev) >= len(lines) {
+		out = prev[:len(lines)]
+	} else {
+		out = make([][]vmath.Vec3, len(lines)) //vw:allow hotpath -- grow-once: only when a rake gains lines, then recycled every round
+		copy(out, prev)
+	}
+	for i, l := range lines {
+		out[i] = integrate.ToPhysicalInto(g, out[i], l)
+	}
+	return out
+}
+
+func toPhysicalLines(g *grid.Grid, lines [][]vmath.Vec3) [][]vmath.Vec3 {
+	return toPhysicalLinesInto(g, lines, nil)
+}

@@ -2,12 +2,15 @@ package server
 
 import (
 	"fmt"
+	"net"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/dlib"
 	"repro/internal/netsim"
+	"repro/internal/relay"
 	"repro/internal/store"
 	"repro/internal/vmath"
 	"repro/internal/wire"
@@ -47,6 +50,69 @@ type LoadOptions struct {
 	// delta/quantized frames (each session decoding through its own
 	// stateful decoder, as a real workstation would).
 	Codec uint8
+	// Relays inserts a cluster tier between the fleet and the origin:
+	// this many leaf relay/cache nodes, workstations assigned
+	// round-robin across them over opts.Link pipes while the relays'
+	// upstream legs run unconstrained. 0 connects the fleet directly
+	// (the legacy topology).
+	Relays int
+	// RelayHops is the tier depth when Relays > 0: 1 puts the leaves
+	// directly on the origin; 2 funnels every leaf through one mid
+	// aggregation relay, so the origin sees a single frame consumer
+	// per round. 0 means 1.
+	RelayHops int
+	// MaxDroppedFrac, when > 0, tolerates failed frame calls as long
+	// as the fraction of dropped latency samples stays at or below
+	// this threshold: the run returns a nil error with the drops
+	// counted in LoadReport.DroppedSamples. At 0 any failure fails the
+	// run (the legacy behavior) — but the drops are still counted, not
+	// silently truncated from the latency ranking.
+	MaxDroppedFrac float64
+	// SessionFault, when non-nil, wraps workstation i's connection in
+	// the returned fault plan (nil plans inject nothing) — the
+	// deterministic failure seam for testing how the run accounts for
+	// sessions that die partway.
+	SessionFault func(i int) *netsim.FaultPlan
+}
+
+// TierStats aggregates one relay tier's traffic: what its nodes served
+// downstream (to workstations, or to the tier below) versus what they
+// fetched upstream. The gap between the two is the tier's fan-out win.
+type TierStats struct {
+	Name  string // "leaf" (closest to workstations) or "mid"
+	Nodes int
+
+	// Downstream deliveries by this tier's nodes.
+	DownFrames int64
+	DownBytes  int64
+	// Upstream fetches: full round payloads vs round-unchanged
+	// markers, and the bytes both cost.
+	UpFulls   int64
+	UpMarkers int64
+	UpBytes   int64
+	// Hangups counts downstream connections dropped because the
+	// node's upstream leg died.
+	Hangups int64
+}
+
+// HitRate is the fraction of this tier's upstream exchanges answered
+// by a marker instead of a full round payload.
+func (t TierStats) HitRate() float64 {
+	total := t.UpFulls + t.UpMarkers
+	if total == 0 {
+		return 0
+	}
+	return float64(t.UpMarkers) / float64(total)
+}
+
+// Amplification is frames delivered downstream per full round payload
+// fetched upstream — how many deliveries each copy of the round's
+// bytes crossing the upstream link paid for.
+func (t TierStats) Amplification() float64 {
+	if t.UpFulls == 0 {
+		return 0
+	}
+	return float64(t.DownFrames) / float64(t.UpFulls)
 }
 
 // LatencyStats summarizes per-call frame latencies.
@@ -80,6 +146,22 @@ type LoadReport struct {
 	Latency LatencyStats
 	// Errors counts failed frame calls (the run continues past them).
 	Errors int64
+	// DroppedSamples counts latency samples lost to failed frame calls
+	// — samples the percentiles above do NOT cover. Always populated;
+	// LoadOptions.MaxDroppedFrac decides whether drops fail the run.
+	DroppedSamples int
+
+	// Cluster tier accounting, populated when LoadOptions.Relays > 0.
+	// Tiers[0] is the leaf tier next to the workstations; a second
+	// entry is the mid aggregation tier when RelayHops == 2. The
+	// Origin* fields are the origin's relay-procedure deltas: full
+	// round payloads vs markers it answered over upstream links.
+	Relays             int
+	RelayHops          int
+	Tiers              []TierStats
+	OriginRelayFulls   int64
+	OriginRelayMarkers int64
+	OriginRelayBytes   int64
 
 	// Cache holds the shared timestep cache's counters when the server
 	// has one.
@@ -87,24 +169,37 @@ type LoadReport struct {
 	HasCache bool
 }
 
-// FanOut returns shipped frames per encoded-or-reused round — the
+// Delivered returns the frames and bytes actually handed to
+// workstations: the origin's per-session sends on a direct run, the
+// leaf tier's downstream deliveries on a relayed one (where the origin
+// ships each round once per relay, not once per workstation).
+func (r LoadReport) Delivered() (frames, bytes int64) {
+	if len(r.Tiers) > 0 {
+		return r.Tiers[0].DownFrames, r.Tiers[0].DownBytes
+	}
+	return r.FramesShipped, r.BytesShipped
+}
+
+// FanOut returns delivered frames per encoded-or-reused round — the
 // scale-out win: with K workstations it approaches K while
 // FramesEncoded stays one per round.
 func (r LoadReport) FanOut() float64 {
 	if r.Rounds == 0 {
 		return 0
 	}
-	return float64(r.FramesShipped) / float64(r.Rounds)
+	frames, _ := r.Delivered()
+	return float64(frames) / float64(r.Rounds)
 }
 
-// BytesPerFrame returns the mean wire bytes per shipped frame — the
+// BytesPerFrame returns the mean wire bytes per delivered frame — the
 // paper's Table 1 bandwidth column, and the number codec v2's deltas
 // and quantization exist to shrink.
 func (r LoadReport) BytesPerFrame() float64 {
-	if r.FramesShipped == 0 {
+	frames, bytes := r.Delivered()
+	if frames == 0 {
 		return 0
 	}
-	return float64(r.BytesShipped) / float64(r.FramesShipped)
+	return float64(bytes) / float64(frames)
 }
 
 // String formats the report as a one-run summary table. The shed
@@ -114,15 +209,35 @@ func (r LoadReport) String() string {
 	if codec == 0 {
 		codec = wire.CodecV1
 	}
+	// In a relayed run the origin ships only relay payloads; the fleet's
+	// frames come off the leaf tier, so the headline counts deliveries.
+	delivered, deliveredBytes := r.Delivered()
 	out := fmt.Sprintf(
-		"sessions=%d frames=%d codec=v%d elapsed=%v rounds=%d encoded=%d reused=%d shipped=%d (fan-out %.1fx) bytes=%d bytes/frame=%.0f errors=%d lat p50=%v p90=%v p99=%v max=%v",
+		"sessions=%d frames=%d codec=v%d elapsed=%v rounds=%d encoded=%d reused=%d delivered=%d (fan-out %.1fx) bytes=%d bytes/frame=%.0f errors=%d lat p50=%v p90=%v p99=%v max=%v",
 		r.Sessions, r.Frames, codec, r.Elapsed.Round(time.Millisecond),
-		r.Rounds, r.FramesEncoded, r.FramesReused, r.FramesShipped,
-		r.FanOut(), r.BytesShipped, r.BytesPerFrame(), r.Errors,
+		r.Rounds, r.FramesEncoded, r.FramesReused, delivered,
+		r.FanOut(), deliveredBytes, r.BytesPerFrame(), r.Errors,
 		r.Latency.P50.Round(time.Microsecond), r.Latency.P90.Round(time.Microsecond),
 		r.Latency.P99.Round(time.Microsecond), r.Latency.Max.Round(time.Microsecond))
 	if r.FramesShed > 0 {
 		out += fmt.Sprintf(" shed=%d/%d", r.FramesShed, r.FramesEncoded)
+	}
+	if r.DroppedSamples > 0 {
+		out += fmt.Sprintf(" dropped=%d/%d samples",
+			r.DroppedSamples, r.Sessions*r.Frames)
+	}
+	if r.Relays > 0 {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s\ncluster: %d relays x %d hop(s); origin answered fulls=%d markers=%d (%d bytes up)",
+			out, r.Relays, r.RelayHops,
+			r.OriginRelayFulls, r.OriginRelayMarkers, r.OriginRelayBytes)
+		for _, t := range r.Tiers {
+			fmt.Fprintf(&b, "\ntier %s: nodes=%d delivered=%d frames (%d bytes) up fulls=%d markers=%d (%d bytes) hit=%.1f%% amp=%.1fx hangups=%d",
+				t.Name, t.Nodes, t.DownFrames, t.DownBytes,
+				t.UpFulls, t.UpMarkers, t.UpBytes,
+				100*t.HitRate(), t.Amplification(), t.Hangups)
+		}
+		return b.String()
 	}
 	return out
 }
@@ -150,6 +265,65 @@ func RunLoad(s *Server, opts LoadOptions) (LoadReport, error) {
 	if opts.ActiveUsers > opts.Sessions {
 		opts.ActiveUsers = opts.Sessions
 	}
+	if opts.Relays > 0 {
+		if opts.RelayHops <= 0 {
+			opts.RelayHops = 1
+		}
+		if opts.RelayHops > 2 {
+			opts.RelayHops = 2
+		}
+	} else {
+		opts.RelayHops = 0
+	}
+
+	// Cluster tier: stand up the relay topology the fleet will attach
+	// through. The relays' upstream legs are unconstrained in-memory
+	// pipes; only the workstation edge runs over opts.Link.
+	dialOrigin := func() (net.Conn, error) {
+		serverEnd, clientEnd := netsim.Pipe(netsim.Link{})
+		go s.d.ServeConn(serverEnd)
+		return clientEnd, nil
+	}
+	dialRelay := func(rn *relay.Relay) dlib.DialFunc {
+		return func() (net.Conn, error) {
+			serverEnd, clientEnd := netsim.Pipe(netsim.Link{})
+			go rn.Dlib().ServeConn(serverEnd)
+			return clientEnd, nil
+		}
+	}
+	var (
+		leaves []*relay.Relay
+		mid    *relay.Relay
+	)
+	shutdown := func() {
+		for _, rn := range leaves {
+			rn.Dlib().Close()
+			rn.Close()
+		}
+		if mid != nil {
+			mid.Dlib().Close()
+			mid.Close()
+		}
+	}
+	if opts.Relays > 0 {
+		upstream := dlib.DialFunc(dialOrigin)
+		if opts.RelayHops == 2 {
+			var err error
+			if mid, err = relay.New(relay.Config{Upstreams: []dlib.DialFunc{dialOrigin}}); err != nil {
+				return LoadReport{}, fmt.Errorf("server: load mid relay: %w", err)
+			}
+			upstream = dialRelay(mid)
+		}
+		for k := 0; k < opts.Relays; k++ {
+			rn, err := relay.New(relay.Config{Upstreams: []dlib.DialFunc{upstream}})
+			if err != nil {
+				shutdown()
+				return LoadReport{}, fmt.Errorf("server: load leaf relay %d: %w", k, err)
+			}
+			leaves = append(leaves, rn)
+		}
+	}
+	defer shutdown()
 
 	// Scene setup runs over its own connection so per-session frame
 	// counts stay uniform.
@@ -213,8 +387,18 @@ func RunLoad(s *Server, opts LoadOptions) (LoadReport, error) {
 		go func(i int) {
 			defer wg.Done()
 			serverEnd, clientEnd := netsim.Pipe(opts.Link)
-			go s.d.ServeConn(serverEnd)
-			c := dlib.NewClient(clientEnd)
+			if len(leaves) > 0 {
+				go leaves[i%len(leaves)].Dlib().ServeConn(serverEnd)
+			} else {
+				go s.d.ServeConn(serverEnd)
+			}
+			var conn net.Conn = clientEnd
+			if opts.SessionFault != nil {
+				if p := opts.SessionFault(i); p != nil {
+					conn = p.Wrap(clientEnd)
+				}
+			}
+			c := dlib.NewClient(conn)
 			defer c.Close()
 			var dec *wire.FrameDecoder
 			if opts.Codec >= wire.CodecV2 {
@@ -295,18 +479,49 @@ func RunLoad(s *Server, opts LoadOptions) (LoadReport, error) {
 		PredictedTime: after.PredictedTime - before.PredictedTime,
 		Errors:        errCount,
 	}
+	if opts.Relays > 0 {
+		report.Relays = opts.Relays
+		report.RelayHops = opts.RelayHops
+		report.OriginRelayFulls = after.RelayFulls - before.RelayFulls
+		report.OriginRelayMarkers = after.RelayMarkers - before.RelayMarkers
+		report.OriginRelayBytes = after.RelayBytes - before.RelayBytes
+		leafT := TierStats{Name: "leaf", Nodes: len(leaves)}
+		for _, rn := range leaves {
+			st := rn.Stats()
+			leafT.DownFrames += st.DownFrames
+			leafT.DownBytes += st.DownBytes
+			leafT.UpFulls += st.UpFulls
+			leafT.UpMarkers += st.UpMarkers
+			leafT.UpBytes += st.UpBytes
+			leafT.Hangups += st.Hangups
+		}
+		report.Tiers = append(report.Tiers, leafT)
+		if mid != nil {
+			st := mid.Stats()
+			report.Tiers = append(report.Tiers, TierStats{
+				Name: "mid", Nodes: 1,
+				DownFrames: st.DownFrames, DownBytes: st.DownBytes,
+				UpFulls: st.UpFulls, UpMarkers: st.UpMarkers,
+				UpBytes: st.UpBytes, Hangups: st.Hangups,
+			})
+		}
+	}
 	if cs, ok := s.CacheStats(); ok {
 		report.Cache = cs
 		report.HasCache = true
 	}
 
-	// Failed calls leave zero latencies; drop them before ranking.
+	// Failed calls leave zero latencies; drop them before ranking —
+	// but count them, so a partially failed run can't masquerade as a
+	// clean one with quietly rosier percentiles.
+	total := opts.Sessions * opts.Frames
 	valid := latencies[:0]
 	for _, l := range latencies {
 		if l > 0 {
 			valid = append(valid, l)
 		}
 	}
+	report.DroppedSamples = total - len(valid)
 	if len(valid) > 0 {
 		sort.Slice(valid, func(a, b int) bool { return valid[a] < valid[b] })
 		var sum time.Duration
@@ -320,6 +535,13 @@ func RunLoad(s *Server, opts LoadOptions) (LoadReport, error) {
 			Max:  valid[len(valid)-1],
 			Mean: sum / time.Duration(len(valid)),
 		}
+	}
+	if firstErr != nil && opts.MaxDroppedFrac > 0 {
+		if frac := float64(report.DroppedSamples) / float64(total); frac > opts.MaxDroppedFrac {
+			return report, fmt.Errorf("server: load run dropped %d/%d latency samples (%.1f%% > %.1f%% tolerated): %w",
+				report.DroppedSamples, total, 100*frac, 100*opts.MaxDroppedFrac, firstErr)
+		}
+		return report, nil
 	}
 	return report, firstErr
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -329,6 +330,185 @@ func TestConcurrentSessionsRakeLocksAndEviction(t *testing.T) {
 	}
 	if st := s.Stats(); st.FramesShipped < sessions*frames {
 		t.Errorf("shipped %d < %d calls", st.FramesShipped, sessions*frames)
+	}
+}
+
+// TestLoadRelayFanOut is the cluster-tier acceptance: a 256-workstation
+// fleet attached through 4 leaf relay/cache nodes must still show
+// origin encodes per round independent of the fleet size — the origin
+// ships each round once per relay (a handful of full payloads), the
+// leaves re-fan it to their 64 local workstations each.
+func TestLoadRelayFanOut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paced load run")
+	}
+	const sessions, frames, relays = 256, 5, 4
+	s, err := New(Config{Store: testDataset(t, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Dlib().Close()
+	rep, err := RunLoad(s, LoadOptions{
+		Sessions:  sessions,
+		Frames:    frames,
+		FrameRate: 10,
+		Relays:    relays,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%v", rep)
+	if rep.Errors != 0 || rep.DroppedSamples != 0 {
+		t.Fatalf("relay run not clean: errors=%d dropped=%d", rep.Errors, rep.DroppedSamples)
+	}
+	if len(rep.Tiers) != 1 || rep.Tiers[0].Name != "leaf" || rep.Tiers[0].Nodes != relays {
+		t.Fatalf("tier accounting: %+v", rep.Tiers)
+	}
+	leaf := rep.Tiers[0]
+	if want := int64(sessions * frames); leaf.DownFrames != want {
+		t.Errorf("leaf tier delivered %d frames, want %d", leaf.DownFrames, want)
+	}
+	// Every delivery came off the leaf caches: the origin served no
+	// per-session frames at all, only relay rounds.
+	if rep.FramesShipped != 0 {
+		t.Errorf("origin shipped %d per-session frames through the relay tier", rep.FramesShipped)
+	}
+	// The encode-once claim at 256 sessions: encodes track paced
+	// rounds, not workstations (same bound as the direct-connect test).
+	if rep.FramesEncoded > 2*frames+2 {
+		t.Errorf("origin encoded %d rounds for %d paced periods at %d sessions",
+			rep.FramesEncoded, frames, sessions)
+	}
+	// Each round crosses each leaf's upstream link at most once (the
+	// +1 is the scene round computed before the stats window opened;
+	// every leaf's first fetch pulls it as a full).
+	if rep.OriginRelayFulls > int64(relays)*(rep.Rounds+1) {
+		t.Errorf("origin fulls %d exceed relays(%d) x rounds(%d)+1",
+			rep.OriginRelayFulls, relays, rep.Rounds)
+	}
+	if amp := leaf.Amplification(); amp < float64(sessions)/16 {
+		t.Errorf("leaf amplification %.1fx for %d sessions over %d relays", amp, sessions, relays)
+	}
+	if rep.FanOut() < float64(sessions)/2 {
+		t.Errorf("fan-out %.1fx for %d sessions", rep.FanOut(), sessions)
+	}
+	if leaf.HitRate() <= 0 {
+		t.Errorf("leaf cache hit rate %.2f", leaf.HitRate())
+	}
+}
+
+// TestLoadRelayTwoHops runs the deep topology on codec v2: leaves
+// funnel through one mid aggregation relay, so full round payloads
+// cross the origin's link about once per round no matter how many
+// leaves fan in below.
+func TestLoadRelayTwoHops(t *testing.T) {
+	const sessions, frames, relays = 48, 4, 3
+	s, err := New(Config{Store: testDataset(t, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Dlib().Close()
+	rep, err := RunLoad(s, LoadOptions{
+		Sessions:  sessions,
+		Frames:    frames,
+		Relays:    relays,
+		RelayHops: 2,
+		Codec:     wire.CodecV2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%v", rep)
+	if rep.Errors != 0 {
+		t.Fatalf("two-hop v2 run errors: %d", rep.Errors)
+	}
+	if len(rep.Tiers) != 2 || rep.Tiers[1].Name != "mid" || rep.Tiers[1].Nodes != 1 {
+		t.Fatalf("tier accounting: %+v", rep.Tiers)
+	}
+	if want := int64(sessions * frames); rep.Tiers[0].DownFrames != want {
+		t.Errorf("leaf tier delivered %d frames, want %d", rep.Tiers[0].DownFrames, want)
+	}
+	// Only the mid relay talks to the origin: origin-side fulls are
+	// bounded by rounds, not by the leaf count. The +1 is the scene
+	// round computed before the report's stats window opened — the
+	// fleet's first fetch pulls it as a full.
+	if rep.OriginRelayFulls > rep.Rounds+1 {
+		t.Errorf("origin fulls %d exceed rounds %d through the mid relay",
+			rep.OriginRelayFulls, rep.Rounds)
+	}
+	// The mid tier absorbs the leaf fan-in: leaves fetched from it,
+	// not the origin.
+	if rep.Tiers[1].DownFrames != rep.Tiers[0].UpFulls+rep.Tiers[0].UpMarkers {
+		t.Errorf("mid served %d frames, leaves fetched %d",
+			rep.Tiers[1].DownFrames, rep.Tiers[0].UpFulls+rep.Tiers[0].UpMarkers)
+	}
+}
+
+// TestLoadDroppedSampleAccounting is the regression for the silent
+// latency-sample truncation: sessions that die partway used to vanish
+// from the report's percentile ranking with no trace. Two of eight
+// workstations are reset deterministically after their first frame;
+// the report must count every lost sample, and MaxDroppedFrac decides
+// whether the run fails.
+func TestLoadDroppedSampleAccounting(t *testing.T) {
+	const sessions, frames = 8, 10
+	// The reset fires on the session's very first op, so each faulted
+	// session drops exactly its full quota of samples — independent of
+	// how many reads/writes one RPC costs.
+	faulty := func(i int) *netsim.FaultPlan {
+		if i >= 2 {
+			return nil
+		}
+		return &netsim.FaultPlan{Faults: []netsim.Fault{{Kind: netsim.FaultReset, AtOp: 1}}}
+	}
+	run := func(maxFrac float64) (LoadReport, error) {
+		s, err := New(Config{Store: testDataset(t, 3)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Dlib().Close()
+		return RunLoad(s, LoadOptions{
+			Sessions:       sessions,
+			Frames:         frames,
+			Codec:          wire.CodecV1,
+			SessionFault:   faulty,
+			MaxDroppedFrac: maxFrac,
+		})
+	}
+
+	// Each faulted session loses its whole quota.
+	const wantDropped = 2 * frames
+
+	// Legacy threshold (0): the failure propagates — but the drops are
+	// now counted instead of silently truncated.
+	rep, err := run(0)
+	if err == nil {
+		t.Fatal("run with dead sessions and MaxDroppedFrac=0 returned nil error")
+	}
+	if rep.DroppedSamples != wantDropped {
+		t.Errorf("dropped %d samples, want %d", rep.DroppedSamples, wantDropped)
+	}
+	if rep.Errors != 2 {
+		t.Errorf("errors = %d, want 2", rep.Errors)
+	}
+	if rep.Latency.P50 <= 0 {
+		t.Errorf("surviving sessions' percentiles missing: %+v", rep.Latency)
+	}
+
+	// A tolerant threshold turns the same run into a clean report.
+	rep, err = run(0.5)
+	if err != nil {
+		t.Fatalf("run with 25%% drops and 50%% tolerance failed: %v", err)
+	}
+	if rep.DroppedSamples != wantDropped {
+		t.Errorf("tolerated run dropped %d samples, want %d", rep.DroppedSamples, wantDropped)
+	}
+
+	// A threshold below the observed fraction still fails, loudly.
+	if _, err = run(0.1); err == nil {
+		t.Fatal("run with 25%% drops and 10%% tolerance returned nil error")
+	} else if !strings.Contains(err.Error(), "tolerated") {
+		t.Errorf("threshold error does not name the tolerance: %v", err)
 	}
 }
 

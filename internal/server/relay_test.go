@@ -1,0 +1,497 @@
+package server
+
+// Cluster-tier correctness: frames delivered through internal/relay
+// must be byte-identical per (client, round) to a direct connection.
+// The golden corpus is the reference — the same scripts that pinned
+// direct-connect bytes are replayed through one and two relay hops
+// against the committed files (corpus extended to the relay path, not
+// regenerated).
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"testing"
+
+	"repro/internal/dlib"
+	"repro/internal/integrate"
+	"repro/internal/netsim"
+	"repro/internal/relay"
+	"repro/internal/vmath"
+	"repro/internal/wire"
+)
+
+// serveDial returns a DialFunc producing in-process netsim connections
+// served by d.
+func serveDial(d *dlib.Server, link netsim.Link) dlib.DialFunc {
+	return func() (net.Conn, error) {
+		client, server := netsim.Pipe(link)
+		go d.ServeConn(server)
+		return client, nil
+	}
+}
+
+// startRelayNode builds a relay over the given upstream dials and
+// returns it with a downstream dial.
+func startRelayNode(t *testing.T, upstreams ...dlib.DialFunc) (*relay.Relay, dlib.DialFunc) {
+	t.Helper()
+	r, err := relay.New(relay.Config{Upstreams: upstreams})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	return r, serveDial(r.Dlib(), netsim.Link{})
+}
+
+// relayExchange is one scripted frame exchange: sessions are numbered
+// in order of first use, and a session's connection (plus its hello2,
+// for v2 scripts) is created exactly at its first exchange — which is
+// what aligns origin-side session ids with the direct-session golden
+// scripts.
+type relayExchange struct {
+	sess int
+	u    wire.ClientUpdate
+}
+
+// relayGoldenScripts re-scripts the golden corpus scenarios
+// (golden_test.go / golden_v2_test.go) as data so they can be driven
+// through real connections. The exchange sequences must match the
+// originals exactly — the committed corpus is the expected output.
+var relayGoldenScripts = []struct {
+	name   string
+	v2     bool
+	script []relayExchange
+}{
+	{
+		name: "steady-streamlines",
+		script: []relayExchange{
+			{1, wire.ClientUpdate{Commands: []wire.Command{
+				addRakeCmd(vmath.V3(1, 4, 4), vmath.V3(1, 8, 4), 5, integrate.ToolStreamline),
+				addRakeCmd(vmath.V3(2, 9, 3), vmath.V3(2, 13, 3), 4, integrate.ToolStreamline),
+			}}},
+			{1, wire.ClientUpdate{}},
+			{1, wire.ClientUpdate{}},
+			{1, wire.ClientUpdate{Hand: vmath.V3(3, 2, 1)}},
+		},
+	},
+	{
+		name: "streakline-seek",
+		script: []relayExchange{
+			{1, wire.ClientUpdate{Commands: []wire.Command{
+				addRakeCmd(vmath.V3(1, 6, 4), vmath.V3(1, 10, 4), 3, integrate.ToolStreakline),
+				{Kind: wire.CmdSetLoop, Flag: 1},
+				{Kind: wire.CmdSetSpeed, Value: 1},
+				{Kind: wire.CmdSetPlaying, Flag: 1},
+			}}},
+			{1, wire.ClientUpdate{}},
+			{1, wire.ClientUpdate{}},
+			{1, wire.ClientUpdate{Commands: []wire.Command{{Kind: wire.CmdSeek, Value: 0.5}}}},
+			{1, wire.ClientUpdate{}},
+			{1, wire.ClientUpdate{}},
+		},
+	},
+	{
+		name: "multiuser-grab",
+		script: []relayExchange{
+			{1, wire.ClientUpdate{Commands: []wire.Command{
+				addRakeCmd(vmath.V3(1, 4, 4), vmath.V3(1, 9, 4), 4, integrate.ToolStreamline),
+			}}},
+			{2, wire.ClientUpdate{Hand: vmath.V3(1, 6, 4)}},
+			{2, wire.ClientUpdate{Commands: []wire.Command{
+				{Kind: wire.CmdGrab, Rake: 1, Grab: uint8(integrate.GrabCenter)},
+			}}},
+			{1, wire.ClientUpdate{}},
+			{2, wire.ClientUpdate{Commands: []wire.Command{
+				{Kind: wire.CmdMove, Rake: 1, Pos: vmath.V3(4, 7, 4)},
+			}}},
+			{1, wire.ClientUpdate{}},
+			{2, wire.ClientUpdate{Commands: []wire.Command{
+				{Kind: wire.CmdRelease, Rake: 1},
+			}}},
+			{1, wire.ClientUpdate{}},
+		},
+	},
+	{
+		name: "v2-steady-delta",
+		v2:   true,
+		script: []relayExchange{
+			{1, wire.ClientUpdate{Commands: []wire.Command{
+				addRakeCmd(vmath.V3(1, 4, 4), vmath.V3(1, 8, 4), 5, integrate.ToolStreamline),
+				addRakeCmd(vmath.V3(2, 9, 3), vmath.V3(2, 13, 3), 4, integrate.ToolStreamline),
+			}}},
+			{1, wire.ClientUpdate{}},
+			{1, wire.ClientUpdate{}},
+			{1, wire.ClientUpdate{Hand: vmath.V3(3, 2, 1)}},
+		},
+	},
+	{
+		name: "v2-grab-keyframe",
+		v2:   true,
+		script: []relayExchange{
+			{1, wire.ClientUpdate{Commands: []wire.Command{
+				addRakeCmd(vmath.V3(1, 4, 4), vmath.V3(1, 9, 4), 4, integrate.ToolStreamline),
+				addRakeCmd(vmath.V3(2, 10, 3), vmath.V3(2, 13, 3), 3, integrate.ToolStreamline),
+			}}},
+			{2, wire.ClientUpdate{Hand: vmath.V3(1, 6, 4)}},
+			{2, wire.ClientUpdate{Commands: []wire.Command{
+				{Kind: wire.CmdGrab, Rake: 1, Grab: uint8(integrate.GrabCenter)},
+			}}},
+			{1, wire.ClientUpdate{}},
+			{2, wire.ClientUpdate{Commands: []wire.Command{
+				{Kind: wire.CmdMove, Rake: 1, Pos: vmath.V3(4, 7, 4)},
+			}}},
+			{1, wire.ClientUpdate{}},
+			{2, wire.ClientUpdate{Commands: []wire.Command{
+				{Kind: wire.CmdRelease, Rake: 1},
+			}}},
+			{1, wire.ClientUpdate{}},
+		},
+	},
+	{
+		name: "v2-streak-varint",
+		v2:   true,
+		script: []relayExchange{
+			{1, wire.ClientUpdate{Commands: []wire.Command{
+				addRakeCmd(vmath.V3(1, 6, 4), vmath.V3(1, 10, 4), 3, integrate.ToolStreakline),
+				{Kind: wire.CmdSetLoop, Flag: 1},
+				{Kind: wire.CmdSetSpeed, Value: 1},
+				{Kind: wire.CmdSetPlaying, Flag: 1},
+			}}},
+			{1, wire.ClientUpdate{}},
+			{1, wire.ClientUpdate{}},
+			{1, wire.ClientUpdate{Commands: []wire.Command{{Kind: wire.CmdSeek, Value: 0.5}}}},
+			{1, wire.ClientUpdate{}},
+			{1, wire.ClientUpdate{}},
+		},
+	},
+}
+
+// runRelayScript drives a golden script through dial, creating each
+// session's connection (and hello2 handshake for v2 scripts) at its
+// first exchange, and returns the raw reply bytes in exchange order.
+func runRelayScript(t *testing.T, dial dlib.DialFunc, v2 bool, script []relayExchange) [][]byte {
+	t.Helper()
+	clients := make(map[int]*dlib.Client)
+	var frames [][]byte
+	for _, ex := range script {
+		c := clients[ex.sess]
+		if c == nil {
+			conn, err := dial()
+			if err != nil {
+				t.Fatal(err)
+			}
+			c = dlib.NewClient(conn)
+			clients[ex.sess] = c
+			t.Cleanup(func() { c.Close() })
+			if v2 {
+				rep, err := c.Call(wire.ProcHello2, wire.EncodeHelloRequest(wire.CodecV2))
+				if err != nil {
+					t.Fatal(err)
+				}
+				codec, _, err := wire.DecodeHelloReply(rep)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if codec != wire.CodecV2 {
+					t.Fatalf("negotiated codec %d, want %d", codec, wire.CodecV2)
+				}
+			}
+		}
+		out, err := c.Call(wire.ProcFrame, wire.EncodeClientUpdate(ex.u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, bytes.Clone(out))
+	}
+	return frames
+}
+
+// loadGolden reads a committed corpus file.
+func loadGolden(t *testing.T, name string) [][]byte {
+	t.Helper()
+	data, err := os.ReadFile(goldenPath(name))
+	if err != nil {
+		t.Fatalf("%v (generate with the golden tests' -update first)", err)
+	}
+	golden, err := decodeFrames(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return golden
+}
+
+// TestRelayGoldenFrames replays every golden scenario through one
+// relay hop: the bytes each workstation receives must equal the
+// committed direct-connect corpus frame for frame — both codecs,
+// including the v2 delta streams.
+func TestRelayGoldenFrames(t *testing.T) {
+	for _, sc := range relayGoldenScripts {
+		t.Run(sc.name, func(t *testing.T) {
+			origin := goldenServer(t, 0, 0)
+			_, dial := startRelayNode(t, serveDial(origin.Dlib(), netsim.Link{}))
+			frames := runRelayScript(t, dial, sc.v2, sc.script)
+			compareFrames(t, "relayed", frames, loadGolden(t, sc.name))
+		})
+	}
+}
+
+// TestRelayChainedGoldenFrames stacks two relay tiers — workstation →
+// leaf relay → mid relay → origin — and requires the same byte
+// identity: the relay protocol must compose.
+func TestRelayChainedGoldenFrames(t *testing.T) {
+	for _, sc := range relayGoldenScripts {
+		t.Run(sc.name, func(t *testing.T) {
+			origin := goldenServer(t, 0, 0)
+			_, midDial := startRelayNode(t, serveDial(origin.Dlib(), netsim.Link{}))
+			_, leafDial := startRelayNode(t, midDial)
+			frames := runRelayScript(t, leafDial, sc.v2, sc.script)
+			compareFrames(t, "chained", frames, loadGolden(t, sc.name))
+		})
+	}
+}
+
+// TestRelayEncodeOnceFanOut pins the cluster-tier scaling claim: with
+// many workstations behind one relay, the origin encodes each round
+// once and ships its bytes across the relay link once — every further
+// downstream frame is served from the relay cache after a marker
+// exchange.
+func TestRelayEncodeOnceFanOut(t *testing.T) {
+	const sessions = 8
+	origin := goldenServer(t, 0, 0)
+	r, dial := startRelayNode(t, serveDial(origin.Dlib(), netsim.Link{}))
+
+	clients := make([]*dlib.Client, sessions)
+	for i := range clients {
+		conn, err := dial()
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = dlib.NewClient(conn)
+		c := clients[i]
+		t.Cleanup(func() { c.Close() })
+	}
+	exchange := func(c *dlib.Client, u wire.ClientUpdate) []byte {
+		t.Helper()
+		out, err := c.Call(wire.ProcFrame, wire.EncodeClientUpdate(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	// Session 0 builds the scene; then every session frames once. Each
+	// join adds a user to the environment (a version bump, so a fresh
+	// round) — that churn is the warmup, not the claim.
+	exchange(clients[0], wire.ClientUpdate{Commands: []wire.Command{
+		addRakeCmd(vmath.V3(1, 4, 4), vmath.V3(1, 10, 4), 6, integrate.ToolStreamline),
+	}})
+	for _, c := range clients[1:] {
+		exchange(c, wire.ClientUpdate{})
+	}
+	// The last joins' user adds are pending until the next recompute
+	// (a join itself serves the current round); one more sweep settles
+	// every session on the final round before measuring.
+	for _, c := range clients {
+		exchange(c, wire.ClientUpdate{})
+	}
+	warm := origin.Stats()
+	warmRelay := r.Stats()
+
+	// Steady phase: everyone holds still. The whole-frame memo keeps
+	// the round stable, so every exchange must be a marker serving the
+	// identical cached bytes.
+	ref := exchange(clients[0], wire.ClientUpdate{})
+	const rounds = 5
+	for round := 0; round < rounds; round++ {
+		for i, c := range clients {
+			got := exchange(c, wire.ClientUpdate{})
+			if !bytes.Equal(got, ref) {
+				t.Fatalf("round %d session %d: frame differs from the shared round", round, i)
+			}
+		}
+	}
+	steady := int64(sessions*rounds + 1)
+
+	st := origin.Stats()
+	if encodes := st.FramesEncoded - warm.FramesEncoded; encodes != 0 {
+		t.Errorf("origin encoded %d rounds during the steady phase, want 0", encodes)
+	}
+	if fulls := st.RelayFulls - warm.RelayFulls; fulls != 0 {
+		t.Errorf("origin shipped %d full relay payloads during the steady phase, want 0", fulls)
+	}
+	if markers := st.RelayMarkers - warm.RelayMarkers; markers != steady {
+		t.Errorf("origin answered %d markers, want %d", markers, steady)
+	}
+	// Across the whole run the origin encoded once per round, not once
+	// per downstream frame: joins plus the scene build bound encodes by
+	// sessions+1 while downstream frames number sessions*(rounds+1)+1.
+	if st.FramesEncoded > sessions+1 {
+		t.Errorf("origin encoded %d rounds for %d sessions, want <= %d", st.FramesEncoded, sessions, sessions+1)
+	}
+	rs := r.Stats()
+	if down := rs.DownFrames - warmRelay.DownFrames; down != steady {
+		t.Errorf("relay served %d steady frames, want %d", down, steady)
+	}
+	if hr := rs.HitRate(); hr < 0.7 {
+		t.Errorf("relay hit rate %.2f, want > 0.7 incl. warmup", hr)
+	}
+	// Fan-out amplification during the steady phase: cached bytes fan
+	// downstream while only markers cross the upstream link.
+	upSteady := rs.UpBytes - warmRelay.UpBytes
+	downSteady := rs.DownBytes - warmRelay.DownBytes
+	if downSteady < 8*upSteady {
+		t.Errorf("steady down bytes %d not amplified over up bytes %d", downSteady, upSteady)
+	}
+}
+
+// TestRelayMixedCodecFleet runs v1 and v2 workstations behind one
+// relay at once: the v1 stream must stay byte-stable (shared round
+// buffer verbatim) while each v2 stream decodes through its own
+// stateful decoder with geometry matching the v1 frames.
+func TestRelayMixedCodecFleet(t *testing.T) {
+	origin := goldenServer(t, 0, 0)
+	_, dial := startRelayNode(t, serveDial(origin.Dlib(), netsim.Link{}))
+
+	connect := func(v2 bool) *dlib.Client {
+		t.Helper()
+		conn, err := dial()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := dlib.NewClient(conn)
+		t.Cleanup(func() { c.Close() })
+		if v2 {
+			if _, err := c.Call(wire.ProcHello2, wire.EncodeHelloRequest(wire.CodecV2)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c
+	}
+	v1a, v2a, v2b := connect(false), connect(true), connect(true)
+	dec := map[*dlib.Client]*wire.FrameDecoder{
+		v2a: wire.NewFrameDecoder(quantizerOf(t)),
+		v2b: wire.NewFrameDecoder(quantizerOf(t)),
+	}
+
+	call := func(c *dlib.Client, u wire.ClientUpdate) wire.FrameReply {
+		t.Helper()
+		out, err := c.Call(wire.ProcFrame, wire.EncodeClientUpdate(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := dec[c]; d != nil {
+			r, err := d.Decode(out)
+			if err != nil {
+				t.Fatalf("v2 frame does not decode: %v", err)
+			}
+			return r
+		}
+		r, err := wire.DecodeFrameReply(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	call(v1a, wire.ClientUpdate{Commands: []wire.Command{
+		addRakeCmd(vmath.V3(1, 4, 4), vmath.V3(1, 9, 4), 4, integrate.ToolStreamline),
+	}})
+	// Interleave the fleet across several rounds, including a rake
+	// move (geometry resend) mid-run.
+	scripts := []struct {
+		c *dlib.Client
+		u wire.ClientUpdate
+	}{
+		{v2a, wire.ClientUpdate{}},
+		{v2b, wire.ClientUpdate{}},
+		{v1a, wire.ClientUpdate{}},
+		{v2a, wire.ClientUpdate{Commands: []wire.Command{
+			{Kind: wire.CmdGrab, Rake: 1, Grab: uint8(integrate.GrabCenter)},
+			{Kind: wire.CmdMove, Rake: 1, Pos: vmath.V3(4, 7, 4)},
+		}}},
+		{v2b, wire.ClientUpdate{}},
+		{v1a, wire.ClientUpdate{}},
+		{v2a, wire.ClientUpdate{}},
+		{v2b, wire.ClientUpdate{}},
+	}
+	var last [3]wire.FrameReply
+	for _, s := range scripts {
+		r := call(s.c, s.u)
+		switch s.c {
+		case v1a:
+			last[0] = r
+		case v2a:
+			last[1] = r
+		case v2b:
+			last[2] = r
+		}
+	}
+	// All three fleets converged on the same final scene.
+	for i := 1; i < 3; i++ {
+		if len(last[i].Geometry) != len(last[0].Geometry) {
+			t.Fatalf("fleet %d sees %d geometries, v1 sees %d", i, len(last[i].Geometry), len(last[0].Geometry))
+		}
+	}
+	if got, want := last[1].Rakes[0].P0, last[0].Rakes[0].P0; got != want {
+		t.Errorf("v2 rake position %v, v1 %v", got, want)
+	}
+}
+
+// TestRelayPartition pins routing semantics with multiple upstreams:
+// sessions are statically partitioned round-robin, each stays on its
+// upstream for its whole life, and the upstreams' environments stay
+// independent.
+func TestRelayPartition(t *testing.T) {
+	a := goldenServer(t, 0, 0)
+	b := goldenServer(t, 0, 0)
+	_, dial := startRelayNode(t,
+		serveDial(a.Dlib(), netsim.Link{}), serveDial(b.Dlib(), netsim.Link{}))
+
+	var clients [4]*dlib.Client
+	for i := range clients {
+		conn, err := dial()
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = dlib.NewClient(conn)
+		c := clients[i]
+		t.Cleanup(func() { c.Close() })
+		// First contact pins the session: 0,2 → a; 1,3 → b.
+		if _, err := clients[i].Call(wire.ProcHello, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rake := func(c *dlib.Client, y float32) wire.FrameReply {
+		t.Helper()
+		out, err := c.Call(wire.ProcFrame, wire.EncodeClientUpdate(wire.ClientUpdate{
+			Commands: []wire.Command{addRakeCmd(vmath.V3(1, y, 4), vmath.V3(1, y+2, 4), 3, integrate.ToolStreamline)},
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := wire.DecodeFrameReply(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	ra := rake(clients[0], 4)
+	rb := rake(clients[1], 8)
+	if len(ra.Rakes) != 1 || len(rb.Rakes) != 1 {
+		t.Fatalf("rakes = %d / %d, want 1 each (partitioned environments)", len(ra.Rakes), len(rb.Rakes))
+	}
+	if ra.Rakes[0].P0 == rb.Rakes[0].P0 {
+		t.Fatalf("both partitions see the same rake")
+	}
+	// Peers on the same partition share its environment.
+	out, err := clients[2].Call(wire.ProcFrame, wire.EncodeClientUpdate(wire.ClientUpdate{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := wire.DecodeFrameReply(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.Rakes) != 1 || r2.Rakes[0].P0 != ra.Rakes[0].P0 {
+		t.Fatalf("partition peer does not share the environment")
+	}
+}

@@ -1,0 +1,412 @@
+package server
+
+// The session layer: everything between a dlib connection and the
+// compute core. It owns codec negotiation, per-session delta-shadow
+// state, the ref-counted encode-once round buffers, command
+// validation, and the relay exchange that lets cluster-tier nodes
+// (internal/relay) fan one round out to many workstations. The
+// compute layer (compute.go) never sees a session; this file never
+// integrates a streamline. The split is the seam the cluster tier
+// routes across.
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/dlib"
+	"repro/internal/env"
+	"repro/internal/integrate"
+	"repro/internal/vmath"
+	"repro/internal/wire"
+)
+
+// sessionState is the per-session wire state: the codec accepted at
+// hello and, for v2 sessions, the delta-shadow encoder tracking which
+// geometry sequence numbers the workstation already holds. Guarded by
+// Server.mu; it dies with the session (disconnect), which is what
+// forces a full keyframe on reconnect.
+type sessionState struct {
+	codec uint8
+	enc   *wire.FrameEncoder
+}
+
+// frameBuf is one round's encoded reply, shared zero-copy by every
+// session served within the round. refs counts in-flight sends (dlib
+// writes that have not yet completed); it is guarded by Server.mu. The
+// release closure is allocated once per buffer so handing a reference
+// back per send costs nothing.
+type frameBuf struct {
+	buf     []byte
+	refs    int
+	release func()
+}
+
+// maxFreeFrameBufs caps the drained-buffer free list. Buffers beyond
+// the cap are dropped to the GC; in steady state one or two buffers
+// circulate (one being written to slow clients, one being encoded).
+const maxFreeFrameBufs = 8
+
+// newFrameBuf allocates a buffer whose release returns it to the
+// server's free list once its last in-flight send completes — unless
+// it is still the current round buffer, which stays put for in-place
+// reuse.
+func (s *Server) newFrameBuf() *frameBuf {
+	fb := &frameBuf{}
+	fb.release = func() {
+		s.mu.Lock()
+		fb.refs--
+		if fb.refs == 0 && s.fb != fb && len(s.free) < maxFreeFrameBufs {
+			s.free = append(s.free, fb)
+		}
+		s.mu.Unlock()
+	}
+	return fb
+}
+
+// acquireEncodeBufLocked returns the buffer the next encode may write
+// into: the current round buffer when no sends still reference it
+// (in-place reuse, the steady-state path), otherwise a drained buffer
+// from the free list or a fresh one. Caller holds s.mu.
+func (s *Server) acquireEncodeBufLocked() *frameBuf {
+	if fb := s.fb; fb != nil && fb.refs == 0 {
+		return fb
+	}
+	if n := len(s.free); n > 0 {
+		fb := s.free[n-1]
+		s.free = s.free[:n-1]
+		return fb
+	}
+	return s.newFrameBuf()
+}
+
+// acquireSessionBufLocked returns a buffer for a per-session assembly
+// (codec-v2 frames, relay replies). Unlike the round buffer it is
+// never reused in place — it is referenced exactly once, by the send
+// it was built for, and its release hook returns it to the same free
+// list. Caller holds s.mu.
+func (s *Server) acquireSessionBufLocked() *frameBuf {
+	if n := len(s.free); n > 0 {
+		fb := s.free[n-1]
+		s.free = s.free[:n-1]
+		return fb
+	}
+	return s.newFrameBuf()
+}
+
+// datasetInfo describes the dataset for both hello variants. The
+// bounds double as the codec-v2 quantization box, so they must match
+// s.quant exactly.
+func (s *Server) datasetInfo() wire.DatasetInfo {
+	g := s.st.Grid()
+	b := g.Bounds()
+	return wire.DatasetInfo{
+		NI: uint32(g.NI), NJ: uint32(g.NJ), NK: uint32(g.NK),
+		NumSteps:  uint32(s.st.NumSteps()),
+		DT:        s.st.DT(),
+		BoundsMin: b.Min,
+		BoundsMax: b.Max,
+	}
+}
+
+func (s *Server) handleHello(_ *dlib.Ctx, _ []byte) ([]byte, error) {
+	return wire.EncodeDatasetInfo(s.datasetInfo()), nil
+}
+
+// handleHello2 is the codec-negotiating hello: the client states the
+// highest codec it speaks, the server answers with the codec this
+// session will use (bounded by Config.MaxCodec) plus the dataset info.
+// Sessions that never call it stay on codec v1. Re-negotiating
+// mid-session resets the delta shadow, so the next frame is a
+// keyframe.
+func (s *Server) handleHello2(ctx *dlib.Ctx, payload []byte) ([]byte, error) {
+	req, err := wire.DecodeHelloRequest(payload)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	codec := wire.NegotiateCodec(req, s.maxCodec)
+	st := s.codecs[ctx.Session.ID]
+	if st == nil {
+		st = &sessionState{}
+		s.codecs[ctx.Session.ID] = st
+	}
+	st.codec = codec
+	if st.enc != nil {
+		st.enc.Reset()
+	}
+	s.mu.Unlock()
+	return wire.EncodeHelloReply(codec, s.datasetInfo()), nil
+}
+
+func (s *Server) handleWhoAmI(ctx *dlib.Ctx, _ []byte) ([]byte, error) {
+	var out [8]byte
+	binary.LittleEndian.PutUint64(out[:], uint64(ctx.Session.ID))
+	return out[:], nil
+}
+
+// applyUpdate applies one decoded ClientUpdate — pose, then commands —
+// for user. Shared by the direct and relay frame paths so both enforce
+// the same validation.
+func (s *Server) applyUpdate(user int64, u wire.ClientUpdate) {
+	if finiteMat4(u.Head) && finiteVec3(u.Hand) {
+		// A NaN/Inf pose would poison every participant's user list;
+		// keep the previous pose instead.
+		s.env.SetUserPose(user, env.UserPose{Head: u.Head, Hand: u.Hand, Gesture: u.Gesture})
+	}
+	// Command failures (e.g. grabbing a held rake) must not kill the
+	// frame; the client learns the outcome from the returned state.
+	for _, cmd := range u.Commands {
+		s.applyCommand(user, cmd)
+	}
+}
+
+// handleFrame is the once-per-frame exchange. dlib guarantees serial
+// execution, so handler-side state needs no extra locking against
+// other calls — the mutex protects against Stats() readers and frame
+// buffer releases, which fire from connection goroutines after their
+// writes complete.
+//
+//vw:hotpath
+func (s *Server) handleFrame(ctx *dlib.Ctx, payload []byte) ([]byte, error) {
+	u, err := wire.DecodeClientUpdate(payload)
+	if err != nil {
+		return nil, err
+	}
+	user := ctx.Session.ID
+	s.applyUpdate(user, u)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// A new round is computed when this session has already seen the
+	// current one, or when it just issued commands — the user must see
+	// the effect of their own interaction within this frame (§1.2's
+	// 1/8-second command-to-display loop).
+	if s.fb == nil || s.consumedBy[user] || len(u.Commands) > 0 {
+		if err := s.recomputeLocked(); err != nil {
+			return nil, err
+		}
+	}
+	s.consumedBy[user] = true
+	// Codec v2 sessions get a per-session assembly: the shared round
+	// payload (header meta + cached per-rake segments) filtered through
+	// this session's delta shadow.
+	if st := s.codecs[user]; st != nil && st.codec >= wire.CodecV2 {
+		return s.serveFrameV2Locked(ctx, st)
+	}
+	// Encode-once fan-out: hand this session a reference to the shared
+	// round buffer; dlib writes it zero-copy and the release hook
+	// drops the reference when the send is done.
+	fb := s.fb
+	fb.refs++
+	ctx.ReplyDone(fb.release)
+	s.stats.FramesShipped++
+	s.stats.BytesShipped += int64(len(fb.buf))
+	s.rec.ObserveShip(int64(len(fb.buf)))
+	return fb.buf, nil
+}
+
+// serveFrameV2Locked assembles this session's codec-v2 reply from the
+// shared round payload: the round's header fields (lastMeta) plus, per
+// rake, either the shared cached segment (encoded once per geometry
+// version, for every session) or — when the session's shadow already
+// holds the rake's current sequence — a few-byte reference record.
+// The reply lands in a pooled per-session buffer released by the same
+// ReplyDone mechanism as round buffers. Caller holds s.mu.
+func (s *Server) serveFrameV2Locked(ctx *dlib.Ctx, st *sessionState) ([]byte, error) {
+	if st.enc == nil {
+		st.enc = wire.NewFrameEncoder(s.quant)
+	}
+	s.seqScratch = s.seqScratch[:0]
+	s.segScratch = s.segScratch[:0]
+	for _, gc := range s.geomGC {
+		s.encodeSegLocked(gc)
+		s.seqScratch = append(s.seqScratch, gc.seq)
+		s.segScratch = append(s.segScratch, gc.seg)
+	}
+	reply := s.lastMeta
+	reply.Geometry = s.geomWire
+	fb := s.acquireSessionBufLocked()
+	fb.buf = st.enc.AppendFrame(fb.buf[:0], reply, s.seqScratch, s.segScratch)
+	fb.refs++
+	ctx.ReplyDone(fb.release)
+	s.stats.FramesShipped++
+	s.stats.V2Frames++
+	s.stats.V2RakesInline += int64(st.enc.LastInline)
+	s.stats.V2RakesRef += int64(st.enc.LastRef)
+	s.stats.BytesShipped += int64(len(fb.buf))
+	s.rec.ObserveShip(int64(len(fb.buf)))
+	return fb.buf, nil
+}
+
+// encodeSegLocked ensures gc.seg holds the codec-v2 segment for the
+// rake's current geometry sequence — encode-once, v2 edition: the
+// segment is built the first time any v2 session (or relay) needs this
+// geometry version and reused until the rake recomputes. Caller holds
+// s.mu.
+func (s *Server) encodeSegLocked(gc *rakeGeom) {
+	if gc.segSeq != gc.seq {
+		gc.seg = wire.AppendGeomV2(gc.seg[:0], gc.geo, s.quant)
+		gc.segSeq = gc.seq
+	}
+}
+
+// handleFrameRelay is the cluster tier's upstream frame exchange: one
+// downstream workstation's frame call, forwarded by a relay node with
+// its cache state attached. The pose/command application and the
+// round-advance rule are identical to handleFrame — the relay holds
+// one upstream session per downstream workstation, so identity, FCFS
+// lock ownership, and round accounting are untouched by the hop. Only
+// the reply differs: a marker when the relay's cached round is still
+// current, otherwise the encoded v1 round buffer verbatim plus (when
+// asked) the geometry directory delta-encoded against the relay's
+// segment shadow. The relay re-fans the payload to its local
+// workstations byte-identically.
+//
+//vw:hotpath
+func (s *Server) handleFrameRelay(ctx *dlib.Ctx, payload []byte) ([]byte, error) {
+	req, err := wire.DecodeRelayFrameRequest(payload)
+	if err != nil {
+		return nil, err
+	}
+	u, err := wire.DecodeClientUpdate(req.Update)
+	if err != nil {
+		return nil, err
+	}
+	user := ctx.Session.ID
+	s.applyUpdate(user, u)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fb == nil || s.consumedBy[user] || len(u.Commands) > 0 {
+		if err := s.recomputeLocked(); err != nil {
+			return nil, err
+		}
+	}
+	s.consumedBy[user] = true
+
+	round := s.lastMeta.Round
+	fb := s.acquireSessionBufLocked()
+	if req.LastRound == round {
+		// The relay already holds this round's payload; ship 9 bytes.
+		fb.buf = wire.AppendRelayMarker(fb.buf[:0], round)
+		s.stats.RelayMarkers++
+	} else {
+		rep := wire.RelayFrameReply{Full: true, Round: round, Frame: s.fb.buf}
+		if req.WantSegs {
+			s.dirScratch = s.dirScratch[:0]
+			for _, gc := range s.geomGC {
+				seg := wire.RelaySegment{Rake: gc.geo.Rake, Seq: gc.seq}
+				if !req.ShadowHas(gc.geo.Rake, gc.seq) {
+					s.encodeSegLocked(gc)
+					seg.Inline = true
+					seg.Seg = gc.seg
+				}
+				s.dirScratch = append(s.dirScratch, seg)
+			}
+			rep.HasDir = true
+			rep.Dir = s.dirScratch
+		}
+		fb.buf = wire.AppendRelayFrameReply(fb.buf[:0], rep)
+		s.stats.RelayFulls++
+	}
+	fb.refs++
+	ctx.ReplyDone(fb.release)
+	s.stats.RelayBytes += int64(len(fb.buf))
+	return fb.buf, nil
+}
+
+// finiteVec3 reports whether every component is a finite number.
+func finiteVec3(v vmath.Vec3) bool {
+	return finite32(v.X) && finite32(v.Y) && finite32(v.Z)
+}
+
+// finiteMat4 reports whether every element is a finite number.
+func finiteMat4(m vmath.Mat4) bool {
+	for _, v := range m {
+		if !finite32(v) {
+			return false
+		}
+	}
+	return true
+}
+
+func finite32(f float32) bool {
+	// NaN != NaN; the bound excludes ±Inf.
+	return f == f && f <= math.MaxFloat32 && f >= -math.MaxFloat32
+}
+
+// validTool reports whether a client-supplied tool id is a known
+// visualization tool.
+func validTool(t uint8) bool {
+	return integrate.ToolKind(t) <= integrate.ToolStreakline
+}
+
+// clampSeeds bounds a client-requested seed count. Values above the
+// cap are clamped rather than rejected, matching the command model's
+// swallow-and-show-state philosophy; non-positive values pass through
+// to the environment's own validation.
+func (s *Server) clampSeeds(n int) int {
+	if n > s.cfg.MaxSeedsPerRake {
+		return s.cfg.MaxSeedsPerRake
+	}
+	return n
+}
+
+// applyCommand executes one user command against the environment.
+// Errors are deliberately swallowed after the conflict rules run:
+// "possible conflicting commands from different workstations are
+// easily handled ... by a 'first come first served' rule." Hostile
+// numeric payloads (NaN/Inf endpoints, unknown tool ids) are dropped
+// here, before they can reach the environment: a rejected command must
+// not bump any version counter or corrupt shared state.
+func (s *Server) applyCommand(user int64, c wire.Command) {
+	switch c.Kind {
+	case wire.CmdAddRake:
+		if !finiteVec3(c.P0) || !finiteVec3(c.P1) || !validTool(c.Tool) {
+			return
+		}
+		s.env.AddRake(c.P0, c.P1, s.clampSeeds(int(c.NumSeeds)), integrate.ToolKind(c.Tool))
+	case wire.CmdRemoveRake:
+		if s.env.RemoveRake(user, c.Rake) == nil {
+			s.mu.Lock()
+			delete(s.streaks, c.Rake)
+			delete(s.geoCache, c.Rake)
+			s.mu.Unlock()
+		}
+	case wire.CmdGrab:
+		s.env.GrabRake(user, c.Rake, integrate.GrabPoint(c.Grab))
+	case wire.CmdRelease:
+		s.env.ReleaseRake(user, c.Rake)
+	case wire.CmdMove:
+		if !finiteVec3(c.Pos) {
+			return
+		}
+		s.env.MoveRake(user, c.Rake, c.Pos)
+	case wire.CmdSetSeeds:
+		s.env.SetRakeSeeds(user, c.Rake, s.clampSeeds(int(c.NumSeeds)))
+	case wire.CmdSetPlaying:
+		s.env.SetPlaying(c.Flag != 0)
+	case wire.CmdSetSpeed:
+		if !finite32(c.Value) {
+			return
+		}
+		s.env.SetSpeed(c.Value)
+	case wire.CmdSeek:
+		if !finite32(c.Value) {
+			return
+		}
+		s.env.SeekTime(c.Value)
+	case wire.CmdSetLoop:
+		s.env.SetLoop(c.Flag != 0)
+	case wire.CmdSetTool:
+		if !validTool(c.Tool) {
+			return
+		}
+		if s.env.SetRakeTool(user, c.Rake, integrate.ToolKind(c.Tool)) == nil {
+			// Tool changes orphan any streak state.
+			s.mu.Lock()
+			delete(s.streaks, c.Rake)
+			s.mu.Unlock()
+		}
+	}
+}

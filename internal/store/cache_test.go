@@ -318,3 +318,83 @@ func TestCacheStatsString(t *testing.T) {
 		t.Errorf("zero-traffic String() = %q", zero)
 	}
 }
+
+// TestCacheFailedCoalescedLoadAccounting pins the byte-budget
+// accounting on the error path: a failed load that several sessions
+// coalesced onto must charge the budget nothing, leave no phantom
+// resident entry, and release every waiter with the source's error —
+// and a later retry must make the step resident with its bytes counted
+// exactly once.
+func TestCacheFailedCoalescedLoadAccounting(t *testing.T) {
+	boom := errors.New("spindle fell off")
+	src := &gatedStore{
+		Store: NewMemory(makeDataset(t, 3)),
+		gate:  make(chan struct{}),
+		enter: make(chan int),
+		fail:  map[int]error{1: boom},
+	}
+	c, err := NewCache(src, CacheOptions{MaxSteps: 2, MaxBytes: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const waiters = 4
+	errs := make([]error, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.LoadStep(1)
+		}(i)
+	}
+	// One underlying read enters; wait for the other three to join the
+	// flight before letting it fail.
+	<-src.enter
+	for deadline := time.Now().Add(5 * time.Second); c.Stats().Coalesced != waiters-1; {
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters never coalesced: %+v", c.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(src.gate)
+	wg.Wait()
+
+	for i, e := range errs {
+		if !errors.Is(e, boom) {
+			t.Fatalf("waiter %d error = %v, want %v", i, e, boom)
+		}
+	}
+	st := c.Stats()
+	if src.loads.Load() != 1 {
+		t.Errorf("underlying loads = %d, want 1 (coalesced)", src.loads.Load())
+	}
+	if st.Misses != 1 || st.Coalesced != waiters-1 {
+		t.Errorf("stats after failed flight: %+v", st)
+	}
+	// The accounting claim: nothing resident, nothing charged.
+	if st.ResidentSteps != 0 || st.ResidentBytes != 0 {
+		t.Errorf("failed load left residue: steps=%d bytes=%d", st.ResidentSteps, st.ResidentBytes)
+	}
+	if c.Resident(1) {
+		t.Error("failed step marked resident")
+	}
+
+	// The flight died with its error: a retry issues a fresh read (no
+	// stranded in-flight entry) and charges the budget exactly once.
+	src.fail = nil
+	src.enter = nil
+	f, err := c.LoadStep(1)
+	if err != nil {
+		t.Fatalf("retry after failed flight: %v", err)
+	}
+	checkStep(t, f, 1)
+	st = c.Stats()
+	if src.loads.Load() != 2 {
+		t.Errorf("retry loads = %d, want 2", src.loads.Load())
+	}
+	if st.ResidentSteps != 1 || st.ResidentBytes != f.SizeBytes() {
+		t.Errorf("retry accounting: steps=%d bytes=%d, want 1 step of %d bytes",
+			st.ResidentSteps, st.ResidentBytes, f.SizeBytes())
+	}
+}

@@ -1,0 +1,225 @@
+package wire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// relayRequests is the round-trip corpus for the upstream leg: empty
+// cache, marker-eligible cache state, and a populated v2 shadow.
+var relayRequests = []RelayFrameRequest{
+	{},
+	{LastRound: 7, Update: []byte{1, 2, 3}},
+	{
+		WantSegs:  true,
+		LastRound: 41,
+		Update:    bytes.Repeat([]byte{0xab}, 64),
+		Shadow: []RelayShadowEntry{
+			{Rake: 1, Seq: 9},
+			{Rake: 12, Seq: 1},
+			{Rake: -3, Seq: 1 << 40}, // hostile-ish ids must survive the trip
+		},
+	},
+}
+
+func TestRelayFrameRequestRoundTrip(t *testing.T) {
+	for i, req := range relayRequests {
+		buf := AppendRelayFrameRequest(nil, req)
+		got, err := DecodeRelayFrameRequest(buf)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if got.WantSegs != req.WantSegs || got.LastRound != req.LastRound {
+			t.Errorf("request %d: header = (%v, %d), want (%v, %d)",
+				i, got.WantSegs, got.LastRound, req.WantSegs, req.LastRound)
+		}
+		if !bytes.Equal(got.Update, req.Update) {
+			t.Errorf("request %d: update bytes differ", i)
+		}
+		if len(got.Shadow) != len(req.Shadow) {
+			t.Fatalf("request %d: %d shadow entries, want %d", i, len(got.Shadow), len(req.Shadow))
+		}
+		for j, e := range req.Shadow {
+			if got.Shadow[j] != e {
+				t.Errorf("request %d shadow %d = %+v, want %+v", i, j, got.Shadow[j], e)
+			}
+		}
+	}
+}
+
+func TestRelayShadowHas(t *testing.T) {
+	req := RelayFrameRequest{Shadow: []RelayShadowEntry{{Rake: 1, Seq: 9}, {Rake: 2, Seq: 4}}}
+	if !req.ShadowHas(1, 9) || !req.ShadowHas(2, 4) {
+		t.Error("held entries not found")
+	}
+	// A stale sequence number must not match: the relay holds an old
+	// segment and the origin must inline the new one.
+	if req.ShadowHas(1, 10) || req.ShadowHas(3, 9) {
+		t.Error("phantom shadow entry matched")
+	}
+}
+
+// relayReplies is the round-trip corpus for the downstream answer:
+// marker, bare v1 full, and a full with a mixed inline/reference
+// geometry directory.
+var relayReplies = []RelayFrameReply{
+	{Round: 3},
+	{Full: true, Round: 9, Frame: []byte{CodecV1, 0, 0}},
+	{
+		Full:   true,
+		Round:  10,
+		Frame:  bytes.Repeat([]byte{0x5c}, 48),
+		HasDir: true,
+		Dir: []RelaySegment{
+			{Rake: 1, Seq: 4, Inline: true, Seg: []byte{9, 9, 9}},
+			{Rake: 2, Seq: 17}, // reference: the shadow already holds it
+			{Rake: 5, Seq: 1, Inline: true, Seg: nil},
+		},
+	},
+}
+
+func TestRelayFrameReplyRoundTrip(t *testing.T) {
+	for i, rep := range relayReplies {
+		buf := AppendRelayFrameReply(nil, rep)
+		got, err := DecodeRelayFrameReply(buf)
+		if err != nil {
+			t.Fatalf("reply %d: %v", i, err)
+		}
+		if got.Full != rep.Full || got.Round != rep.Round || got.HasDir != rep.HasDir {
+			t.Errorf("reply %d: header = (%v, %d, %v), want (%v, %d, %v)",
+				i, got.Full, got.Round, got.HasDir, rep.Full, rep.Round, rep.HasDir)
+		}
+		if !bytes.Equal(got.Frame, rep.Frame) {
+			t.Errorf("reply %d: frame bytes differ", i)
+		}
+		if len(got.Dir) != len(rep.Dir) {
+			t.Fatalf("reply %d: %d dir entries, want %d", i, len(got.Dir), len(rep.Dir))
+		}
+		for j, e := range rep.Dir {
+			g := got.Dir[j]
+			if g.Rake != e.Rake || g.Seq != e.Seq || g.Inline != e.Inline || !bytes.Equal(g.Seg, e.Seg) {
+				t.Errorf("reply %d dir %d = %+v, want %+v", i, j, g, e)
+			}
+		}
+	}
+}
+
+// TestRelayMarkerEncoding pins AppendRelayMarker against the general
+// reply encoder: a marker is the common steady-state answer, and both
+// paths must stay byte-identical for the relay cache comparison to be
+// meaningful.
+func TestRelayMarkerEncoding(t *testing.T) {
+	a := AppendRelayMarker(nil, 77)
+	b := AppendRelayFrameReply(nil, RelayFrameReply{Round: 77})
+	if !bytes.Equal(a, b) {
+		t.Fatalf("marker encodings diverge: % x vs % x", a, b)
+	}
+	if len(a) != 9 { // kind byte + 8-byte round: the cheap upstream answer
+		t.Errorf("marker is %d bytes, want 9", len(a))
+	}
+}
+
+// TestRelayDecodeTruncation feeds every strict prefix of each valid
+// message to the decoders: network reads truncate at arbitrary byte
+// boundaries, and a truncated relay message must error, never panic and
+// never decode to a plausible value.
+func TestRelayDecodeTruncation(t *testing.T) {
+	for i, req := range relayRequests {
+		buf := AppendRelayFrameRequest(nil, req)
+		for n := 0; n < len(buf); n++ {
+			if _, err := DecodeRelayFrameRequest(buf[:n]); err == nil {
+				t.Fatalf("request %d truncated to %d/%d bytes decoded cleanly", i, n, len(buf))
+			}
+		}
+	}
+	for i, rep := range relayReplies {
+		buf := AppendRelayFrameReply(nil, rep)
+		for n := 0; n < len(buf); n++ {
+			if _, err := DecodeRelayFrameReply(buf[:n]); err == nil {
+				t.Fatalf("reply %d truncated to %d/%d bytes decoded cleanly", i, n, len(buf))
+			}
+		}
+	}
+}
+
+func TestRelayDecodeHostileInput(t *testing.T) {
+	// Trailing garbage after a well-formed message.
+	req := append(AppendRelayFrameRequest(nil, relayRequests[1]), 0xee)
+	if _, err := DecodeRelayFrameRequest(req); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Errorf("trailing request bytes: err = %v", err)
+	}
+	for i, rep := range relayReplies {
+		buf := append(AppendRelayFrameReply(nil, rep), 0xee)
+		if _, err := DecodeRelayFrameReply(buf); err == nil || !strings.Contains(err.Error(), "trailing") {
+			t.Errorf("trailing reply bytes (%d): err = %v", i, err)
+		}
+	}
+
+	// A tiny message claiming a huge shadow count must be rejected by
+	// the entity bound, not allocated.
+	hostile := []byte{0, 0, 0, 0, 0, 0, 0, 0, 0 /* round */, 0 /* update len */}
+	hostile = append(hostile, 0xff, 0xff, 0xff, 0x7f) // shadow count ~ 2^28
+	if _, err := DecodeRelayFrameRequest(hostile); err == nil {
+		t.Error("hostile shadow count accepted")
+	}
+
+	// Unknown reply and segment kinds.
+	if _, err := DecodeRelayFrameReply([]byte{9, 0, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Error("unknown reply kind accepted")
+	}
+	bad := AppendRelayFrameReply(nil, relayReplies[2])
+	// Corrupt the first directory entry's kind byte. The inline entry
+	// encodes as rake, seq, kind, seglen, seg — so the kind byte sits
+	// two bytes before the distinctive segment payload.
+	bad[bytes.Index(bad, []byte{9, 9, 9})-2] = 0x7e
+	if _, err := DecodeRelayFrameReply(bad); err == nil {
+		t.Error("unknown segment kind accepted")
+	}
+}
+
+// Fuzz targets for the relay codec: like the other wire decoders these
+// parse bytes straight off the network and must never panic. A clean
+// decode must also survive re-encoding (round-trip closure).
+
+func FuzzDecodeRelayFrameRequest(f *testing.F) {
+	f.Add([]byte{})
+	for _, req := range relayRequests {
+		f.Add(AppendRelayFrameRequest(nil, req))
+	}
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRelayFrameRequest(data)
+		if err != nil {
+			return
+		}
+		back, err := DecodeRelayFrameRequest(AppendRelayFrameRequest(nil, req))
+		if err != nil {
+			t.Fatalf("re-encoded request does not decode: %v", err)
+		}
+		if back.LastRound != req.LastRound || len(back.Shadow) != len(req.Shadow) {
+			t.Fatal("request round-trip not closed")
+		}
+	})
+}
+
+func FuzzDecodeRelayFrameReply(f *testing.F) {
+	f.Add([]byte{})
+	for _, rep := range relayReplies {
+		f.Add(AppendRelayFrameReply(nil, rep))
+	}
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := DecodeRelayFrameReply(data)
+		if err != nil {
+			return
+		}
+		back, err := DecodeRelayFrameReply(AppendRelayFrameReply(nil, rep))
+		if err != nil {
+			t.Fatalf("re-encoded reply does not decode: %v", err)
+		}
+		if back.Full != rep.Full || back.Round != rep.Round || len(back.Dir) != len(rep.Dir) {
+			t.Fatal("reply round-trip not closed")
+		}
+	})
+}
