@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint chaos fuzz fuzz-server fuzz-wire ci bench bench-smoke bench-check load load-relay relay soak
+.PHONY: all build test race vet lint chaos fuzz fuzz-server fuzz-wire ci bench bench-smoke bench-check load load-relay relay soak live
 
 all: build test
 
@@ -35,10 +35,12 @@ fuzz:
 	$(GO) test -fuzz FuzzClientRead -fuzztime 30s ./internal/dlib/
 
 # Short fuzz passes over the server frame/command surfaces with
-# hostile numeric payloads.
+# hostile numeric payloads, plus the live-steering command surface
+# (NaN Reynolds, negative inlet velocity, absurd tapers).
 fuzz-server:
 	$(GO) test -fuzz FuzzHandleFrame -fuzztime 30s ./internal/server/
 	$(GO) test -fuzz FuzzApplyCommand -fuzztime 30s ./internal/server/
+	$(GO) test -fuzz FuzzSteerCommand -fuzztime 30s ./internal/server/
 
 # Short fuzz pass over the codec-v2 frame decoder: hostile counts,
 # truncations, and ref-to-unknown records against a stateful decoder.
@@ -53,8 +55,14 @@ fuzz-wire:
 relay:
 	$(GO) test -race -count=1 -run 'Relay' ./internal/server/ ./internal/wire/
 
+# The in-situ battery: the solver-vs-replay differential, the live
+# golden corpus entries, steering chaos on both ends of the wire, and
+# the ring's pin/eviction unit suite, all under the race detector.
+live:
+	$(GO) test -race -count=1 -run 'Live|Steer|Ring' ./internal/server/ ./internal/client/ ./internal/store/ ./internal/datasets/ ./internal/env/ ./internal/wire/
+
 # The gate a change must pass before merging.
-ci: vet lint race relay bench-check fuzz-wire load-relay
+ci: vet lint race relay live bench-check fuzz-wire load-relay
 
 bench:
 	$(GO) test -bench . -benchmem ./...
@@ -81,8 +89,10 @@ load:
 load-relay:
 	$(GO) run ./cmd/vwload -sessions 256 -frames 20 -fps 10 -relays 4
 
-# Long governed soak: 2000 rounds of the overloaded fleet against the
-# frame-budget governor, checking the compute-stage p99 and allocation
-# stability. (A short version of the same test rides `make test`.)
+# Long soaks: 2000 rounds of the overloaded fleet against the
+# frame-budget governor (compute-stage p99 and allocation stability),
+# plus the in-situ overload soak — a live producer with a tight ring
+# window under the same governed fleet, checking the planned-cost p99
+# and the pin barrier. (Short versions of both ride `make test`.)
 soak:
-	$(GO) test ./internal/server/ -run TestSoakGovernedBudget -soakframes 2000 -v
+	$(GO) test ./internal/server/ -run 'TestSoakGovernedBudget|TestSoakLiveOverload' -soakframes 2000 -v

@@ -19,6 +19,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/compute"
 	"repro/internal/core"
+	"repro/internal/datasets"
 	"repro/internal/dlib"
 	"repro/internal/field"
 	"repro/internal/grid"
@@ -618,6 +619,71 @@ func BenchmarkGovernedOverloadFrame(b *testing.B) {
 			b.ReportMetric(float64(shed)/float64(b.N), "shed/op")
 		})
 	}
+}
+
+// BenchmarkLiveProducerFrame measures one frame of in-situ mode: the
+// workstation's frame round while the coupled solver produces the
+// timestep it lands on — solver sub-steps, ring publish, tracer
+// integration, and encode all inside the op. The scene mixes a
+// streamline rake (recomputed every round under playback) with a
+// streakline rake (the history consumer the ring's window exists
+// for). produced/op ~ 1 confirms each round really sealed a fresh
+// step rather than replaying the ring.
+func BenchmarkLiveProducerFrame(b *testing.B) {
+	lv, err := datasets.NewLive(
+		datasets.Spec{NI: 12, NJ: 12, NK: 6, NumSteps: 1 << 20, DT: 0.2},
+		datasets.LiveOptions{
+			Solver: datasets.SolverOptions{Resolution: 16, SpinupSteps: 6, Workers: 2},
+			Window: 8,
+		})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := core.ServeLive(ln, lv, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Dlib().Close() })
+	c, err := dlib.Dial(ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	bb := lv.Grid().Bounds()
+	at := func(fx, fy, fz float32) vmath.Vec3 {
+		return bb.Min.Add(bb.Max.Sub(bb.Min).Mul(vmath.V3(fx, fy, fz)))
+	}
+	if _, err := c.Call(wire.ProcFrame, wire.EncodeClientUpdate(wire.ClientUpdate{
+		Commands: []wire.Command{
+			{Kind: wire.CmdSetSpeed, Value: 1},
+			{Kind: wire.CmdSetPlaying, Flag: 1},
+			{Kind: wire.CmdAddRake, P0: at(0.3, 0.3, 0.5), P1: at(0.3, 0.7, 0.5),
+				NumSeeds: 32, Tool: uint8(integrate.ToolStreamline)},
+			{Kind: wire.CmdAddRake, P0: at(0.5, 0.45, 0.6), P1: at(0.5, 0.65, 0.6),
+				NumSeeds: 8, Tool: uint8(integrate.ToolStreakline)},
+		},
+	})); err != nil {
+		b.Fatal(err)
+	}
+	empty := wire.EncodeClientUpdate(wire.ClientUpdate{})
+	before, ok := srv.LiveStats()
+	if !ok {
+		b.Fatal("live server reports no ring stats")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Call(wire.ProcFrame, empty); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	after, _ := srv.LiveStats()
+	b.ReportMetric(float64(after.Produced-before.Produced)/float64(b.N), "produced/op")
 }
 
 // BenchmarkAblationIntegrators times one integration step per scheme.

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/datasets"
+	"repro/internal/env"
 	"repro/internal/field"
 	"repro/internal/netsim"
 	"repro/internal/server"
@@ -55,33 +56,74 @@ func main() {
 		relays   = flag.Int("relays", 0, "leaf relay/cache nodes between the fleet and the origin (0 = direct connect)")
 		hops     = flag.Int("hops", 1, "relay tier depth with -relays: 1 = leaves on the origin, 2 = leaves through one mid relay")
 		maxDrop  = flag.Float64("maxdropped", 0, "tolerated fraction of dropped latency samples before the run fails (0 = any failure fails)")
+
+		live       = flag.Bool("live", false, "in-situ mode: drive the fleet against a live solver producer instead of stored timesteps")
+		liveRes    = flag.Int("liveres", 16, "live solver X resolution")
+		liveWindow = flag.Int("livewindow", 16, "live history window in timesteps (0 = keep all)")
+		steerEvery = flag.Int("steerevery", 0, "workstation 0 pushes a steering change every N frames (0 = no steering churn)")
 	)
 	flag.Parse()
 	if *codec < 1 || *codec > 2 {
 		log.Fatalf("-codec %d: must be 1 or 2", *codec)
 	}
 
-	st, cleanup, err := openStore(*data, *steps, *resident, *diskBW)
-	if err != nil {
-		log.Fatal(err)
+	var (
+		st      store.Store
+		lv      *datasets.Live
+		cleanup = func() {}
+		err     error
+	)
+	if *live {
+		lv, err = datasets.NewLive(
+			datasets.Spec{NI: 24, NJ: 32, NK: 8, NumSteps: *steps * *frames, DT: 0.6},
+			datasets.LiveOptions{
+				Solver: datasets.SolverOptions{Resolution: *liveRes, SpinupSteps: 10},
+				Window: *liveWindow,
+			})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st = lv.Ring()
+	} else {
+		st, cleanup, err = openStore(*data, *steps, *resident, *diskBW)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	defer cleanup()
 
+	def := datasets.DefaultSteer()
 	srv, err := server.New(server.Config{
 		Store:      st,
-		Prefetch:   !*resident && *prefetch,
+		Prefetch:   !*resident && *prefetch && !*live,
 		CacheSteps: *cacheN,
 		CacheBytes: *cacheMB << 20,
 		Budget:     *budget,
+		Steer:      env.SteerParams{InflowU: def.InflowU, Reynolds: def.Reynolds, Taper: def.Taper},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Dlib().Close()
+	if lv != nil {
+		e := srv.Env()
+		lv.SetSteerSource(func() (datasets.Steering, uint64) {
+			s := e.Steer()
+			return datasets.Steering{
+				InflowU:  s.Params.InflowU,
+				Reynolds: s.Params.Reynolds,
+				Taper:    s.Params.Taper,
+			}, s.Version
+		})
+	}
 
 	g := st.Grid()
+	mode := storageMode(*resident)
+	if lv != nil {
+		mode = "live solver"
+	}
 	log.Printf("dataset: %dx%dx%d, %d steps (%s); fleet: %d workstations x %d frames at %g fps",
-		g.NI, g.NJ, g.NK, st.NumSteps(), storageMode(*resident), *sessions, *frames, *fps)
+		g.NI, g.NJ, g.NK, st.NumSteps(), mode, *sessions, *frames, *fps)
 
 	rep, err := server.RunLoad(srv, server.LoadOptions{
 		Sessions:       *sessions,
@@ -95,6 +137,7 @@ func main() {
 		Relays:         *relays,
 		RelayHops:      *hops,
 		MaxDroppedFrac: *maxDrop,
+		SteerEvery:     *steerEvery,
 		Link: netsim.Link{
 			BandwidthBytesPerSec: *bw << 20,
 			Latency:              *latency,
@@ -130,6 +173,13 @@ func main() {
 		fmt.Printf("timestep cache: hits=%d misses=%d coalesced=%d evictions=%d resident=%d steps (%.1f MB) hit rate %.1f%%\n",
 			c.Hits, c.Misses, c.Coalesced, c.Evictions,
 			c.ResidentSteps, float64(c.ResidentBytes)/(1<<20), 100*c.HitRate())
+	}
+	if rs, ok := srv.LiveStats(); ok {
+		stc := srv.Env().Steer()
+		fmt.Printf("live producer: produced=%d recycled=%d deferred=%d clamped=%d liveclamps=%d steer changes=%d (U=%.2f Re=%.0f taper=%.2f)\n",
+			rs.Produced, rs.Recycled, rs.Deferred, rs.Clamped,
+			srv.Stats().LiveClamps, stc.Version,
+			stc.Params.InflowU, stc.Params.Reynolds, stc.Params.Taper)
 	}
 	fmt.Printf("pipeline: %s\n", srv.Recorder().Snapshot())
 	if rep.Errors > 0 {

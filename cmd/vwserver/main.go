@@ -21,8 +21,10 @@ import (
 
 	"repro/internal/compute"
 	"repro/internal/core"
+	"repro/internal/datasets"
 	"repro/internal/field"
 	"repro/internal/obs"
+	"repro/internal/server"
 	"repro/internal/store"
 )
 
@@ -44,34 +46,21 @@ func main() {
 		budget   = flag.Duration("budget", 100*time.Millisecond, "per-frame integration budget; the governor sheds load to hold it (0 = disabled, frames run unbounded)")
 		codec    = flag.Int("codec", 2, "highest frame codec to negotiate: 1 = classic full frames only, 2 = allow delta/quantized (v1 clients still served byte-for-byte)")
 		debug    = flag.String("debug", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address, e.g. localhost:6060 (empty = disabled)")
+
+		live       = flag.Bool("live", false, "in-situ mode: run the Navier-Stokes solver as a live timestep producer instead of serving a -data directory; workstations can steer inlet velocity / Reynolds / taper")
+		liveRes    = flag.Int("liveres", 48, "live solver X resolution (Y and Z scale proportionally)")
+		liveSteps  = flag.Int("livesteps", 1024, "live session horizon in produced timesteps")
+		liveWindow = flag.Int("livewindow", 64, "live history window: timesteps kept behind the head for particle paths/streaklines (0 = keep all)")
+		liveGrid   = flag.Int("livegrid", 64, "live sampling grid NI (NJ = NI, NK = NI/2)")
+		liveDT     = flag.Float64("livedt", 0.2, "live snapshot interval in solver time units")
 	)
 	flag.Parse()
-	if *data == "" {
+	if *data == "" && !*live {
 		flag.Usage()
 		os.Exit(2)
 	}
 	if *codec < 1 || *codec > 2 {
 		log.Fatalf("-codec %d: must be 1 or 2", *codec)
-	}
-
-	disk, err := store.OpenDisk(*data, store.DiskOptions{BandwidthBytesPerSec: *diskBW << 20})
-	if err != nil {
-		log.Fatal(err)
-	}
-	var st store.Store = disk
-	if *resident {
-		log.Printf("loading %d timesteps into memory", disk.NumSteps())
-		steps := make([]*field.Field, disk.NumSteps())
-		for t := range steps {
-			if steps[t], err = disk.LoadStep(t); err != nil {
-				log.Fatal(err)
-			}
-		}
-		u, err := field.NewUnsteady(disk.Grid(), steps, disk.DT())
-		if err != nil {
-			log.Fatal(err)
-		}
-		st = store.NewMemory(u)
 	}
 
 	var engine compute.Engine
@@ -85,20 +74,66 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := core.Serve(ln, st, core.Options{
-		Engine:          engine,
-		Prefetch:        !*resident && *prefetch,
-		MaxSeedsPerRake: *maxSeeds,
-		CacheSteps:      *cacheN,
-		CacheBytes:      *cacheMB << 20,
-		Budget:          *budget,
-		MaxCodec:        *codec,
-	})
-	if err != nil {
-		log.Fatal(err)
+
+	var srv *server.Server
+	if *live {
+		log.Printf("spinning up live solver (resolution %d)", *liveRes)
+		lv, err := datasets.NewLive(datasets.Spec{
+			NI: *liveGrid, NJ: *liveGrid, NK: *liveGrid / 2,
+			NumSteps: *liveSteps, DT: float32(*liveDT),
+		}, datasets.LiveOptions{
+			Solver: datasets.SolverOptions{Resolution: *liveRes, Workers: *workers},
+			Window: *liveWindow,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv, err = core.ServeLive(ln, lv, core.Options{
+			Engine:          engine,
+			MaxSeedsPerRake: *maxSeeds,
+			Budget:          *budget,
+			MaxCodec:        *codec,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("serving live solver on %s (engine %s, window %d, horizon %d)",
+			ln.Addr(), engine.Name(), *liveWindow, *liveSteps)
+	} else {
+		disk, err := store.OpenDisk(*data, store.DiskOptions{BandwidthBytesPerSec: *diskBW << 20})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var st store.Store = disk
+		if *resident {
+			log.Printf("loading %d timesteps into memory", disk.NumSteps())
+			steps := make([]*field.Field, disk.NumSteps())
+			for t := range steps {
+				if steps[t], err = disk.LoadStep(t); err != nil {
+					log.Fatal(err)
+				}
+			}
+			u, err := field.NewUnsteady(disk.Grid(), steps, disk.DT())
+			if err != nil {
+				log.Fatal(err)
+			}
+			st = store.NewMemory(u)
+		}
+		srv, err = core.Serve(ln, st, core.Options{
+			Engine:          engine,
+			Prefetch:        !*resident && *prefetch,
+			MaxSeedsPerRake: *maxSeeds,
+			CacheSteps:      *cacheN,
+			CacheBytes:      *cacheMB << 20,
+			Budget:          *budget,
+			MaxCodec:        *codec,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("serving %d-step dataset on %s (engine %s, resident=%v)",
+			st.NumSteps(), ln.Addr(), engine.Name(), *resident)
 	}
-	log.Printf("serving %d-step dataset on %s (engine %s, resident=%v)",
-		st.NumSteps(), ln.Addr(), engine.Name(), *resident)
 
 	if *debug != "" {
 		obs.Publish("vwserver.frames", srv.Recorder())
@@ -116,6 +151,18 @@ func main() {
 			obs.PublishFunc("vwserver.cache", func() any {
 				cs, _ := srv.CacheStats()
 				return cs
+			})
+		}
+		if _, ok := srv.LiveStats(); ok {
+			obs.PublishFunc("vwserver.live", func() any {
+				rs, _ := srv.LiveStats()
+				return map[string]int64{
+					"Produced": rs.Produced,
+					"Recycled": rs.Recycled,
+					"Deferred": rs.Deferred,
+					"Clamped":  rs.Clamped,
+					"Steered":  int64(srv.Env().Steer().Version),
+				}
 			})
 		}
 		dbg, err := obs.ServeDebug(*debug)
@@ -147,6 +194,12 @@ func main() {
 			log.Printf("  pipeline: %s", srv.Recorder().Snapshot())
 			if cs, ok := srv.CacheStats(); ok {
 				log.Printf("  cache: %s", cs)
+			}
+			if rs, ok := srv.LiveStats(); ok {
+				st := srv.Env().Steer()
+				log.Printf("  live: produced=%d recycled=%d deferred=%d clamped=%d steer=v%d(U=%.2f Re=%.0f taper=%.2f)",
+					rs.Produced, rs.Recycled, rs.Deferred, rs.Clamped,
+					st.Version, st.Params.InflowU, st.Params.Reynolds, st.Params.Taper)
 			}
 			for _, proc := range srv.Dlib().ProcNames() {
 				ps := srv.Dlib().ProcStats()[proc]

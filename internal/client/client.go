@@ -292,6 +292,35 @@ func (w *Workstation) Queue(cmd wire.Command) {
 	w.pending = append(w.pending, cmd)
 }
 
+// GrabSteer queues a grab of the live-steering lock (FCFS-arbitrated
+// on the server, like rake grabs).
+func (w *Workstation) GrabSteer() {
+	w.Queue(wire.Command{Kind: wire.CmdSteerGrab})
+}
+
+// ReleaseSteer queues a release of the live-steering lock.
+func (w *Workstation) ReleaseSteer() {
+	w.Queue(wire.Command{Kind: wire.CmdSteerRelease})
+}
+
+// Steer queues an atomic change of all three live flow parameters:
+// inlet velocity, Reynolds number, and cylinder taper ratio. The
+// triple rides one command, so a connection dying mid-steer can lose
+// the change but never half-apply it.
+func (w *Workstation) Steer(inflowU, reynolds, taper float32) {
+	w.Queue(wire.Command{Kind: wire.CmdSteer, P0: vmath.V3(inflowU, reynolds, taper)})
+}
+
+// SteerStatus fetches the server's current steering state: parameters,
+// lock holder, and change counter.
+func (w *Workstation) SteerStatus() (wire.SteerStatus, error) {
+	out, err := w.c.Call(wire.ProcSteer, nil)
+	if err != nil {
+		return wire.SteerStatus{}, fmt.Errorf("client: steer call: %w", err)
+	}
+	return wire.DecodeSteerStatus(out)
+}
+
 // Latest returns the most recent environment state (zero value before
 // the first exchange).
 func (w *Workstation) Latest() (wire.FrameReply, bool) {

@@ -14,7 +14,9 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/compute"
+	"repro/internal/datasets"
 	"repro/internal/dlib"
+	"repro/internal/env"
 	"repro/internal/field"
 	"repro/internal/integrate"
 	"repro/internal/server"
@@ -123,6 +125,49 @@ func Serve(ln net.Listener, st store.Store, opts Options) (*server.Server, error
 	if err != nil {
 		return nil, err
 	}
+	go srv.Dlib().Serve(ln)
+	return srv, nil
+}
+
+// LiveSteerSource adapts an environment's steering state into the
+// producer-side SteerSource the live solver polls between timesteps:
+// the environment arbitrates (FCFS lock, version counter), the
+// producer applies.
+func LiveSteerSource(e *env.Environment) datasets.SteerSource {
+	return func() (datasets.Steering, uint64) {
+		st := e.Steer()
+		return datasets.Steering{
+			InflowU:  st.Params.InflowU,
+			Reynolds: st.Params.Reynolds,
+			Taper:    st.Params.Taper,
+		}, st.Version
+	}
+}
+
+// ServeLive starts an in-situ windtunnel server: frames are computed
+// from the live solver's timestep ring instead of stored data, and the
+// steering commands workstations send are wired back into the
+// producer. Close the returned server's Dlib() to stop.
+func ServeLive(ln net.Listener, lv *datasets.Live, opts Options) (*server.Server, error) {
+	def := datasets.DefaultSteer()
+	srv, err := server.New(server.Config{
+		Store:           lv.Ring(),
+		Engine:          opts.Engine,
+		Options:         opts.Integration,
+		MaxSeedsPerRake: opts.MaxSeedsPerRake,
+		RakeWorkers:     opts.RakeWorkers,
+		Budget:          opts.Budget,
+		MaxCodec:        opts.MaxCodec,
+		Steer: env.SteerParams{
+			InflowU:  def.InflowU,
+			Reynolds: def.Reynolds,
+			Taper:    def.Taper,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	lv.SetSteerSource(LiveSteerSource(srv.Env()))
 	go srv.Dlib().Serve(ln)
 	return srv, nil
 }

@@ -1,0 +1,80 @@
+package datasets
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func liveTestSpec() (Spec, LiveOptions) {
+	return Spec{NI: 10, NJ: 10, NK: 4, NumSteps: 8, DT: 0.2},
+		LiveOptions{Solver: SolverOptions{Resolution: 16, SpinupSteps: 4, Workers: 2}, Window: 4}
+}
+
+// TestLiveVersionGateFreezesSteering: the producer applies a steering
+// change only when the source's version moves. A source whose version
+// sits at the initial value never touches the solver — the frozen-run
+// half of the differential battery's byte-identity contract — and a
+// version bump applies the triple exactly once, atomically.
+func TestLiveVersionGateFreezesSteering(t *testing.T) {
+	spec, opts := liveTestSpec()
+	lv, err := NewLive(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var version atomic.Uint64
+	want := Steering{InflowU: 2, Reynolds: 300, Taper: 0.8}
+	lv.SetSteerSource(func() (Steering, uint64) {
+		return want, version.Load()
+	})
+
+	// Frozen: the source keeps returning hostile parameters, but with
+	// the version pinned at zero nothing reaches the solver.
+	if _, err := lv.Ring().LoadStep(2); err != nil {
+		t.Fatal(err)
+	}
+	if ap := lv.AppliedSteer(); len(ap) != 0 {
+		t.Fatalf("frozen source applied %d changes: %v", len(ap), ap)
+	}
+
+	// One version bump, several produced steps: the change lands once,
+	// as the complete triple.
+	version.Store(1)
+	if _, err := lv.Ring().LoadStep(5); err != nil {
+		t.Fatal(err)
+	}
+	ap := lv.AppliedSteer()
+	if len(ap) != 1 {
+		t.Fatalf("one version bump applied %d changes: %v", len(ap), ap)
+	}
+	if ap[0] != want {
+		t.Fatalf("applied %+v, sent %+v", ap[0], want)
+	}
+}
+
+// TestLiveFrozenMatchesSolverDataset: the in-situ producer with no
+// steering source is bit-identical to the offline generator on the
+// same Spec — the property the server-level differential battery
+// builds on, pinned here at the field level.
+func TestLiveFrozenMatchesSolverDataset(t *testing.T) {
+	spec, opts := liveTestSpec()
+	offline, err := Solver(spec, opts.Solver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv, err := NewLive(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < spec.NumSteps; n++ {
+		got, err := lv.Ring().LoadStep(n)
+		if err != nil {
+			t.Fatalf("live step %d: %v", n, err)
+		}
+		want := offline.Steps[n]
+		for i := range want.U {
+			if got.U[i] != want.U[i] || got.V[i] != want.V[i] || got.W[i] != want.W[i] {
+				t.Fatalf("step %d diverges from the offline solve at sample %d", n, i)
+			}
+		}
+	}
+}

@@ -62,6 +62,12 @@ type Environment struct {
 	nextRake int32
 	users    map[int64]UserPose
 	time     TimeState
+	// Live-steering state (see steer.go): the flow parameters, their
+	// FCFS lock, and a change counter the in-situ producer applies
+	// against. steerVersion starts at 0 = "never steered".
+	steer        SteerParams
+	steerHolder  int64
+	steerVersion uint64
 	// version counts every observable state change (rakes, locks,
 	// poses, time). A frame computed at version V can be replayed
 	// verbatim while the version holds — the server's whole-frame
@@ -166,9 +172,9 @@ func (e *Environment) ReleaseRake(user int64, id int32) error {
 	return nil
 }
 
-// ReleaseAll frees every rake the user holds and forgets the user's
-// pose — called when a workstation disconnects so its locks cannot
-// wedge the shared session.
+// ReleaseAll frees every rake — and the steering lock — the user
+// holds and forgets the user's pose; called when a workstation
+// disconnects so its locks cannot wedge the shared session.
 func (e *Environment) ReleaseAll(user int64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -179,6 +185,9 @@ func (e *Environment) ReleaseAll(user int64) {
 			rs.grab = integrate.GrabNone
 			changed = true
 		}
+	}
+	if e.steerHolder == user {
+		e.steerHolder = 0
 	}
 	if _, ok := e.users[user]; ok {
 		changed = true

@@ -1,0 +1,188 @@
+// Chaos suite for live steering: the FCFS steering lock must obey the
+// same rules as rake locks under connection death — however the holder
+// dies, the lock comes free for the next workstation — and a parameter
+// change must land in the solver as one atomic triple or not at all,
+// whatever the network does around it.
+package server
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/dlib"
+	"repro/internal/env"
+	"repro/internal/netsim"
+	"repro/internal/vmath"
+	"repro/internal/wire"
+)
+
+// envSteer builds the env-side triple.
+func envSteer(inflowU, reynolds, taper float32) env.SteerParams {
+	return env.SteerParams{InflowU: inflowU, Reynolds: reynolds, Taper: taper}
+}
+
+// envSteerDefault is the construction-time triple.
+func envSteerDefault() env.SteerParams {
+	def := datasets.DefaultSteer()
+	return envSteer(def.InflowU, def.Reynolds, def.Taper)
+}
+
+// steerUpdate is a frame payload that grabs the steering lock and sets
+// the given parameters in one round.
+func steerUpdate(inflowU, reynolds, taper float32) wire.ClientUpdate {
+	return wire.ClientUpdate{Commands: []wire.Command{
+		{Kind: wire.CmdSteerGrab},
+		{Kind: wire.CmdSteer, P0: vmath.V3(inflowU, reynolds, taper)},
+	}}
+}
+
+// waitSteerFree polls until the steering lock has no holder.
+func waitSteerFree(t *testing.T, s *Server) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Env().Steer().Holder == 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("steering still held by %d", s.Env().Steer().Holder)
+}
+
+// TestChaosKilledSteererReleasesLock: a workstation killed mid-steer
+// (socket torn down, no goodbye) releases the steering lock, and a
+// second workstation takes over first-come-first-served.
+func TestChaosKilledSteererReleasesLock(t *testing.T) {
+	def := datasets.DefaultSteer()
+	s, c1, addr := startTestServer(t, Config{
+		Store: testDataset(t, 4),
+		Steer: envSteer(def.InflowU, def.Reynolds, def.Taper),
+	})
+
+	frame(t, c1, steerUpdate(2, 300, 0.8))
+	st := s.Env().Steer()
+	if st.Holder == 0 || st.Params.InflowU != 2 {
+		t.Fatalf("steer did not take: %+v", st)
+	}
+	holder1 := st.Holder
+
+	// Kill the holder abruptly.
+	c1.Close()
+	waitSteerFree(t, s)
+
+	// FCFS: a second workstation walks up and steers.
+	c2, err := dlib.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	frame(t, c2, steerUpdate(3, 250, 1.2))
+	st = s.Env().Steer()
+	if st.Holder == 0 || st.Holder == holder1 {
+		t.Fatalf("second workstation could not take over steering: %+v (first holder %d)", st, holder1)
+	}
+	if st.Params != envSteer(3, 250, 1.2) {
+		t.Fatalf("takeover params: %+v", st.Params)
+	}
+}
+
+// TestChaosHeldSteerStaysHeld: faults on other sessions must not loosen
+// a live holder's steering lock — the rival's grab bounces and its
+// death changes nothing.
+func TestChaosHeldSteerStaysHeld(t *testing.T) {
+	s, c1, addr := startTestServer(t, Config{Store: testDataset(t, 4)})
+	frame(t, c1, steerUpdate(2, 300, 0.8))
+	holder := s.Env().Steer().Holder
+	if holder == 0 {
+		t.Fatal("steer grab did not take")
+	}
+
+	// A rival grabs, fails (FCFS), then dies by close.
+	c2, err := dlib.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame(t, c2, steerUpdate(9, 100, 0.1))
+	if st := s.Env().Steer(); st.Holder != holder || st.Params.InflowU != 2 {
+		t.Fatalf("rival stole held steering: %+v", st)
+	}
+	c2.Close()
+
+	time.Sleep(20 * time.Millisecond)
+	if st := s.Env().Steer(); st.Holder != holder {
+		t.Fatalf("holder lost steering after rival disconnect: %+v", st)
+	}
+}
+
+// TestChaosResetDuringSteerNeverTears sweeps a scripted connection
+// reset across every op of the steer exchange against a real live
+// producer. Whatever instant the connection dies, the invariant holds:
+// the environment's parameters are either the defaults or exactly the
+// sent triple (never a mix), the lock comes free, a fresh session
+// takes over FCFS, and every change the solver actually applied is a
+// complete triple some client sent.
+func TestChaosResetDuringSteerNeverTears(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the solver once per fault op")
+	}
+	spec, sopts := liveSpec()
+	def := envSteerDefault()
+	sent := envSteer(2.5, 350, 0.9)
+	takeover := envSteer(1.5, 500, 0.6)
+
+	for atOp := 1; atOp <= 8; atOp++ {
+		s, lv := liveServer(t, spec, sopts, spec.NumSteps, Config{})
+		a, b := net.Pipe()
+		plan := &netsim.FaultPlan{Faults: []netsim.Fault{
+			{Kind: netsim.FaultReset, AtOp: atOp},
+		}}
+		go s.Dlib().ServeConn(plan.Wrap(b))
+		c1 := dlib.NewClient(a)
+		c1.Timeout = 2 * time.Second
+
+		// The steer frame may or may not survive the scripted reset;
+		// either way is a legal outcome.
+		func() {
+			defer func() { recover() }()
+			u := steerUpdate(2.5, 350, 0.9)
+			u.Commands = append(u.Commands, wire.Command{Kind: wire.CmdSetSpeed, Value: 1})
+			u.Commands = append(u.Commands, wire.Command{Kind: wire.CmdSetPlaying, Flag: 1})
+			c1.Call(wire.ProcFrame, wire.EncodeClientUpdate(u))
+		}()
+		c1.Close()
+
+		// Atomicity at the environment: defaults or the full triple.
+		if p := s.Env().Steer().Params; p != def && p != sent {
+			t.Fatalf("atOp %d: torn steering params %+v", atOp, p)
+		}
+		// However the exchange died, the lock must come free.
+		waitSteerFree(t, s)
+
+		// FCFS recovery: a fresh session steers and drives production so
+		// pending changes reach the solver.
+		d := newDirectSession(t, s, 99)
+		u := steerUpdate(1.5, 500, 0.6)
+		u.Commands = append(u.Commands,
+			wire.Command{Kind: wire.CmdSetSpeed, Value: 1},
+			wire.Command{Kind: wire.CmdSetPlaying, Flag: 1})
+		d.frame(u)
+		for i := 0; i < 3; i++ {
+			d.frame(wire.ClientUpdate{})
+		}
+		if p := s.Env().Steer().Params; p != takeover {
+			t.Fatalf("atOp %d: takeover steer did not land: %+v", atOp, p)
+		}
+
+		// The solver never saw a half-applied change: every applied set
+		// is a complete triple some client sent.
+		for _, ap := range lv.AppliedSteer() {
+			got := envSteer(ap.InflowU, ap.Reynolds, ap.Taper)
+			if got != sent && got != takeover {
+				t.Fatalf("atOp %d: solver applied a torn triple %+v", atOp, ap)
+			}
+		}
+		s.Dlib().Close()
+	}
+}

@@ -116,16 +116,43 @@ func (s *Server) recomputeLocked() error {
 		return nil
 	}
 
+	// In-situ mode: the requested step must fall in the ring's resident
+	// window (behind it the solver's output is recycled; ahead of it
+	// the load below drives on-demand production).
+	if s.liveRing != nil {
+		if c := s.liveRing.Clamp(step); c != step {
+			step = c
+			s.stats.LiveClamps++
+		}
+	}
+
 	loadStart := s.clock.Now()
 	if s.cur == nil || step != s.curStep {
 		f, err := s.loadStep(step)
 		if err != nil {
 			return fmt.Errorf("server: load step %d: %w", step, err) //vw:allow hotpath -- error path, frame already lost
 		}
+		if s.liveRing != nil {
+			// Pin before unpinning the previous step so the window never
+			// momentarily collapses: the pin holds this step AND all later
+			// steps resident while particle paths integrate forward from
+			// it — the eviction-while-integrating guard.
+			s.liveRing.Pin(step)
+			if s.livePinned >= 0 {
+				s.liveRing.Unpin(s.livePinned)
+			}
+			s.livePinned = step
+		}
 		s.cur = f
 		s.curStep = step
 	}
 	loadTime := s.clock.Now().Sub(loadStart)
+	if s.liveRing != nil {
+		// Backpressure: load waits in live mode are solver compute the
+		// frame pipeline stalled on; fold them into the governor's
+		// effective budget so integration sheds to make room.
+		s.gov.notePressure(loadTime)
+	}
 
 	// Overlap: kick off the prefetch of the next step along the
 	// playback direction while this frame computes (figure 8's
@@ -377,9 +404,15 @@ func (s *Server) planJobsLocked() time.Duration {
 	}
 	lvls := s.lvlScratch[:len(s.reqScratch)]
 	predicted, shed := s.gov.plan(s.reqScratch, lvls)
+	var plannedUnits int64
 	for k, i := range s.reqJobs {
 		j := &s.jobs[i]
 		j.level = lvls[k]
+		if s.reqScratch[k].Fixed {
+			plannedUnits += s.reqScratch[k].Units
+		} else {
+			plannedUnits += int64(lvls[k].Seeds) * int64(lvls[k].Steps) * upp
+		}
 		if shed && j.streak == nil {
 			// Only shed rounds switch engines, so an ungoverned (or
 			// under-budget) server stays byte-identical to the
@@ -394,11 +427,12 @@ func (s *Server) planJobsLocked() time.Duration {
 		}
 		units := int64(len(j.gc.seeds)) * int64(fullSteps) * upp
 		cost := s.gov.predict(units)
-		if shed || (s.gov.enabled() && s.gov.calibrated() && predicted+cost > s.gov.budget) {
+		if shed || (s.gov.enabled() && s.gov.calibrated() && predicted+cost > s.gov.effectiveBudget()) {
 			j.skip = true
 			continue
 		}
 		predicted += cost
+		plannedUnits += units
 	}
 	// Guarantee progress on idle rounds: when no rake is dirty and the
 	// budget admitted nothing (a single rake's full cost can exceed
@@ -416,12 +450,15 @@ func (s *Server) planJobsLocked() time.Duration {
 			for i := range s.jobs {
 				if s.jobs[i].upgrade {
 					s.jobs[i].skip = false
-					predicted += s.gov.predict(int64(len(s.jobs[i].gc.seeds)) * int64(fullSteps) * upp)
+					units := int64(len(s.jobs[i].gc.seeds)) * int64(fullSteps) * upp
+					predicted += s.gov.predict(units)
+					plannedUnits += units
 					break
 				}
 			}
 		}
 	}
+	s.stats.PlannedTime += s.gov.predict(plannedUnits)
 	return predicted
 }
 

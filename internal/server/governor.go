@@ -69,6 +69,15 @@ type governor struct {
 	// sheds (the first frames establish the rate).
 	unitNanos float64
 
+	// pressure is an EWMA of measured timestep-load nanoseconds — the
+	// in-situ backpressure signal. When the live solver contends with
+	// integrate/encode, frame loads stall on on-demand production;
+	// folding that stall into the effective budget makes the planner
+	// shed integration work to leave room for solver compute. Zero
+	// samples (cache hits, ManualClock) decay the pressure instead of
+	// being ignored, so a recovered producer releases the squeeze.
+	pressure float64
+
 	// Pre-built engines for shed batches, chosen per batch shape so
 	// interface boxing never happens on the frame path.
 	parallel compute.Engine
@@ -117,10 +126,45 @@ func (g *governor) observe(measured time.Duration, units int64) {
 	g.unitNanos = (1-ewmaAlpha)*g.unitNanos + ewmaAlpha*sample
 }
 
+// notePressure folds one measured timestep-load wait into the
+// backpressure EWMA. Unlike observe, zero samples are data: they mean
+// the load was served from resident steps, so the pressure decays.
+// Under a ManualClock every sample is zero and the pressure stays at
+// zero — shed plans remain replayable.
+func (g *governor) notePressure(loadWait time.Duration) {
+	if loadWait <= 0 {
+		g.pressure *= 1 - ewmaAlpha
+		if g.pressure < 1 { // below a nanosecond: call it gone
+			g.pressure = 0
+		}
+		return
+	}
+	sample := float64(loadWait.Nanoseconds())
+	if g.pressure == 0 {
+		g.pressure = sample
+		return
+	}
+	g.pressure = (1-ewmaAlpha)*g.pressure + ewmaAlpha*sample
+}
+
+// effectiveBudget is the integration budget after backpressure: the
+// configured budget minus the expected solver/load stall, floored at a
+// quarter of the budget so visualization is squeezed, never starved.
+func (g *governor) effectiveBudget() time.Duration {
+	if g.budget <= 0 || g.pressure <= 0 {
+		return g.budget
+	}
+	eff := g.budget - time.Duration(g.pressure)
+	if floor := g.budget / 4; eff < floor {
+		eff = floor
+	}
+	return eff
+}
+
 // plan decides this frame's shed levels. It writes one shedLevel per
 // request into dst (which must be len(reqs)) and returns the predicted
 // full-fidelity cost and whether any shedding is active. The plan is a
-// pure function of (reqs, budget, unitNanos): deterministic across
+// pure function of (reqs, effective budget, unitNanos): deterministic across
 // runs, monotone in the budget (a tighter budget never allows more
 // seeds or steps), and floor-bounded (never below one seed, never
 // below minShedSteps steps).
@@ -135,14 +179,15 @@ func (g *governor) plan(reqs []shedRequest, dst []shedLevel) (predicted time.Dur
 			dst[i] = shedLevel{Seeds: r.Seeds, Steps: r.Steps}
 		}
 	}
-	if !g.enabled() || !g.calibrated() || predicted <= g.budget {
+	budget := g.effectiveBudget()
+	if !g.enabled() || !g.calibrated() || predicted <= budget {
 		full()
 		return predicted, false
 	}
 
 	// Units the budget affords at the current rate, minus the work we
 	// cannot shed (streakline state advances and per-rake floors).
-	allowed := float64(g.budget.Nanoseconds()) / g.unitNanos
+	allowed := float64(budget.Nanoseconds()) / g.unitNanos
 	var fixed float64
 	var heldFull, freeFull float64
 	for _, r := range reqs {

@@ -73,6 +73,11 @@ type LoadOptions struct {
 	// deterministic failure seam for testing how the run accounts for
 	// sessions that die partway.
 	SessionFault func(i int) *netsim.FaultPlan
+	// SteerEvery, when > 0, makes workstation 0 grab the steering lock
+	// and push a parameter change every SteerEvery frames — live-mode
+	// steering churn for in-situ load runs (no-op against a replay
+	// server: the commands apply but nothing consumes them).
+	SteerEvery int
 }
 
 // TierStats aggregates one relay tier's traffic: what its nodes served
@@ -437,9 +442,21 @@ func RunLoad(s *Server, opts LoadOptions) (LoadReport, error) {
 				if active {
 					hand = vmath.V3(float32(i), float32(f)*0.01, 0)
 				}
+				var steerCmds []wire.Command
+				if opts.SteerEvery > 0 && i == 0 && f%opts.SteerEvery == 0 {
+					// Workstation 0 steers: grab (idempotent for the
+					// holder), then a full parameter triple that wobbles
+					// with the frame number.
+					steerCmds = []wire.Command{
+						{Kind: wire.CmdSteerGrab},
+						{Kind: wire.CmdSteer, P0: vmath.V3(
+							1+0.1*float32(f%5), 400, 0.5+0.05*float32(f%3))},
+					}
+				}
 				payload := wire.EncodeClientUpdate(wire.ClientUpdate{
-					Head: vmath.Identity(),
-					Hand: hand,
+					Head:     vmath.Identity(),
+					Hand:     hand,
+					Commands: steerCmds,
 				})
 				callStart := time.Now() //vw:allow wallclock -- load harness measures real latency by design
 				out, err := c.Call(wire.ProcFrame, payload)

@@ -101,6 +101,11 @@ type Config struct {
 	// 1 pins every session to the original v1 encoding. Sessions that
 	// never call ProcHello2 always speak v1, byte for byte.
 	MaxCodec int
+	// Steer seeds the environment's live-steering parameters (in-situ
+	// mode). The zero value leaves steering unseeded; either way the
+	// vw.steer procedure is served and steering commands are accepted —
+	// they only have a producer to act on when Store is a live ring.
+	Steer env.SteerParams
 }
 
 // Stats is a snapshot of server-side performance counters.
@@ -141,6 +146,10 @@ type Stats struct {
 	// PredictedTime is the cumulative governor cost prediction over
 	// encoded rounds (zero until the EWMA calibrates).
 	PredictedTime time.Duration
+	// PlannedTime is the cumulative predicted cost of the work the
+	// governor actually admitted after shedding — where PredictedTime
+	// is the demand, PlannedTime is the promise the budget holds.
+	PlannedTime time.Duration
 	// V2Frames counts replies shipped with codec v2; V2RakesInline and
 	// V2RakesRef split their geometry directory entries into full
 	// (quantized) segments vs delta references to geometry the session
@@ -156,6 +165,10 @@ type Stats struct {
 	RelayFulls   int64
 	RelayMarkers int64
 	RelayBytes   int64
+	// LiveClamps counts frames whose requested timestep fell outside
+	// the live ring's resident window and had to be clamped — in-situ
+	// mode's ring-starvation pressure gauge.
+	LiveClamps int64
 }
 
 // Server is the remote-host application layered on a dlib server.
@@ -179,6 +192,12 @@ type Server struct {
 	// unsteady is non-nil when the store is fully resident. Immutable
 	// after New, so pool workers may read it without the lock.
 	unsteady *field.Unsteady
+	// liveRing is non-nil when the store is an in-situ solver ring; the
+	// compute layer clamps to its resident window and pins the step it
+	// integrates from. livePinned is the currently pinned step (-1 =
+	// none), guarded by mu with the rest of the round state.
+	liveRing   *store.Ring
+	livePinned int
 
 	mu sync.Mutex // guards everything below
 	// cur is the loaded timestep backing streamline/streak
@@ -295,7 +314,17 @@ func New(cfg Config) (*Server, error) {
 	if mem, ok := cfg.Store.(*store.Memory); ok {
 		s.unsteady = mem.Unsteady()
 	}
-	if (cfg.CacheSteps > 0 || cfg.CacheBytes > 0) && s.unsteady == nil {
+	s.livePinned = -1
+	if ring, ok := cfg.Store.(*store.Ring); ok {
+		// In-situ mode: the live ring recycles step buffers, so the
+		// Cache/Window/Prefetcher wrappers — which all hold bare field
+		// pointers across rounds — must never sit on top of it (the
+		// eviction-while-integrating hazard; the ring's pin protocol is
+		// the only safe residency contract). The ring is memory-backed
+		// anyway, so the wrappers would buy nothing.
+		s.liveRing = ring
+	}
+	if (cfg.CacheSteps > 0 || cfg.CacheBytes > 0) && s.unsteady == nil && s.liveRing == nil {
 		// Shared timestep LRU between the pipeline and mass storage.
 		// Layering: prefetcher / window -> cache -> disk, so prefetched
 		// and windowed loads fill the cache every session benefits from.
@@ -309,10 +338,10 @@ func New(cfg Config) (*Server, error) {
 		s.cache = c
 		s.st = c
 	}
-	if cfg.Prefetch {
+	if cfg.Prefetch && s.liveRing == nil {
 		s.prefetcher = store.NewPrefetcher(s.st)
 	}
-	if s.unsteady == nil {
+	if s.unsteady == nil && s.liveRing == nil {
 		// I/O-backed store: keep a particle-path window resident.
 		w, err := store.NewWindow(s.st, cfg.Options.MaxSteps+1)
 		if err != nil {
@@ -320,11 +349,15 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.window = w
 	}
+	if cfg.Steer != (env.SteerParams{}) {
+		s.env.InitSteer(cfg.Steer)
+	}
 	s.d.Register(wire.ProcHello, s.handleHello)
 	s.d.Register(wire.ProcHello2, s.handleHello2)
 	s.d.Register(wire.ProcFrame, s.handleFrame)
 	s.d.Register(wire.ProcFrameRelay, s.handleFrameRelay)
 	s.d.Register(wire.ProcWhoAmI, s.handleWhoAmI)
+	s.d.Register(wire.ProcSteer, s.handleSteer)
 	s.d.OnDisconnect = func(id int64) {
 		s.env.ReleaseAll(id)
 		// Round accounting must not leak: a departed session's
@@ -365,4 +398,13 @@ func (s *Server) CacheStats() (stats store.CacheStats, ok bool) {
 		return store.CacheStats{}, false
 	}
 	return s.cache.Stats(), true
+}
+
+// LiveStats reports the live ring's producer/recycling counters; ok is
+// false when the server is not in in-situ mode.
+func (s *Server) LiveStats() (stats store.RingStats, ok bool) {
+	if s.liveRing == nil {
+		return store.RingStats{}, false
+	}
+	return s.liveRing.Stats(), true
 }

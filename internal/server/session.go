@@ -408,5 +408,52 @@ func (s *Server) applyCommand(user int64, c wire.Command) {
 			delete(s.streaks, c.Rake)
 			s.mu.Unlock()
 		}
+	case wire.CmdSteerGrab:
+		s.env.GrabSteer(user)
+	case wire.CmdSteerRelease:
+		s.env.ReleaseSteer(user)
+	case wire.CmdSteer:
+		// P0 carries (inlet velocity, Reynolds, taper) as one atomic
+		// triple. Hostile values — NaN Reynolds, negative velocity,
+		// absurd taper — are dropped before they can reach the solver.
+		if !validSteerParams(c.P0.X, c.P0.Y, c.P0.Z) {
+			return
+		}
+		s.env.SetSteer(user, env.SteerParams{
+			InflowU:  c.P0.X,
+			Reynolds: c.P0.Y,
+			Taper:    c.P0.Z,
+		})
 	}
+}
+
+// validSteerParams bounds the live flow parameters to a physically
+// sane envelope: positive bounded inlet speed, a Reynolds number the
+// explicit diffusion step can survive, a taper that neither vanishes
+// the cylinder tip nor doubles the base. finite32 screens NaN/Inf
+// before the comparisons (NaN fails every bound anyway, but be
+// explicit).
+func validSteerParams(inflow, reynolds, taper float32) bool {
+	if !finite32(inflow) || !finite32(reynolds) || !finite32(taper) {
+		return false
+	}
+	return inflow > 0 && inflow <= 100 &&
+		reynolds >= 1 && reynolds <= 1e6 &&
+		taper >= 0.05 && taper <= 2
+}
+
+// handleSteer returns the current steering status: the live flow
+// parameters, the FCFS lock holder, and the change counter. Steering
+// state deliberately rides its own procedure instead of FrameReply so
+// frame byte streams (and the golden corpus) are untouched by the
+// in-situ subsystem.
+func (s *Server) handleSteer(_ *dlib.Ctx, _ []byte) ([]byte, error) {
+	st := s.env.Steer()
+	return wire.EncodeSteerStatus(wire.SteerStatus{
+		InflowU:  st.Params.InflowU,
+		Reynolds: st.Params.Reynolds,
+		Taper:    st.Params.Taper,
+		Holder:   st.Holder,
+		Version:  st.Version,
+	}), nil
 }

@@ -172,3 +172,117 @@ func TestSoakGovernedBudget(t *testing.T) {
 			perRound2, perRound1)
 	}
 }
+
+// TestSoakLiveOverload is the in-situ soak: a live producer with a
+// deliberately small history window feeds an overloaded governed fleet
+// of soakSessions direct sessions under a ManualClock. The contract:
+// the governor sheds (in plan space — the ManualClock makes the plans
+// replayable) before the ring ever starves a session, the planned
+// per-round cost holds the budget at the tail quantile, the window
+// recycles buffers under steady playback, and the pin barrier defers
+// eviction rather than dropping a step an in-flight tracer references
+// — every frame in the run must succeed.
+//
+// The round count rides the same -soakframes flag as the governed
+// soak; `make soak` runs the long version of both.
+func TestSoakLiveOverload(t *testing.T) {
+	rounds := *soakFrames
+	if rounds == 0 {
+		rounds = 40
+		if testing.Short() {
+			rounds = 20
+		}
+	}
+	spec, sopts := liveSpec()
+	spec.NumSteps = rounds + 8
+	budget := 2 * time.Millisecond
+	// Window 2 is the tightest history the scene survives: the eviction
+	// limit then sits one step past the tracer's pin, so every publish
+	// during the path's forward drive exercises the pin barrier.
+	s, _ := liveServer(t, spec, sopts, 2, Config{Budget: budget})
+	s.gov.unitNanos = 100 // hand-calibrated: the ManualClock freezes the EWMA
+
+	fleet := make([]*directSession, soakSessions)
+	for i := range fleet {
+		fleet[i] = newDirectSession(t, s, int64(i+1))
+	}
+	g := s.st.Grid()
+	cmds := []wire.Command{
+		{Kind: wire.CmdSetSpeed, Value: 1},
+		{Kind: wire.CmdSetPlaying, Flag: 1},
+		// The history consumer: smoke that must never lose a step it
+		// references.
+		addRakeCmd(boundsAt(g, 0.5, 0.45, 0.6), boundsAt(g, 0.5, 0.65, 0.6), 3, integrate.ToolStreakline),
+	}
+	// The overload: wide streamline rakes whose full-fidelity plan far
+	// exceeds the budget (6 * 256 seeds * default steps at 100 ns/unit).
+	for i := 0; i < 6; i++ {
+		fy := 0.2 + 0.1*float32(i)
+		cmds = append(cmds, addRakeCmd(boundsAt(g, 0.6, fy, 0.4), boundsAt(g, 0.6, fy+0.05, 0.6), 256, integrate.ToolStreamline))
+	}
+	fleet[0].frame(wire.ClientUpdate{Commands: cmds})
+
+	// Run the fleet. Halfway in, a particle-path rake joins: its tracer
+	// pins the serving step while it drives the producer far past the
+	// window — the eviction-while-integrating case the pin barrier
+	// exists for.
+	half := rounds / 2
+	preds := make([]time.Duration, 0, rounds)
+	prev := s.Stats().PlannedTime
+	var last wire.FrameReply
+	for i := 0; i < rounds; i++ {
+		if i == half {
+			fleet[0].frame(wire.ClientUpdate{Commands: []wire.Command{
+				addRakeCmd(boundsAt(g, 0.55, 0.4, 0.4), boundsAt(g, 0.55, 0.6, 0.4), 2, integrate.ToolParticlePath),
+			}})
+		}
+		for _, d := range fleet {
+			last = d.frame(wire.ClientUpdate{})
+		}
+		now := s.Stats().PlannedTime
+		preds = append(preds, now-prev)
+		prev = now
+	}
+	if last.TotalPoints() == 0 {
+		t.Error("fleet finished with an empty frame")
+	}
+
+	// Governor: it shed, and the planned per-round cost holds the
+	// budget at the tail (p90 for the in-test run, real p99 for the
+	// long `make soak` run; the grace absorbs the unshed-able floors —
+	// streakline state and per-rake minimums the planner cannot cut).
+	st := s.Stats()
+	if st.FramesShed == 0 {
+		t.Error("live soak ran without a single shed frame")
+	}
+	q, qName := 0.90, "p90"
+	if rounds >= 500 {
+		q, qName = 0.99, "p99"
+	}
+	tail := durQuantile(preds, q)
+	t.Logf("rounds=%d budget=%v planned p50=%v %s=%v shed=%d clamps=%d",
+		rounds, budget, durQuantile(preds, 0.50), qName, tail, st.FramesShed, st.LiveClamps)
+	if limit := budget + budget/2; tail > limit {
+		t.Errorf("planned per-round cost %s = %v over budget %v (limit %v)", qName, tail, budget, limit)
+	}
+
+	// Ring: the producer ran the whole horizon, the small window
+	// recycled buffers under steady playback before the path rake
+	// arrived, and the pin barrier deferred evictions afterwards —
+	// and despite all that churn, no session ever saw a failed load
+	// (every d.frame above fatals on error: shed, never starved).
+	rs, ok := s.LiveStats()
+	if !ok {
+		t.Fatal("no live stats from a ring-backed server")
+	}
+	t.Logf("ring: produced=%d recycled=%d deferred=%d clamped=%d", rs.Produced, rs.Recycled, rs.Deferred, rs.Clamped)
+	if rs.Produced < int64(rounds) {
+		t.Errorf("producer sealed %d steps over %d rounds", rs.Produced, rounds)
+	}
+	if rs.Recycled == 0 {
+		t.Error("history window never recycled a buffer — the soak exerted no memory pressure")
+	}
+	if rs.Deferred == 0 {
+		t.Error("pin barrier never deferred an eviction — the integrating tracer was unprotected")
+	}
+}

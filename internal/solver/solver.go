@@ -165,6 +165,18 @@ func (s *Solver) AddTaperedCylinder(cx, cy, r0, r1 float32) {
 	})
 }
 
+// SetTaperedCylinder replaces the solid mask with a fresh tapered
+// cylinder — the live-steering path for reshaping the model between
+// timesteps. Cells leaving the solid keep their (zero) velocity and are
+// re-entrained by the flow; cells entering it are zeroed by
+// enforceBoundaries on the next Step.
+func (s *Solver) SetTaperedCylinder(cx, cy, r0, r1 float32) {
+	for n := range s.Solid {
+		s.Solid[n] = false
+	}
+	s.AddTaperedCylinder(cx, cy, r0, r1)
+}
+
 // MaxSpeed returns the largest velocity magnitude, for CFL step
 // selection.
 func (s *Solver) MaxSpeed() float32 {

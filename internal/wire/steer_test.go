@@ -1,0 +1,48 @@
+package wire
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSteerStatusRoundTrip pins the ProcSteer payload: every field
+// survives the codec, including the non-finite floats a hostile or
+// buggy peer could put on the wire — the decoder's job is framing,
+// the bounds live in validSteerParams at the server.
+func TestSteerStatusRoundTrip(t *testing.T) {
+	cases := []SteerStatus{
+		{},
+		{InflowU: 2.5, Reynolds: 350, Taper: 0.9, Holder: 42, Version: 7},
+		{InflowU: -1, Reynolds: float32(math.Inf(1)), Taper: 1e30, Holder: -9, Version: ^uint64(0)},
+	}
+	for i, want := range cases {
+		got, err := DecodeSteerStatus(EncodeSteerStatus(want))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		// NaN-free cases compare directly; the codec is bit-transparent.
+		if got != want {
+			t.Fatalf("case %d: round-trip %+v != %+v", i, got, want)
+		}
+	}
+
+	nan := float32(math.NaN())
+	got, err := DecodeSteerStatus(EncodeSteerStatus(SteerStatus{Reynolds: nan, Holder: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(float64(got.Reynolds)) || got.Holder != 1 {
+		t.Fatalf("NaN Reynolds did not survive the codec: %+v", got)
+	}
+}
+
+// TestSteerStatusDecodeTruncated: every truncation of a valid payload
+// errors instead of fabricating fields.
+func TestSteerStatusDecodeTruncated(t *testing.T) {
+	buf := EncodeSteerStatus(SteerStatus{InflowU: 2, Reynolds: 300, Taper: 0.8, Holder: 3, Version: 9})
+	for n := 0; n < len(buf); n++ {
+		if _, err := DecodeSteerStatus(buf[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded without error", n)
+		}
+	}
+}

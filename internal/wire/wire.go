@@ -56,6 +56,15 @@ const (
 	CmdSetLoop
 	// CmdSetTool changes rake Rake's visualization tool to Tool.
 	CmdSetTool
+	// CmdSteerGrab grabs the live-steering lock (FCFS, like rakes).
+	CmdSteerGrab
+	// CmdSteerRelease releases the live-steering lock.
+	CmdSteerRelease
+	// CmdSteer sets all three steering parameters atomically:
+	// P0 = (inlet velocity, Reynolds number, cylinder taper ratio).
+	// One command carries the whole triple so a change can never be
+	// half-applied, no matter where a connection dies.
+	CmdSteer
 )
 
 // Command is one user command. Unused fields are zero.
