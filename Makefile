@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint chaos fuzz fuzz-server fuzz-wire ci bench bench-smoke bench-check load load-relay relay soak live
+.PHONY: all build test race vet lint lint-stats chaos fuzz fuzz-server fuzz-wire ci bench bench-smoke bench-check load load-relay relay soak live
 
 all: build test
 
@@ -14,11 +14,22 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific invariant analyzers (wallclock, lockdiscipline,
-# hotpath, replyownership) over the whole module. Fails on any finding
-# not annotated with a //vw:allow directive. Also usable through vet:
+# hotpath, replyownership, maporder, pinownership, codecparity,
+# hostilecount) over the whole module. Fails on any finding not
+# annotated with a //vw:allow directive, on malformed //vw: directives,
+# and on classified packages (internal/analysis.PackageClasses) that
+# lost their //vw:deterministic or //vw:wire opt-in. Also usable
+# through vet:
 #   go build -o vwlint ./cmd/vwlint && go vet -vettool=./vwlint ./...
+# or as machine-readable output for CI diffing:
+#   go run ./cmd/vwlint -json ./...
 lint:
 	$(GO) run ./cmd/vwlint ./...
+
+# Suppression-debt report: the //vw:allow count per analyzer, every
+# analyzer listed even at zero so trends diff cleanly across PRs.
+lint-stats:
+	$(GO) run ./cmd/vwlint -stats ./...
 
 # Full suite under the race detector, chaos tests included.
 race:

@@ -1,17 +1,23 @@
 // Command vwlint runs the project's invariant analyzers (wallclock,
-// lockdiscipline, hotpath, replyownership — see internal/analysis)
-// over the repo. It has two faces:
+// lockdiscipline, hotpath, replyownership, maporder, pinownership,
+// codecparity, hostilecount — see internal/analysis) over the repo.
+// It has two faces:
 //
 // Standalone, the way `make lint` uses it:
 //
 //	go run ./cmd/vwlint ./...
 //	go run ./cmd/vwlint ./internal/server
+//	go run ./cmd/vwlint -json ./...
+//	go run ./cmd/vwlint -stats ./...
 //
 // walks the module, typechecks every non-test package with the
 // source importer, and prints findings as file:line:col: message
 // [analyzer], exiting 1 if anything (including a malformed //vw:
-// directive or a deterministic package that lost its
-// //vw:deterministic opt-in) survives the //vw:allow annotations.
+// directive or a classified package that lost its //vw:deterministic
+// or //vw:wire opt-in) survives the //vw:allow annotations. -json
+// emits every finding — suppressed ones included, with an "allowed"
+// flag — as a JSON array so CI tooling can diff lint results across
+// PRs; -stats prints the //vw:allow count per analyzer.
 //
 // As a vet tool, for editor/CI integration on top of go vet's
 // incremental action graph:
@@ -23,17 +29,20 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
 )
 
-func main() { os.Exit(run(os.Args[1:])) }
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
-func run(args []string) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	// The go vet driver handshake: version identity, then flag
 	// discovery, then one "vetFlags... pkg.cfg" invocation per
 	// package.
@@ -41,41 +50,69 @@ func run(args []string) int {
 		if strings.HasPrefix(a, "-V=") || a == "-V" {
 			// Three fields with f[1]=="version"; the third names a
 			// release so cmd/go can use the line as a cache key.
-			fmt.Println("vwlint version v1")
+			fmt.Fprintln(stdout, "vwlint version v2")
 			return 0
 		}
 	}
 	for _, a := range args {
 		if a == "-flags" {
-			fmt.Println("[]") // no tool-specific flags
+			fmt.Fprintln(stdout, "[]") // no tool-specific flags
 			return 0
 		}
 	}
 	if n := len(args); n > 0 && strings.HasSuffix(args[n-1], ".cfg") {
-		return runVetTool(args[n-1])
+		return runVetTool(args[n-1], stderr)
 	}
-	return runStandalone(args)
+
+	var jsonMode, statsMode bool
+	var patterns []string
+	for _, a := range args {
+		switch a {
+		case "-json", "--json":
+			jsonMode = true
+		case "-stats", "--stats":
+			statsMode = true
+		default:
+			patterns = append(patterns, a)
+		}
+	}
+	return runStandalone(patterns, jsonMode, statsMode, stdout, stderr)
+}
+
+// A jsonFinding is the machine-readable shape of one finding, for
+// `vwlint -json`. Suppressed findings ship too, with Allowed=true, so
+// tooling can diff the full lint surface (and the suppression debt)
+// across PRs.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Allowed  bool   `json:"allowed"`
 }
 
 // runStandalone loads packages from the module tree and reports.
-func runStandalone(patterns []string) int {
+func runStandalone(patterns []string, jsonMode, statsMode bool, stdout, stderr io.Writer) int {
 	cwd, err := os.Getwd()
 	if err != nil {
-		return fail(err)
+		return fail(stderr, err)
 	}
 	root, modPath, err := analysis.ModuleRoot(cwd)
 	if err != nil {
-		return fail(err)
+		return fail(stderr, err)
 	}
 	dirs, err := selectDirs(root, cwd, patterns)
 	if err != nil {
-		return fail(err)
+		return fail(stderr, err)
 	}
 
 	loader := analysis.NewLoader()
 	analyzers := analysis.All()
-	var diags []analysis.Diagnostic
-	deterministic := make(map[string]bool) // import path -> has directive
+	var findings []analysis.Finding
+	var bad []analysis.Diagnostic
+	classes := make(map[string]analysis.Class) // import path -> directive-derived class
+	allowCounts := make(map[string]int)
 	for _, rel := range dirs {
 		importPath := modPath
 		if rel != "." {
@@ -83,32 +120,112 @@ func runStandalone(patterns []string) int {
 		}
 		pkg, err := loader.LoadDir(filepath.Join(root, rel), importPath)
 		if err != nil {
-			return fail(err)
+			return fail(stderr, err)
 		}
 		if pkg == nil {
 			continue
 		}
-		deterministic[importPath] = pkg.Directives.Deterministic
-		diags = append(diags, pkg.Directives.Bad...)
-		diags = append(diags, analysis.RunAll(analyzers, pkg)...)
+		classes[importPath] = analysis.Classify(pkg.Directives)
+		for name, n := range pkg.Directives.AllowCounts() {
+			allowCounts[name] += n
+		}
+		bad = append(bad, pkg.Directives.Bad...)
+		findings = append(findings, analysis.RunAllFindings(analyzers, pkg)...)
 	}
 
-	// The determinism net must not rot: every package on the list
-	// keeps its //vw:deterministic opt-in.
+	if statsMode {
+		printStats(stdout, allowCounts)
+		return 0
+	}
+
+	// The invariant nets must not rot: every package the registry
+	// classifies keeps the matching //vw: directive in its source.
 	exit := 0
-	for _, p := range analysis.DeterministicPackages {
-		has, loaded := deterministic[p]
-		if loaded && !has {
-			fmt.Fprintf(os.Stderr, "vwlint: %s must carry //vw:deterministic (see internal/analysis.DeterministicPackages)\n", p)
+	for _, p := range sortedKeys(analysis.PackageClasses) {
+		want := analysis.PackageClasses[p]
+		got, loaded := classes[p]
+		if !loaded {
+			continue
+		}
+		if want.Deterministic && !got.Deterministic {
+			fmt.Fprintf(stderr, "vwlint: %s must carry //vw:deterministic (see internal/analysis.PackageClasses)\n", p)
+			exit = 1
+		}
+		if want.WireFacing && !got.WireFacing {
+			fmt.Fprintf(stderr, "vwlint: %s must carry //vw:wire (see internal/analysis.PackageClasses)\n", p)
 			exit = 1
 		}
 	}
 
-	for _, d := range diags {
-		fmt.Fprintln(os.Stderr, relPosition(cwd, d))
+	if jsonMode {
+		out := make([]jsonFinding, 0, len(findings)+len(bad))
+		for _, d := range bad {
+			out = append(out, jsonFinding{
+				File: relPath(cwd, d.Position.Filename), Line: d.Position.Line, Col: d.Position.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File: relPath(cwd, f.Position.Filename), Line: f.Position.Line, Col: f.Position.Column,
+				Analyzer: f.Analyzer, Message: f.Message, Allowed: f.Allowed,
+			})
+		}
+		sort.Slice(out, func(i, j int) bool {
+			a, b := out[i], out[j]
+			if a.File != b.File {
+				return a.File < b.File
+			}
+			if a.Line != b.Line {
+				return a.Line < b.Line
+			}
+			return a.Col < b.Col
+		})
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return fail(stderr, err)
+		}
+		for _, f := range out {
+			if !f.Allowed {
+				exit = 1
+			}
+		}
+		return exit
+	}
+
+	for _, d := range bad {
+		fmt.Fprintln(stderr, relPosition(cwd, d))
+		exit = 1
+	}
+	for _, f := range findings {
+		if f.Allowed {
+			continue
+		}
+		fmt.Fprintln(stderr, relPosition(cwd, f.Diagnostic))
 		exit = 1
 	}
 	return exit
+}
+
+// printStats renders the //vw:allow debt per analyzer, every known
+// analyzer listed even at zero so trends are diffable.
+func printStats(w io.Writer, counts map[string]int) {
+	total := 0
+	for _, a := range analysis.All() {
+		fmt.Fprintf(w, "%-16s %d\n", a.Name, counts[a.Name])
+		total += counts[a.Name]
+	}
+	fmt.Fprintf(w, "%-16s %d\n", "total", total)
+}
+
+func sortedKeys(m map[string]analysis.Class) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // selectDirs maps package patterns onto module-relative directories.
@@ -159,6 +276,13 @@ func selectDirs(root, cwd string, patterns []string) ([]string, error) {
 	return out, nil
 }
 
+func relPath(cwd, name string) string {
+	if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return name
+}
+
 func relPosition(cwd string, d analysis.Diagnostic) string {
 	s := d.String()
 	if rel, err := filepath.Rel(cwd, d.Position.Filename); err == nil && !strings.HasPrefix(rel, "..") {
@@ -167,7 +291,7 @@ func relPosition(cwd string, d analysis.Diagnostic) string {
 	return s
 }
 
-func fail(err error) int {
-	fmt.Fprintln(os.Stderr, "vwlint:", err)
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "vwlint:", err)
 	return 1
 }

@@ -38,21 +38,21 @@ type vetConfig struct {
 
 // runVetTool is the `go vet -vettool` entry point: one invocation per
 // package, reading the typecheck universe from gc export data.
-func runVetTool(cfgPath string) int {
+func runVetTool(cfgPath string, stderr io.Writer) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
-		return fail(err)
+		return fail(stderr, err)
 	}
 	var cfg vetConfig
 	if err := json.Unmarshal(data, &cfg); err != nil {
-		return fail(fmt.Errorf("parsing %s: %w", cfgPath, err))
+		return fail(stderr, fmt.Errorf("parsing %s: %w", cfgPath, err))
 	}
 
 	// The driver expects a facts file even though vwlint keeps no
 	// cross-package facts; an empty one keeps the action graph happy.
 	if cfg.VetxOutput != "" {
 		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			return fail(err)
+			return fail(stderr, err)
 		}
 	}
 	if cfg.VetxOnly {
@@ -70,7 +70,7 @@ func runVetTool(cfgPath string) int {
 			if cfg.SucceedOnTypecheckFailure {
 				return 0
 			}
-			return fail(err)
+			return fail(stderr, err)
 		}
 		files = append(files, f)
 	}
@@ -104,7 +104,7 @@ func runVetTool(cfgPath string) int {
 		if cfg.SucceedOnTypecheckFailure {
 			return 0
 		}
-		return fail(fmt.Errorf("typecheck %s: %w", cfg.ImportPath, err))
+		return fail(stderr, fmt.Errorf("typecheck %s: %w", cfg.ImportPath, err))
 	}
 
 	pkg := &analysis.Package{
@@ -121,7 +121,7 @@ func runVetTool(cfgPath string) int {
 		return 0
 	}
 	for _, d := range diags {
-		fmt.Fprintln(os.Stderr, d)
+		fmt.Fprintln(stderr, d)
 	}
 	return 2 // the conventional vet "diagnostics reported" exit
 }

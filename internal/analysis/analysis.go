@@ -1,10 +1,12 @@
 // Package analysis is vwlint's in-tree static-analysis framework: a
 // zero-dependency go/parser + go/types driver in the style of
-// golang.org/x/tools/go/analysis, carrying the four project-specific
-// analyzers (wallclock, lockdiscipline, hotpath, replyownership) that
-// turn the frame pipeline's conventions — injected clocks, *Locked
-// mutex discipline, allocation-free hot paths, reply-buffer ownership
-// — into compile-time checks.
+// golang.org/x/tools/go/analysis, carrying the eight project-specific
+// analyzers (wallclock, lockdiscipline, hotpath, replyownership,
+// maporder, pinownership, codecparity, hostilecount) that turn the
+// frame pipeline's conventions — injected clocks, *Locked mutex
+// discipline, allocation-free hot paths, reply-buffer ownership,
+// byte-deterministic iteration, ring pin barriers, v1/v2 codec
+// parity, hostile-count bounds — into compile-time checks.
 //
 // The framework is deliberately small: an Analyzer is a named Run
 // function over a typechecked package (Pass), diagnostics are
@@ -49,6 +51,10 @@ type Pass struct {
 	Path string
 	// Directives holds the parsed //vw: comments for the package.
 	Directives *Directives
+	// Class is the package's classification, derived once from the
+	// directives (see Classify). Analyzers gate on it instead of
+	// keeping private package lists.
+	Class Class
 
 	diags []Diagnostic
 }
@@ -78,22 +84,12 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// All returns the four vwlint analyzers in reporting order.
+// All returns the eight vwlint analyzers in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Wallclock, LockDiscipline, HotPath, ReplyOwnership}
-}
-
-// DeterministicPackages lists the import paths that must stay opted
-// in to the wallclock check via a //vw:deterministic package
-// directive. The vwlint driver fails if any of them drops the
-// directive, so the determinism net cannot rot silently.
-var DeterministicPackages = []string{
-	"repro/internal/dlib",
-	"repro/internal/env",
-	"repro/internal/netsim",
-	"repro/internal/server",
-	"repro/internal/store",
-	"repro/internal/vr",
+	return []*Analyzer{
+		Wallclock, LockDiscipline, HotPath, ReplyOwnership,
+		MapOrder, PinOwnership, CodecParity, HostileCount,
+	}
 }
 
 // A Package is one loaded, typechecked package ready to be analyzed.
@@ -106,11 +102,19 @@ type Package struct {
 	Directives *Directives
 }
 
-// Run applies one analyzer to a loaded package and returns the
-// diagnostics that survive directive suppression, sorted by position.
-// Findings in _test.go files are dropped: tests legitimately use wall
+// A Finding is one diagnostic plus whether an //vw:allow directive
+// suppressed it. The -json driver mode reports both kinds so CI
+// tooling can diff the full lint surface across PRs.
+type Finding struct {
+	Diagnostic
+	Allowed bool
+}
+
+// RunFindings applies one analyzer to a loaded package and returns
+// every finding, suppressed or not, sorted by position. Findings in
+// _test.go files are dropped entirely: tests legitimately use wall
 // clocks, raw allocation, and direct handler calls.
-func Run(a *Analyzer, pkg *Package) []Diagnostic {
+func RunFindings(a *Analyzer, pkg *Package) []Finding {
 	pass := &Pass{
 		Analyzer:   a,
 		Fset:       pkg.Fset,
@@ -119,17 +123,18 @@ func Run(a *Analyzer, pkg *Package) []Diagnostic {
 		Info:       pkg.Info,
 		Path:       pkg.Path,
 		Directives: pkg.Directives,
+		Class:      Classify(pkg.Directives),
 	}
 	a.Run(pass)
-	var out []Diagnostic
+	var out []Finding
 	for _, d := range pass.diags {
 		if isTestFile(d.Position.Filename) {
 			continue
 		}
-		if pkg.Directives.Allowed(a.Name, d.Position) {
-			continue
-		}
-		out = append(out, d)
+		out = append(out, Finding{
+			Diagnostic: d,
+			Allowed:    pkg.Directives.Allowed(a.Name, d.Position),
+		})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Position, out[j].Position
@@ -144,12 +149,34 @@ func Run(a *Analyzer, pkg *Package) []Diagnostic {
 	return out
 }
 
+// Run applies one analyzer to a loaded package and returns the
+// diagnostics that survive directive suppression, sorted by position.
+func Run(a *Analyzer, pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range RunFindings(a, pkg) {
+		if !f.Allowed {
+			out = append(out, f.Diagnostic)
+		}
+	}
+	return out
+}
+
 // RunAll applies every analyzer in as to pkg and returns the merged
 // surviving diagnostics.
 func RunAll(as []*Analyzer, pkg *Package) []Diagnostic {
 	var out []Diagnostic
 	for _, a := range as {
 		out = append(out, Run(a, pkg)...)
+	}
+	return out
+}
+
+// RunAllFindings applies every analyzer in as to pkg and returns the
+// merged findings, suppressed ones included.
+func RunAllFindings(as []*Analyzer, pkg *Package) []Finding {
+	var out []Finding
+	for _, a := range as {
+		out = append(out, RunFindings(a, pkg)...)
 	}
 	return out
 }

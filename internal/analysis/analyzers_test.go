@@ -1,6 +1,9 @@
 package analysis_test
 
 import (
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/analysis"
@@ -28,4 +31,54 @@ func TestHotPath(t *testing.T) {
 
 func TestReplyOwnership(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.ReplyOwnership, "replyownership")
+}
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.MapOrder, "maporder")
+}
+
+func TestPinOwnership(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.PinOwnership, "pinownership")
+}
+
+func TestCodecParity(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.CodecParity, "codecparity")
+}
+
+func TestHostileCount(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.HostileCount, "hostilecount")
+}
+
+// TestAnalyzerFixtures is the tripwire for untested analyzers: every
+// analyzer in All() must ship a fixture package under testdata/src/
+// with at least one flagged case (a "// want" marker) and at least
+// one suppressed case (an "//vw:allow <name>" annotation), so a
+// future analyzer cannot land without exercising both paths.
+func TestAnalyzerFixtures(t *testing.T) {
+	for _, a := range analysis.All() {
+		dir := filepath.Join("testdata", "src", a.Name)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Errorf("analyzer %s has no fixture directory %s: %v", a.Name, dir, err)
+			continue
+		}
+		var wants, allows int
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants += strings.Count(string(src), "// want ")
+			allows += strings.Count(string(src), "//vw:allow "+a.Name)
+		}
+		if wants == 0 {
+			t.Errorf("analyzer %s: fixture %s has no \"// want\" markers (no flagged case)", a.Name, dir)
+		}
+		if allows == 0 {
+			t.Errorf("analyzer %s: fixture %s has no //vw:allow %s annotation (no suppressed case)", a.Name, dir, a.Name)
+		}
+	}
 }

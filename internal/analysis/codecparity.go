@@ -1,0 +1,461 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// CodecParity keeps the wire protocol symmetric in //vw:wire
+// packages, so the next CmdSteer-style addition cannot ship
+// half-wired. Four sub-checks:
+//
+//  1. Switch exhaustiveness: a switch whose tag has a named
+//     constant-backed type declared in a wire-facing package (e.g.
+//     wire.CmdKind) must name every constant of that type. A default
+//     clause does not excuse — an unknown command silently ignored is
+//     exactly the bug this catches.
+//  2. Encoder/decoder pairing: every package-level Encode<X>/Append<X>
+//     taking or returning []byte needs a Decode<X>/decode<X> in the
+//     same package, and vice versa.
+//  3. Procedure registration coverage: a file registering any Proc*
+//     constant from a package must register all of them — a tier that
+//     forwards five of six procedures strands the sixth.
+//  4. Message field coverage: an encoder/decoder for a message struct
+//     declared in this package must reference every exported field of
+//     it (composite-literal keys count); a field skipped on one side
+//     of one codec version is a v1/v2 parity break.
+var CodecParity = &Analyzer{
+	Name: "codecparity",
+	Doc:  "wire enums fully switched, encoders paired with decoders, all procedures registered, all message fields on the wire",
+	Run:  runCodecParity,
+}
+
+func runCodecParity(pass *Pass) {
+	if !pass.Class.WireFacing {
+		return
+	}
+	checkSwitchExhaustive(pass)
+	checkEncoderPairing(pass)
+	for _, file := range pass.Files {
+		checkProcRegistration(pass, file)
+	}
+	checkFieldCoverage(pass)
+}
+
+// --- sub-check 1: switch exhaustiveness over wire enums ---
+
+func checkSwitchExhaustive(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pass.Info.Types[sw.Tag]
+			if !ok {
+				return true
+			}
+			named, ok := tv.Type.(*types.Named)
+			if !ok {
+				return true
+			}
+			tpkg := named.Obj().Pkg()
+			if tpkg == nil || !wireFacingTypePkg(pass, tpkg) {
+				return true
+			}
+			consts := enumConsts(tpkg, named)
+			if len(consts) == 0 {
+				return true
+			}
+			covered := make(map[string]bool)
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cc.List {
+					if c := constObj(pass.Info, e); c != nil {
+						covered[c.Name()] = true
+					}
+				}
+			}
+			if len(covered) == 0 {
+				return true // not an enum dispatch
+			}
+			var missing []string
+			for _, c := range consts {
+				if !covered[c] {
+					missing = append(missing, c)
+				}
+			}
+			if len(missing) > 0 {
+				pass.Reportf(sw.Pos(),
+					"switch on %s.%s covers %d of %d constants; missing %s (a default clause does not excuse: unknown commands must be wired, not swallowed)",
+					tpkg.Name(), named.Obj().Name(), len(covered), len(consts), strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}
+
+// wireFacingTypePkg reports whether the declaring package of a type
+// is wire-facing: this package's own //vw:wire directive, or the
+// central registry for foreign packages.
+func wireFacingTypePkg(pass *Pass, tpkg *types.Package) bool {
+	if tpkg == pass.Pkg {
+		return pass.Class.WireFacing
+	}
+	return WireFacingPath(tpkg.Path())
+}
+
+// enumConsts returns the sorted names of the package-scope constants
+// of exactly the named type.
+func enumConsts(tpkg *types.Package, named *types.Named) []string {
+	var out []string
+	scope := tpkg.Scope()
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), named) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// constObj resolves a case expression to the constant it names.
+func constObj(info *types.Info, e ast.Expr) *types.Const {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		c, _ := info.Uses[e].(*types.Const)
+		return c
+	case *ast.SelectorExpr:
+		c, _ := info.Uses[e.Sel].(*types.Const)
+		return c
+	}
+	return nil
+}
+
+// --- sub-check 2: encoder/decoder name pairing ---
+
+func checkEncoderPairing(pass *Pass) {
+	// Package-level codec functions, by role. Only functions with
+	// []byte in their signature count: Append/Encode helpers that
+	// never touch bytes (env.AppendUsers-style snapshot builders in a
+	// wire-facing package) are not codecs.
+	type fn struct {
+		decl *ast.FuncDecl
+		x    string // lowercased message suffix
+	}
+	var encoders, decoders []fn
+	decodeSuffix := make(map[string]bool)
+	encodeSuffix := make(map[string]bool)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || fd.Name == nil {
+				continue
+			}
+			name := fd.Name.Name
+			if !funcTouchesBytes(pass, fd) {
+				continue
+			}
+			if x, ok := codecSuffix(name, "Encode", "Append"); ok {
+				encoders = append(encoders, fn{fd, x})
+				encodeSuffix[x] = true
+			} else if x, ok := codecSuffix(name, "encode", "append"); ok {
+				encodeSuffix[x] = true // unexported helpers satisfy pairing but aren't themselves checked
+			}
+			if x, ok := codecSuffix(name, "Decode"); ok {
+				decoders = append(decoders, fn{fd, x})
+				decodeSuffix[x] = true
+			} else if x, ok := codecSuffix(name, "decode"); ok {
+				decodeSuffix[x] = true
+			}
+		}
+	}
+	for _, e := range encoders {
+		if !decodeSuffix[e.x] {
+			pass.Reportf(e.decl.Pos(),
+				"encoder %s has no matching decoder (Decode/decode + same suffix) in this package; every wire record must decode as well as encode", e.decl.Name.Name)
+		}
+	}
+	for _, d := range decoders {
+		if !encodeSuffix[d.x] {
+			pass.Reportf(d.decl.Pos(),
+				"decoder %s has no matching encoder (Encode/Append + same suffix) in this package; every wire record must encode as well as decode", d.decl.Name.Name)
+		}
+	}
+}
+
+// codecSuffix strips the first matching prefix and returns the
+// lowercased remainder, requiring it to be non-empty.
+func codecSuffix(name string, prefixes ...string) (string, bool) {
+	for _, p := range prefixes {
+		if rest, ok := strings.CutPrefix(name, p); ok && rest != "" {
+			return strings.ToLower(rest), true
+		}
+	}
+	return "", false
+}
+
+// funcTouchesBytes reports whether []byte appears among the
+// function's parameter or result types.
+func funcTouchesBytes(pass *Pass, fd *ast.FuncDecl) bool {
+	obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	isBytes := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && b.Kind() == types.Byte
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isBytes(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isBytes(sig.Results().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// --- sub-check 3: Proc* registration coverage ---
+
+func checkProcRegistration(pass *Pass, file *ast.File) {
+	type regSet struct {
+		first token.Pos
+		names map[string]bool
+	}
+	regs := make(map[*types.Package]*regSet)
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee, ok := calleeObj(pass.Info, call).(*types.Func)
+		if !ok || callee.Name() != "Register" {
+			return true
+		}
+		for _, arg := range call.Args {
+			c := constObj(pass.Info, arg)
+			if c == nil || c.Pkg() == nil || !strings.HasPrefix(c.Name(), "Proc") {
+				continue
+			}
+			if b, ok := c.Type().Underlying().(*types.Basic); !ok || b.Info()&types.IsString == 0 {
+				continue
+			}
+			rs := regs[c.Pkg()]
+			if rs == nil {
+				rs = &regSet{first: call.Pos(), names: make(map[string]bool)}
+				regs[c.Pkg()] = rs
+			}
+			rs.names[c.Name()] = true
+		}
+		return true
+	})
+	for cpkg, rs := range regs {
+		all := procConsts(cpkg)
+		var missing []string
+		for _, name := range all {
+			if !rs.names[name] {
+				missing = append(missing, name)
+			}
+		}
+		if len(missing) > 0 {
+			pass.Reportf(rs.first,
+				"this file registers %d of %d %s.Proc* procedures; missing %s — an unregistered procedure fails at runtime for every client behind this tier",
+				len(rs.names), len(all), cpkg.Name(), strings.Join(missing, ", "))
+		}
+	}
+}
+
+// procConsts returns the sorted package-scope string constants whose
+// names start with Proc.
+func procConsts(tpkg *types.Package) []string {
+	var out []string
+	scope := tpkg.Scope()
+	for _, name := range scope.Names() {
+		if !strings.HasPrefix(name, "Proc") {
+			continue
+		}
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if b, ok := c.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- sub-check 4: message field coverage ---
+
+func checkFieldCoverage(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Name == nil {
+				continue
+			}
+			if !funcTouchesBytes(pass, fd) {
+				continue // snapshot builders etc.; only byte codecs carry messages
+			}
+			name := fd.Name.Name
+			var msg *types.Named
+			if _, ok := codecSuffix(name, "Encode", "Append", "encode", "append"); ok {
+				msg = firstMessageParam(pass, fd)
+			} else if _, ok := codecSuffix(name, "Decode", "decode"); ok {
+				msg = firstMessageResult(pass, fd)
+			} else {
+				continue
+			}
+			if msg == nil || delegatesMessage(pass, fd, msg) {
+				continue
+			}
+			st, ok := msg.Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			seen := referencedFields(pass, fd, msg, st)
+			for i := 0; i < st.NumFields(); i++ {
+				f := st.Field(i)
+				if !f.Exported() || seen[f.Name()] {
+					continue
+				}
+				pass.Reportf(fd.Pos(),
+					"%s never references %s.%s; every exported field of a wire message must cross the wire in both codec versions", name, msg.Obj().Name(), f.Name())
+			}
+		}
+	}
+}
+
+// firstMessageParam returns the first parameter whose type is a named
+// struct declared in the package under analysis — the message an
+// encoder serializes. []byte destinations and foreign types are
+// passed over.
+func firstMessageParam(pass *Pass, fd *ast.FuncDecl) *types.Named {
+	obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig := obj.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		if n := localStruct(pass, sig.Params().At(i).Type()); n != nil {
+			return n
+		}
+	}
+	return nil
+}
+
+// firstMessageResult is the decoder-direction counterpart.
+func firstMessageResult(pass *Pass, fd *ast.FuncDecl) *types.Named {
+	obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig := obj.Type().(*types.Signature)
+	for i := 0; i < sig.Results().Len(); i++ {
+		if n := localStruct(pass, sig.Results().At(i).Type()); n != nil {
+			return n
+		}
+	}
+	return nil
+}
+
+// localStruct returns t (pointers peeled) as a named struct declared
+// in the package under analysis, or nil.
+func localStruct(pass *Pass, t types.Type) *types.Named {
+	n := namedType(t)
+	if n == nil || n.Obj().Pkg() != pass.Pkg {
+		return nil
+	}
+	if _, ok := n.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return n
+}
+
+// delegatesMessage reports whether fd hands the whole message to
+// another codec function (EncodeFrameReply → AppendFrameReply,
+// DecodeHelloReply → DecodeDatasetInfo): the callee owns field
+// coverage then.
+func delegatesMessage(pass *Pass, fd *ast.FuncDecl, msg *types.Named) bool {
+	self, _ := pass.Info.Defs[fd.Name].(*types.Func)
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee, ok := calleeObj(pass.Info, call).(*types.Func)
+		if !ok || callee == self {
+			return true
+		}
+		name := callee.Name()
+		if _, ok := codecSuffix(name, "Encode", "Append", "encode", "append", "Decode", "decode"); !ok {
+			return true
+		}
+		sig, ok := callee.Type().(*types.Signature)
+		if !ok {
+			return true
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			if namedType(sig.Params().At(i).Type()) == msg {
+				found = true
+			}
+		}
+		for i := 0; i < sig.Results().Len(); i++ {
+			if namedType(sig.Results().At(i).Type()) == msg {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// referencedFields collects the field names of msg referenced in the
+// body: selector expressions resolving to its fields, plus keys of
+// composite literals of the type.
+func referencedFields(pass *Pass, fd *ast.FuncDecl, msg *types.Named, st *types.Struct) map[string]bool {
+	fieldObjs := make(map[types.Object]string, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		fieldObjs[st.Field(i)] = st.Field(i).Name()
+	}
+	seen := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := pass.Info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+				if name, ok := fieldObjs[sel.Obj()]; ok {
+					seen[name] = true
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := pass.Info.Types[n]; ok && namedType(tv.Type) == msg {
+				for _, elt := range n.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							seen[id.Name] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return seen
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -19,22 +20,34 @@ import (
 //	    On a function's doc comment: the hotpath analyzer flags
 //	    allocation sources inside the function body.
 //
+//	//vw:wire
+//	    Package-level opt-in: the package encodes, decodes, or routes
+//	    protocol bytes, so the maporder, codecparity, and hostilecount
+//	    analyzers apply.
+//
 //	//vw:allow <name>[,<name>...] [-- reason]
 //	    Suppresses the named analyzers' findings on the same line and
 //	    the line below. On a function's doc comment it suppresses the
 //	    whole function body (used sparingly; prefer line-level allows).
+//	    Names must be known analyzers (or "directive"); a typo'd name
+//	    is itself reported rather than silently suppressing nothing.
 const (
 	dirPrefix        = "//vw:"
 	dirAllow         = "allow"
 	dirHotpath       = "hotpath"
 	dirDeterministic = "deterministic"
+	dirWire          = "wire"
 )
 
 // Directives is the parsed //vw: state for one package.
 type Directives struct {
 	// Deterministic reports whether the package opted in to the
-	// wallclock analyzer via //vw:deterministic.
+	// determinism analyzers (wallclock, maporder) via
+	// //vw:deterministic.
 	Deterministic bool
+	// Wire reports whether the package opted in to the wire-facing
+	// analyzers (maporder, codecparity, hostilecount) via //vw:wire.
+	Wire bool
 
 	hotpath []*ast.FuncDecl
 	allows  map[string][]allowSite
@@ -81,6 +94,8 @@ func ParseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
 				switch verb {
 				case dirDeterministic:
 					d.Deterministic = true
+				case dirWire:
+					d.Wire = true
 				case dirHotpath:
 					if fn := fnDoc[c]; fn != nil {
 						d.hotpath = append(d.hotpath, fn)
@@ -98,6 +113,10 @@ func ParseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
 						site.endLine = fset.Position(fn.Body.End()).Line
 					}
 					for _, n := range names {
+						if !knownAllowNames[n] {
+							d.bad(c, pos, "//vw:allow names unknown analyzer %q (known: %s)", n, knownAllowList)
+							continue
+						}
 						d.allows[n] = append(d.allows[n], site)
 					}
 				default:
@@ -126,6 +145,32 @@ func allowNames(rest string) []string {
 	return strings.FieldsFunc(rest, func(r rune) bool {
 		return r == ' ' || r == ',' || r == '\t'
 	})
+}
+
+// knownAllowNames is the set of analyzer names //vw:allow may refer
+// to, plus "directive" for the malformed-directive diagnostics
+// themselves. A misspelled name would otherwise suppress nothing and
+// say nothing — the worst kind of lint rot.
+var knownAllowNames, knownAllowList = func() (map[string]bool, string) {
+	m := map[string]bool{"directive": true}
+	var names []string
+	for _, a := range All() {
+		m[a.Name] = true
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	return m, strings.Join(names, ", ")
+}()
+
+// AllowCounts returns the number of //vw:allow sites per analyzer
+// name in this package, for the driver's -stats mode. A single
+// comment naming two analyzers counts once for each.
+func (d *Directives) AllowCounts() map[string]int {
+	out := make(map[string]int, len(d.allows))
+	for name, sites := range d.allows {
+		out[name] = len(sites)
+	}
+	return out
 }
 
 // HotpathFuncs returns the functions marked //vw:hotpath.

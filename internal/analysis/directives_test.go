@@ -54,6 +54,79 @@ func hot() {
 	}
 }
 
+func TestDirectiveWire(t *testing.T) {
+	src := `// Package p speaks the wire format.
+//
+//vw:wire
+//vw:deterministic
+package p
+`
+	_, d := parseOne(t, src)
+	if !d.Wire {
+		t.Error("//vw:wire in package doc not detected")
+	}
+	if !d.Deterministic {
+		t.Error("//vw:deterministic stacked under //vw:wire not detected")
+	}
+	c := Classify(d)
+	if !c.WireFacing || !c.Deterministic || c.HotPath {
+		t.Errorf("Classify = %+v, want WireFacing+Deterministic only", c)
+	}
+}
+
+// TestDirectiveUnknownAllowName proves a typo in an allow list is
+// itself a finding: //vw:allow for an analyzer that does not exist
+// must surface as a bad directive, not silently suppress nothing.
+func TestDirectiveUnknownAllowName(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 1 //vw:allow maporderr -- typo'd analyzer name
+}
+`
+	_, d := parseOne(t, src)
+	if len(d.Bad) != 1 {
+		t.Fatalf("bad directives = %d, want 1: %v", len(d.Bad), d.Bad)
+	}
+	if !strings.Contains(d.Bad[0].Message, `unknown analyzer "maporderr"`) {
+		t.Errorf("bad[0] = %q, want unknown-analyzer message", d.Bad[0].Message)
+	}
+	// The typo'd name must not register as an active allow site.
+	if d.Allowed("maporderr", token.Position{Filename: "dir.go", Line: 4}) {
+		t.Error("unknown analyzer name must not create an allow site")
+	}
+	// A mixed list keeps the valid names and reports only the bogus one.
+	src2 := `package p
+
+func g() {
+	_ = 1 //vw:allow wallclock,bogus,maporder -- one bad apple
+}
+`
+	_, d2 := parseOne(t, src2)
+	if len(d2.Bad) != 1 || !strings.Contains(d2.Bad[0].Message, `"bogus"`) {
+		t.Fatalf("bad = %v, want exactly one complaint about %q", d2.Bad, "bogus")
+	}
+	pos := token.Position{Filename: "dir.go", Line: 4}
+	if !d2.Allowed("wallclock", pos) || !d2.Allowed("maporder", pos) {
+		t.Error("valid names in a mixed list must still suppress")
+	}
+}
+
+func TestAllowCounts(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 1 //vw:allow wallclock,maporder -- two names, one site
+	_ = 2 //vw:allow maporder -- second maporder site
+}
+`
+	_, d := parseOne(t, src)
+	counts := d.AllowCounts()
+	if counts["wallclock"] != 1 || counts["maporder"] != 2 {
+		t.Errorf("AllowCounts = %v, want wallclock:1 maporder:2", counts)
+	}
+}
+
 func TestDirectiveBadVerbs(t *testing.T) {
 	src := `package p
 

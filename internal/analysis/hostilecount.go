@@ -1,0 +1,212 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HostileCount forbids sizing an allocation from a wire-decoded count
+// in //vw:wire packages unless a bounds guard dominates the use. A
+// count read straight off the network (decoder u16/u32/u64/uvarint
+// reads, binary.LittleEndian.UintNN, binary.Uvarint) is
+// attacker-controlled; `make([]T, n)` with such an n is a one-packet
+// memory bomb — the bug class all three server fuzzers keep hunting.
+//
+// Values become clean when they are born from the guarded helpers
+// (count, countSized, uvarintCount — which validate against a maximum
+// and the remaining buffer) or when an if-statement compares them
+// before the allocation (the explicit-bound idiom:
+// `if n > max { return err }`).
+var HostileCount = &Analyzer{
+	Name: "hostilecount",
+	Doc:  "make/append sized by a wire-decoded count must be dominated by a bounds guard",
+	Run:  runHostileCount,
+}
+
+// hostileTaintMethods are decoder-style method names whose integer
+// result is raw wire data. The guarded readers (count, countSized,
+// uvarintCount) are deliberately absent: they are the sanctioned way
+// to read a count.
+var hostileTaintMethods = map[string]bool{
+	"u8": true, "u16": true, "u32": true, "u64": true,
+	"i8": true, "i16": true, "i32": true, "i64": true,
+	"uvarint": true, "varint": true,
+}
+
+// hostileBinaryFuncs are encoding/binary reads that yield raw wire
+// integers.
+var hostileBinaryFuncs = map[string]bool{
+	"Uint16": true, "Uint32": true, "Uint64": true,
+	"Uvarint": true, "Varint": true,
+	"ReadUvarint": true, "ReadVarint": true,
+}
+
+func runHostileCount(pass *Pass) {
+	if !pass.Class.WireFacing {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, sc := range funcScopes(file) {
+			runHostileScope(pass, sc)
+		}
+	}
+}
+
+func runHostileScope(pass *Pass, sc funcScope) {
+	tainted := make(map[types.Object]bool)
+	// Assignments in an if's init clause (`if n := d.u32(); n > max`)
+	// are processed by the IfStmt handler before the condition; the
+	// main walk must not re-taint them afterwards.
+	processed := make(map[ast.Node]bool)
+
+	var exprTainted func(e ast.Expr) bool
+	exprTainted = func(e ast.Expr) bool {
+		switch e := e.(type) {
+		case *ast.Ident:
+			obj := pass.Info.Uses[e]
+			return obj != nil && tainted[obj]
+		case *ast.ParenExpr:
+			return exprTainted(e.X)
+		case *ast.UnaryExpr:
+			return exprTainted(e.X)
+		case *ast.BinaryExpr:
+			return exprTainted(e.X) || exprTainted(e.Y)
+		case *ast.CallExpr:
+			if fn, ok := calleeObj(pass.Info, e).(*types.Func); ok {
+				sig, _ := fn.Type().(*types.Signature)
+				if sig != nil && sig.Recv() != nil && hostileTaintMethods[fn.Name()] {
+					return true
+				}
+				if fn.Pkg() != nil && fn.Pkg().Path() == "encoding/binary" && hostileBinaryFuncs[fn.Name()] {
+					return true
+				}
+			}
+			// A conversion like int(x) carries taint through.
+			if tv, ok := pass.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+				return exprTainted(e.Args[0])
+			}
+			return false
+		}
+		return false
+	}
+
+	clearMentioned := func(e ast.Expr) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := pass.Info.Uses[id]; obj != nil {
+					delete(tainted, obj)
+				}
+			}
+			return true
+		})
+	}
+
+	handleAssign := func(n *ast.AssignStmt) {
+		for i, lhs := range n.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			var rhs ast.Expr
+			switch {
+			case len(n.Rhs) == len(n.Lhs):
+				rhs = n.Rhs[i]
+			case len(n.Rhs) == 1:
+				rhs = n.Rhs[0] // tuple assignment: taint flows to every target
+			}
+			if rhs == nil {
+				continue
+			}
+			obj := pass.Info.Defs[id]
+			if obj == nil {
+				obj = pass.Info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			if exprTainted(rhs) {
+				tainted[obj] = true
+			} else {
+				delete(tainted, obj) // reassigned from a clean source
+			}
+		}
+	}
+
+	inspectScope(sc.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if !processed[n] {
+				handleAssign(n)
+			}
+		case *ast.IfStmt:
+			if init, ok := n.Init.(*ast.AssignStmt); ok {
+				handleAssign(init)
+				processed[init] = true
+			}
+			// Any comparison mentioning a tainted value is the bounds
+			// guard; everything it mentions is clean afterwards. (The
+			// walk is positional: the body and later statements see
+			// the cleaned state.)
+			ast.Inspect(n.Cond, func(m ast.Node) bool {
+				if b, ok := m.(*ast.BinaryExpr); ok {
+					switch b.Op {
+					case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+						if exprTainted(b.X) || exprTainted(b.Y) {
+							clearMentioned(b.X)
+							clearMentioned(b.Y)
+						}
+					}
+				}
+				return true
+			})
+		case *ast.CallExpr:
+			if fn, ok := calleeObj(pass.Info, n).(*types.Builtin); ok && fn.Name() == "make" {
+				for _, sz := range n.Args[1:] {
+					if exprTainted(sz) {
+						pass.Reportf(n.Pos(),
+							"make sized by an unguarded wire-decoded count; validate it first (count/countSized/uvarintCount or an explicit bound)")
+						break
+					}
+				}
+			}
+		case *ast.ForStmt:
+			// for i := 0; i < n; i++ { s = append(s, ...) } with a
+			// tainted n grows a slice to an attacker-chosen length
+			// without ever calling make.
+			if cond, ok := n.Cond.(*ast.BinaryExpr); ok {
+				if (cond.Op == token.LSS || cond.Op == token.LEQ) && exprTainted(cond.Y) && forBodyAppends(pass, n.Body) {
+					pass.Reportf(n.Pos(),
+						"loop bounded by an unguarded wire-decoded count grows a slice; validate the count first (count/countSized/uvarintCount or an explicit bound)")
+				}
+			}
+		case *ast.RangeStmt:
+			// Go 1.22 range-over-int: for i := range n { append... }.
+			if n.X != nil {
+				if tv, ok := pass.Info.Types[n.X]; ok {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+						if exprTainted(n.X) && forBodyAppends(pass, n.Body) {
+							pass.Reportf(n.Pos(),
+								"loop bounded by an unguarded wire-decoded count grows a slice; validate the count first (count/countSized/uvarintCount or an explicit bound)")
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// forBodyAppends reports whether the loop body grows a slice.
+func forBodyAppends(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn, ok := calleeObj(pass.Info, call).(*types.Builtin); ok && fn.Name() == "append" {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

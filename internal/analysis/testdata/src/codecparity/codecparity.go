@@ -1,0 +1,102 @@
+// Package codecparity is the fixture for the codecparity analyzer:
+// the package opts in via //vw:wire, so enum switches must be
+// exhaustive, encoders must pair with decoders, Proc* registrations
+// must be complete (see register_*.go), and every exported field of a
+// message struct must cross the wire.
+//
+//vw:wire
+package codecparity
+
+// Kind models wire.CmdKind: a named constant-backed enum.
+type Kind uint8
+
+const (
+	KindA Kind = iota
+	KindB
+	KindC
+)
+
+func badSwitch(k Kind) {
+	switch k { // want `switch on codecparity\.Kind covers 2 of 3 constants; missing KindC`
+	case KindA:
+	case KindB:
+	}
+}
+
+func badSwitchDefault(k Kind) {
+	switch k { // want `covers 2 of 3 constants; missing KindC`
+	case KindA, KindB:
+	default: // a default clause does not excuse
+	}
+}
+
+func goodSwitch(k Kind) {
+	switch k {
+	case KindA, KindB:
+	case KindC:
+	}
+}
+
+func goodNonEnumSwitch(k Kind) {
+	// Naming no constants of the type is not an enum dispatch.
+	switch k {
+	}
+}
+
+func goodPlainSwitch(n uint8) {
+	switch n { // unnamed basic type: not an enum
+	case 1:
+	case 2:
+	}
+}
+
+// Ping is a fully-wired message: encoder and decoder exist and both
+// reference every exported field.
+type Ping struct{ Seq uint32 }
+
+func EncodePing(p Ping) []byte              { return []byte{byte(p.Seq)} }
+func DecodePing(buf []byte) (Ping, error)   { return Ping{Seq: uint32(buf[0])}, nil }
+
+func EncodeOrphan(v uint32) []byte { // want `encoder EncodeOrphan has no matching decoder`
+	return []byte{byte(v)}
+}
+
+func DecodeWidow(buf []byte) (uint32, error) { // want `decoder DecodeWidow has no matching encoder`
+	return uint32(buf[0]), nil
+}
+
+// Pose is a message whose codecs each skip a field.
+type Pose struct {
+	X uint32
+	Y uint32
+}
+
+func EncodePose(p Pose) []byte { // want `EncodePose never references Pose\.Y`
+	return []byte{byte(p.X)}
+}
+
+func DecodePose(buf []byte) (Pose, error) { // want `DecodePose never references Pose\.Y`
+	var p Pose
+	p.X = uint32(buf[0])
+	return p, nil
+}
+
+// EncodePoseWrapped delegates the message to EncodePose, which owns
+// field coverage; the wrapper is exempt.
+func EncodePoseWrapped(p Pose) []byte {
+	buf := []byte{0xFF}
+	return append(buf, EncodePose(p)...)
+}
+
+func DecodePoseWrapped(buf []byte) (Pose, error) { return DecodePose(buf[1:]) }
+
+// helperNotACodec has no codec prefix and []byte in its signature:
+// ignored by every sub-check.
+func helperNotACodec(p Pose) []byte { return nil }
+
+// AppendSnapshots has a codec name but no []byte anywhere: a
+// snapshot builder, not a codec, so pairing does not apply.
+func AppendSnapshots(dst []Pose, p Pose) []Pose { return append(dst, p) }
+
+//vw:allow codecparity -- fixture: write-only probe record, never decoded
+func EncodeProbe(v uint64) []byte { return []byte{byte(v)} }

@@ -1,0 +1,19 @@
+package codecparity
+
+// Procedure names, modelling wire.Proc*.
+const (
+	ProcPing = "fx.ping"
+	ProcPose = "fx.pose"
+)
+
+// mux models dlib.Server's procedure table.
+type mux struct{}
+
+func (mux) Register(name string, fn func([]byte) []byte) {}
+
+// badRegister wires up one of the two procedures: a tier built from
+// this file strands ProcPose. Registration coverage is per file, so
+// the complete set in register_good.go does not excuse it.
+func badRegister(m mux) {
+	m.Register(ProcPing, nil) // want `registers 1 of 2 codecparity\.Proc\* procedures; missing ProcPose`
+}

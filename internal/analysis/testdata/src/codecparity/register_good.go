@@ -1,0 +1,13 @@
+package codecparity
+
+// goodRegister wires every procedure: complete coverage in this file.
+func goodRegister(m mux) {
+	m.Register(ProcPing, nil)
+	m.Register(ProcPose, nil)
+}
+
+// allowedRegister demonstrates the escape hatch for a deliberately
+// partial tier (e.g. a read-only monitor that never steers).
+func allowedRegister(m mux) {
+	m.Register(ProcPing, nil) //vw:allow codecparity -- fixture: read-only tier, poses unsupported
+}

@@ -1,0 +1,125 @@
+// Package hostilecount is the fixture for the hostilecount analyzer:
+// the package opts in via //vw:wire, so allocations sized by raw
+// decoder reads are flagged until a bounds guard (comparison or a
+// guarded count reader) dominates them.
+//
+//vw:wire
+package hostilecount
+
+import "encoding/binary"
+
+// decoder models wire's cursor decoder: uN methods return raw wire
+// integers; count validates against a maximum first.
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) u32() uint32 {
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) uvarint() uint64 {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	d.off += n
+	return v
+}
+
+// count is the sanctioned guarded reader: its result is born clean.
+func (d *decoder) count(max int) int {
+	n := int(d.u32())
+	if n < 0 || n > max {
+		return -1
+	}
+	return n
+}
+
+func badMake(d *decoder) []uint32 {
+	n := int(d.u32())
+	return make([]uint32, n) // want `make sized by an unguarded wire-decoded count`
+}
+
+func badArith(d *decoder) []byte {
+	n := d.uvarint()
+	return make([]byte, n*4) // want `make sized by an unguarded wire-decoded count`
+}
+
+func badBinary(buf []byte) []byte {
+	n := binary.LittleEndian.Uint32(buf)
+	return make([]byte, n) // want `make sized by an unguarded wire-decoded count`
+}
+
+func badPropagated(d *decoder) []byte {
+	n := int(d.u32())
+	m := n + 8
+	return make([]byte, m) // want `make sized by an unguarded wire-decoded count`
+}
+
+func badLoop(d *decoder) []uint32 {
+	n := int(d.u32())
+	var out []uint32
+	for i := 0; i < n; i++ { // want `loop bounded by an unguarded wire-decoded count grows a slice`
+		out = append(out, d.u32())
+	}
+	return out
+}
+
+func badRangeInt(d *decoder) []uint32 {
+	n := int(d.u32())
+	var out []uint32
+	for range n { // want `loop bounded by an unguarded wire-decoded count grows a slice`
+		out = append(out, d.u32())
+	}
+	return out
+}
+
+func goodGuarded(d *decoder, max int) []uint32 {
+	n := int(d.u32())
+	if n > max {
+		return nil
+	}
+	return make([]uint32, n)
+}
+
+func goodInitGuard(d *decoder) []byte {
+	if n := int(d.u32()); n <= 1024 {
+		return make([]byte, n)
+	}
+	return nil
+}
+
+func goodCounted(d *decoder, max int) []uint32 {
+	n := d.count(max)
+	return make([]uint32, n)
+}
+
+func goodMinBound(d *decoder) []byte {
+	n := min(int(d.u32()), 4096) // min is itself the bound
+	return make([]byte, n)
+}
+
+func goodReassigned(d *decoder) []byte {
+	n := int(d.u32())
+	n = 16 // overwritten by a constant before use
+	return make([]byte, n)
+}
+
+func goodLen(buf []byte) []byte {
+	return make([]byte, len(buf))
+}
+
+func goodLoopCounted(d *decoder, max int) []uint32 {
+	n := d.count(max)
+	var out []uint32
+	for i := 0; i < n; i++ {
+		out = append(out, d.u32())
+	}
+	return out
+}
+
+func allowedRaw(d *decoder) []byte {
+	n := int(d.u32())
+	return make([]byte, n) //vw:allow hostilecount -- fixture: trusted in-process peer
+}

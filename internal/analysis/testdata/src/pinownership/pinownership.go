@@ -1,0 +1,89 @@
+// Package pinownership is the fixture for the pinownership analyzer:
+// the ring type is matched by name (any type named Ring with
+// Pin/Unpin/LoadStep methods models store.Ring), so no directive is
+// needed. Pins must pair with Unpins or hand ownership to a field;
+// loads need a pin in scope.
+package pinownership
+
+// Ring models store.Ring: a bounded live-timestep buffer whose
+// entries are recycled unless pinned.
+type Ring struct{ pinned map[int]int }
+
+func (r *Ring) Pin(t int) bool { r.pinned[t]++; return true }
+func (r *Ring) Unpin(t int)    { r.pinned[t]-- }
+func (r *Ring) LoadStep(t int) (*Step, error) {
+	return nil, nil // the ring's own methods are exempt from the protocol
+}
+
+// Step models one live timestep buffer.
+type Step struct{}
+
+type server struct {
+	ring   *Ring
+	pinned int
+}
+
+func badLeak(r *Ring, t int) {
+	r.Pin(t) // want `Ring\.Pin on r has no matching Unpin or field handoff`
+}
+
+func badWrongRing(a, b *Ring, t int) {
+	a.Pin(t) // want `Ring\.Pin on a has no matching Unpin or field handoff`
+	b.Unpin(t)
+}
+
+func badLoadNoPin(r *Ring, t int) *Step {
+	s, _ := r.LoadStep(t) // want `Ring\.LoadStep on r without a Ring\.Pin earlier in this scope`
+	return s
+}
+
+func badUnpinBeforePin(r *Ring, t int) *Step {
+	s, _ := r.LoadStep(t) // want `Ring\.LoadStep on r without a Ring\.Pin earlier in this scope`
+	r.Pin(t)
+	r.Unpin(t)
+	return s
+}
+
+func goodPaired(r *Ring, t int) *Step {
+	r.Pin(t)
+	s, _ := r.LoadStep(t)
+	r.Unpin(t)
+	return s
+}
+
+func goodDeferred(r *Ring, t int) *Step {
+	r.Pin(t)
+	defer r.Unpin(t)
+	s, _ := r.LoadStep(t)
+	return s
+}
+
+func goodDeferredClosure(r *Ring, t int) {
+	r.Pin(t)
+	defer func() { r.Unpin(t) }()
+}
+
+// goodHandoff is the server's livePinned idiom: the pinned step is
+// recorded in a struct field and unpinned on the next round.
+func (s *server) goodHandoff(t int) {
+	s.ring.Pin(t)
+	s.pinned = t
+}
+
+// goodRotate pins the new step and unpins the previous one.
+func (s *server) goodRotate(t int) {
+	s.ring.Pin(t)
+	if s.pinned >= 0 {
+		s.ring.Unpin(s.pinned)
+	}
+	s.pinned = t
+}
+
+func allowedLeak(r *Ring, t int) {
+	r.Pin(t) //vw:allow pinownership -- fixture: unpinned by the producer callback
+}
+
+func allowedLoad(r *Ring, t int) {
+	//vw:allow pinownership -- fixture: caller holds the pin
+	_, _ = r.LoadStep(t)
+}

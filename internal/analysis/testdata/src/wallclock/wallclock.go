@@ -14,6 +14,7 @@ import (
 type clock interface {
 	Now() time.Time
 	After(d time.Duration) <-chan time.Time
+	Sleep(d time.Duration)
 }
 
 // RealClock models netsim.RealClock: a package-level var whose methods
@@ -26,17 +27,23 @@ func bad() {
 	time.Sleep(time.Millisecond)       // want `time\.Sleep reads the wall clock`
 	_ = time.After(time.Second)        // want `time\.After reads the wall clock`
 	_ = time.NewTicker(time.Second)    // want `time\.NewTicker reads the wall clock`
+	_ = time.Tick(time.Second)         // want `time\.Tick reads the wall clock`
+	_ = time.NewTimer(time.Second)     // want `time\.NewTimer reads the wall clock`
+	_ = time.AfterFunc(time.Second, func() {}) // want `time\.AfterFunc reads the wall clock`
 	_ = time.Since(time.Time{})        // want `time\.Since reads the wall clock`
+	_ = time.Until(time.Time{})        // want `time\.Until reads the wall clock`
 	_ = rand.Intn(10)                  // want `global rand\.Intn is nondeterministic`
 	_ = rand.Float64()                 // want `global rand\.Float64 is nondeterministic`
 	rand.Shuffle(3, func(i, j int) {}) // want `global rand\.Shuffle is nondeterministic`
 	_ = RealClock.Now()                // want `Now on RealClock bypasses clock injection`
 	_ = RealClock.After(time.Second)   // want `After on RealClock bypasses clock injection`
+	RealClock.Sleep(time.Millisecond)  // want `Sleep on RealClock bypasses clock injection`
 }
 
 func good(c clock, r *rand.Rand) {
 	_ = c.Now()                      // injected clock
 	_ = c.After(time.Second)         // injected clock
+	c.Sleep(time.Millisecond)        // injected clock
 	_ = r.Intn(10)                   // seeded source
 	_ = rand.New(rand.NewSource(42)) // constructing a seeded source is fine
 	t0 := time.Unix(0, 0)            // pure constructor

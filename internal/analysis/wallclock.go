@@ -49,7 +49,7 @@ var wallclockRandExempt = map[string]bool{
 }
 
 func runWallclock(pass *Pass) {
-	if !pass.Directives.Deterministic {
+	if !pass.Class.Deterministic {
 		return
 	}
 	for _, file := range pass.Files {
@@ -64,11 +64,12 @@ func runWallclock(pass *Pass) {
 			}
 			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
 				// One escape hatch must be caught before the method
-				// exemption: calling Now/After directly on the
-				// package-level RealClock var (netsim's real
-				// implementation) is a method call syntactically, but
-				// it reads the wall clock while dodging injection.
-				if (fn.Name() == "Now" || fn.Name() == "After") && isRealClockVar(pass.Info, call) {
+				// exemption: calling any wall-clock method (Now, After,
+				// Sleep, NewTicker, ...) directly on the package-level
+				// RealClock var (netsim's real implementation) is a
+				// method call syntactically, but it reads the wall
+				// clock while dodging injection.
+				if wallclockTimeFuncs[fn.Name()] && isRealClockVar(pass.Info, call) {
 					pass.Reportf(call.Pos(),
 						"%s on RealClock bypasses clock injection in a deterministic package; accept a netsim.Clock instead", fn.Name())
 				}

@@ -4,6 +4,8 @@
 // redraws the head-tracked stereo display from the latest received
 // state at its own, much higher rate — "the graphics performance is
 // not tied to the network and remote computation performance".
+//
+//vw:wire
 package client
 
 import (

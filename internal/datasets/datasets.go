@@ -4,6 +4,8 @@
 // Navier-Stokes solver (a genuine simulation around an immersed
 // tapered cylinder). Both produce grid-coordinate unsteady fields
 // ready for the server.
+//
+//vw:deterministic
 package datasets
 
 import (

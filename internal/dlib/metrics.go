@@ -75,7 +75,13 @@ func (s *Server) ProcNames() []string {
 		names = append(names, n)
 	}
 	sort.Slice(names, func(i, j int) bool {
-		return stats[names[i]].Total > stats[names[j]].Total
+		// Tie-break by name: sort.Slice is unstable and the names come
+		// off a map, so equal totals (common at startup, all zero)
+		// would otherwise order differently on every call.
+		if ti, tj := stats[names[i]].Total, stats[names[j]].Total; ti != tj {
+			return ti > tj
+		}
+		return names[i] < names[j]
 	})
 	return names
 }

@@ -1,0 +1,27 @@
+package dlib
+
+import (
+	"slices"
+	"testing"
+	"time"
+)
+
+// TestProcNamesDeterministicOrder pins the tie-break: equal totals —
+// the startup norm, where every counter is zero — must order by name
+// on every call, even though the names come off a map and sort.Slice
+// is unstable. A monitoring page polling ProcNames must not see rows
+// shuffle between refreshes.
+func TestProcNamesDeterministicOrder(t *testing.T) {
+	s := NewServer()
+	for _, name := range []string{"vw.frame", "vw.hello", "vw.steer", "vw.whoami", "vw.hello2"} {
+		s.metrics.record(name, 0, 1, 1, false)
+	}
+	s.metrics.record("vw.busy", time.Second, 1, 1, false)
+
+	want := []string{"vw.busy", "vw.frame", "vw.hello", "vw.hello2", "vw.steer", "vw.whoami"}
+	for i := 0; i < 50; i++ {
+		if got := s.ProcNames(); !slices.Equal(got, want) {
+			t.Fatalf("call %d: ProcNames = %v, want %v", i, got, want)
+		}
+	}
+}

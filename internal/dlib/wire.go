@@ -7,6 +7,7 @@
 // a single process environment as though there were only one client."
 //
 //vw:deterministic
+//vw:wire
 package dlib
 
 import (

@@ -40,11 +40,16 @@
 // redialing: the workstation's own resilience layer redials, replays
 // its handshake, and resyncs from a keyframe — the same recovery path
 // as losing a direct connection.
+//
+//vw:deterministic
+//vw:wire
 package relay
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
+	"slices"
 	"sync"
 
 	"repro/internal/dlib"
@@ -184,6 +189,7 @@ func New(cfg Config) (*Relay, error) {
 	r.d.Register(wire.ProcWhoAmI, r.handleWhoAmI)
 	r.d.Register(wire.ProcFrame, r.handleFrame)
 	r.d.Register(wire.ProcFrameRelay, r.handleFrameRelay)
+	r.d.Register(wire.ProcSteer, r.handleSteer)
 	r.d.OnDisconnect = func(id int64) {
 		r.mu.Lock()
 		st := r.sessions[id]
@@ -314,6 +320,18 @@ func (r *Relay) handleWhoAmI(ctx *dlib.Ctx, payload []byte) ([]byte, error) {
 	return r.upcall(ctx, st, wire.ProcWhoAmI, payload)
 }
 
+// handleSteer proxies the live-steering status poll to the origin on
+// this session's pinned upstream leg, so the FCFS steering lock (held
+// by origin session id) and the SteerStatus answer survive the hop
+// exactly like rake locks do.
+func (r *Relay) handleSteer(ctx *dlib.Ctx, payload []byte) ([]byte, error) {
+	st, err := r.ensureSession(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return r.upcall(ctx, st, wire.ProcSteer, payload)
+}
+
 // fetchRound runs one upstream frame exchange for st — the update is
 // applied at the origin and the session's round advances per the
 // origin's rules — and brings this upstream's cache to the resulting
@@ -340,6 +358,11 @@ func (r *Relay) fetchRound(ctx *dlib.Ctx, st *session, update []byte, needSegs b
 		for rake, cs := range c.segs {
 			st.shadow = append(st.shadow, wire.RelayShadowEntry{Rake: rake, Seq: cs.seq})
 		}
+		// The shadow is wire-visible request bytes: map order would
+		// make two identically-cached relays send different requests.
+		slices.SortFunc(st.shadow, func(a, b wire.RelayShadowEntry) int {
+			return cmp.Compare(a.Rake, b.Rake)
+		})
 		req.Shadow = st.shadow
 	}
 	st.buf = wire.AppendRelayFrameRequest(st.buf[:0], req)

@@ -23,7 +23,7 @@ func FuzzSteerCommand(f *testing.F) {
 	inf := math.Float32frombits(0x7f800000)
 	f.Add(float32(2), float32(300), float32(0.8), uint8(1), uint8(0))
 	f.Add(float32(-5), float32(300), float32(0.8), uint8(1), uint8(0)) // negative velocity
-	f.Add(float32(2), nan, float32(0.8), uint8(1), uint8(0))          // NaN Reynolds
+	f.Add(float32(2), nan, float32(0.8), uint8(1), uint8(0))           // NaN Reynolds
 	f.Add(float32(2), float32(300), float32(1e30), uint8(1), uint8(0)) // huge taper
 	f.Add(float32(2), inf, float32(0.8), uint8(0), uint8(1))
 	f.Add(float32(0), float32(0), float32(0), uint8(3), uint8(3))

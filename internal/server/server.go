@@ -34,6 +34,7 @@
 // memory instead of re-reading mass storage.
 //
 //vw:deterministic
+//vw:wire
 package server
 
 import (

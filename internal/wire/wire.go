@@ -5,6 +5,9 @@
 // environment state and the computed visualization geometry as "arrays
 // of floating point vectors in three dimensions" at 12 bytes per
 // point — the encoding whose bandwidth requirements Table 1 tabulates.
+//
+//vw:deterministic
+//vw:wire
 package wire
 
 import (
