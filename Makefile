@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint lint-stats chaos fuzz fuzz-server fuzz-wire ci bench bench-smoke bench-check load load-relay relay soak live
+.PHONY: all build test race vet lint lint-stats chaos fuzz fuzz-server fuzz-wire ci bench bench-smoke bench-check load load-relay relay soak live tools
 
 all: build test
 
@@ -47,11 +47,14 @@ fuzz:
 
 # Short fuzz passes over the server frame/command surfaces with
 # hostile numeric payloads, plus the live-steering command surface
-# (NaN Reynolds, negative inlet velocity, absurd tapers).
+# (NaN Reynolds, negative inlet velocity, absurd tapers) and the
+# shared-tool command surface (NaN iso levels, out-of-range plane
+# axes, unknown tool kinds).
 fuzz-server:
 	$(GO) test -fuzz FuzzHandleFrame -fuzztime 30s ./internal/server/
 	$(GO) test -fuzz FuzzApplyCommand -fuzztime 30s ./internal/server/
 	$(GO) test -fuzz FuzzSteerCommand -fuzztime 30s ./internal/server/
+	$(GO) test -fuzz FuzzToolCommand -fuzztime 30s ./internal/server/
 
 # Short fuzz pass over the codec-v2 frame decoder: hostile counts,
 # truncations, and ref-to-unknown records against a stateful decoder.
@@ -72,8 +75,17 @@ relay:
 live:
 	$(GO) test -race -count=1 -run 'Live|Steer|Ring' ./internal/server/ ./internal/client/ ./internal/store/ ./internal/datasets/ ./internal/env/ ./internal/wire/
 
+# The shared-tool battery: golden corpus (both codecs), cross-server
+# determinism under a degrading governor, relay replays and fan-out,
+# the multi-user conflict chaos suite, the FuzzToolCommand and
+# FuzzDecodeFrameV2 tool seed corpora (seed corpora run as regular
+# tests), and the env/wire/field/isosurf unit suites.
+tools:
+	$(GO) test -race -count=1 -run 'Tool|Iso|Plane|Vortex|Extract|QCriterion' ./internal/server/ ./internal/env/ ./internal/wire/ ./internal/field/ ./internal/isosurf/ ./internal/client/
+	$(GO) test -race -count=1 -run xxx -fuzz FuzzToolCommand -fuzztime 5s ./internal/server/
+
 # The gate a change must pass before merging.
-ci: vet lint race relay live bench-check fuzz-wire load-relay
+ci: vet lint race relay live tools bench-check fuzz-wire load-relay
 
 bench:
 	$(GO) test -bench . -benchmem ./...

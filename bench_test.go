@@ -795,13 +795,13 @@ func BenchmarkFrameEncodeV2(b *testing.B) {
 
 	b.Run("keyframe", func(b *testing.B) {
 		enc := wire.NewFrameEncoder(q)
-		buf := enc.AppendFrame(nil, reply, seqs, segs)
+		buf := enc.AppendFrame(nil, reply, seqs, segs, nil, nil)
 		b.SetBytes(int64(len(buf)))
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			enc.Reset()
-			buf = enc.AppendFrame(buf[:0], reply, seqs, segs)
+			buf = enc.AppendFrame(buf[:0], reply, seqs, segs, nil, nil)
 		}
 		if enc.LastInline != nRakes {
 			b.Fatalf("keyframe inlined %d of %d rakes", enc.LastInline, nRakes)
@@ -810,13 +810,13 @@ func BenchmarkFrameEncodeV2(b *testing.B) {
 
 	b.Run("steady", func(b *testing.B) {
 		enc := wire.NewFrameEncoder(q)
-		buf := enc.AppendFrame(nil, reply, seqs, segs) // warm the shadow
-		buf = enc.AppendFrame(buf[:0], reply, seqs, segs)
+		buf := enc.AppendFrame(nil, reply, seqs, segs, nil, nil) // warm the shadow
+		buf = enc.AppendFrame(buf[:0], reply, seqs, segs, nil, nil)
 		b.SetBytes(int64(len(buf)))
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			buf = enc.AppendFrame(buf[:0], reply, seqs, segs)
+			buf = enc.AppendFrame(buf[:0], reply, seqs, segs, nil, nil)
 		}
 		if enc.LastRef != nRakes {
 			b.Fatalf("steady frame referenced %d of %d rakes", enc.LastRef, nRakes)
@@ -922,4 +922,89 @@ func BenchmarkIsosurfaceExtract(b *testing.B) {
 			b.Fatal("no surface")
 		}
 	}
+}
+
+// BenchmarkIsoToolFrame measures the shared-tool frame pipeline: a
+// session with the isosurface tool enabled exchanging frames. steady
+// holds parameters fixed (tool memo hit, encode-only); relevel bumps
+// the iso level every frame (full marching-cubes recompute priced by
+// the governor path).
+func BenchmarkIsoToolFrame(b *testing.B) {
+	u := benchDataset(b)
+	// The tool pipeline extracts on physical-velocity speed; derive the
+	// level from the same field the server marches.
+	phys, err := field.ToPhysicalVelocity(u.Steps[0], u.Grid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	speed := isosurf.SpeedField(phys)
+	var maxSpeed float32
+	for _, s := range speed {
+		if s > maxSpeed {
+			maxSpeed = s
+		}
+	}
+	level := 0.4 * maxSpeed
+	setup := func(b *testing.B) *dlib.Client {
+		b.Helper()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv, err := core.Serve(ln, store.NewMemory(u), core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { srv.Dlib().Close() })
+		c, err := dlib.Dial(ln.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { c.Close() })
+		out, err := c.Call(wire.ProcFrame, wire.EncodeClientUpdate(wire.ClientUpdate{
+			Commands: []wire.Command{{Kind: wire.CmdIsoSet, Flag: 1, Value: level}},
+		}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := wire.DecodeFrameReply(out)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Tools == nil || r.Tools.TotalPoints() == 0 {
+			b.Fatalf("setup: no isosurface at level %v", level)
+		}
+		return c
+	}
+
+	b.Run("steady", func(b *testing.B) {
+		c := setup(b)
+		empty := wire.EncodeClientUpdate(wire.ClientUpdate{})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Call(wire.ProcFrame, empty); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("relevel", func(b *testing.B) {
+		c := setup(b)
+		levels := [2][]byte{
+			wire.EncodeClientUpdate(wire.ClientUpdate{
+				Commands: []wire.Command{{Kind: wire.CmdIsoSet, Flag: 1, Value: level}},
+			}),
+			wire.EncodeClientUpdate(wire.ClientUpdate{
+				Commands: []wire.Command{{Kind: wire.CmdIsoSet, Flag: 1, Value: level * 1.1}},
+			}),
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Call(wire.ProcFrame, levels[i%2]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

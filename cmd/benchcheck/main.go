@@ -52,7 +52,7 @@ func main() {
 	log.SetPrefix("benchcheck: ")
 	var (
 		baselinePath = flag.String("baseline", "bench_baseline.json", "baseline file")
-		benchRe      = flag.String("bench", "BenchmarkServerMultiRakeFrame|BenchmarkServerFanoutFrame|BenchmarkRelayFanoutFrame|BenchmarkFrameEncodeV2|BenchmarkLiveProducerFrame", "benchmarks to run")
+		benchRe      = flag.String("bench", "BenchmarkServerMultiRakeFrame|BenchmarkServerFanoutFrame|BenchmarkRelayFanoutFrame|BenchmarkFrameEncodeV2|BenchmarkLiveProducerFrame|BenchmarkIsoToolFrame", "benchmarks to run")
 		benchtime    = flag.String("benchtime", "200x", "go test -benchtime")
 		pkg          = flag.String("pkg", ".", "package holding the benchmarks")
 		factor       = flag.Float64("factor", 2.0, "regression threshold multiplier")

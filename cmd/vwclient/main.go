@@ -113,6 +113,10 @@ func main() {
 	fmt.Println(core.Summarize(results))
 	fmt.Printf("downstream: %.2f MB over %d net frames\n",
 		float64(stats.BytesDown)/(1<<20), stats.NetFrames)
+	if stats.ToolFrames > 0 {
+		fmt.Printf("shared tools: %d frames carried a tool section, %d tool points in the last\n",
+			stats.ToolFrames, stats.LastToolPoints)
+	}
 }
 
 func dumpFrame(sess *core.Session, dir string, i int) error {

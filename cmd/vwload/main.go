@@ -61,6 +61,7 @@ func main() {
 		liveRes    = flag.Int("liveres", 16, "live solver X resolution")
 		liveWindow = flag.Int("livewindow", 16, "live history window in timesteps (0 = keep all)")
 		steerEvery = flag.Int("steerevery", 0, "workstation 0 pushes a steering change every N frames (0 = no steering churn)")
+		toolsEvery = flag.Int("tools", 0, "shared-tool mix: enable isosurface + cutting plane + vortex cores and have workstation 0 nudge them every N frames (0 = no tools)")
 	)
 	flag.Parse()
 	if *codec < 1 || *codec > 2 {
@@ -138,6 +139,7 @@ func main() {
 		RelayHops:      *hops,
 		MaxDroppedFrac: *maxDrop,
 		SteerEvery:     *steerEvery,
+		ToolsEvery:     *toolsEvery,
 		Link: netsim.Link{
 			BandwidthBytesPerSec: *bw << 20,
 			Latency:              *latency,
@@ -167,6 +169,10 @@ func main() {
 		fmt.Printf("governor: budget=%v predicted(avg)=%v shed=%d/%d rounds\n",
 			*budget, avgDur(rep.PredictedTime, rep.FramesEncoded),
 			rep.FramesShed, rep.FramesEncoded)
+	}
+	if rep.ToolsComputed > 0 || rep.ToolsReused > 0 {
+		fmt.Printf("shared tools: computed=%d reused=%d points=%d\n",
+			rep.ToolsComputed, rep.ToolsReused, rep.ToolPoints)
 	}
 	if rep.HasCache {
 		c := rep.Cache

@@ -22,6 +22,7 @@ import (
 	"repro/internal/compute"
 	"repro/internal/core"
 	"repro/internal/datasets"
+	"repro/internal/env"
 	"repro/internal/field"
 	"repro/internal/obs"
 	"repro/internal/server"
@@ -47,6 +48,11 @@ func main() {
 		codec    = flag.Int("codec", 2, "highest frame codec to negotiate: 1 = classic full frames only, 2 = allow delta/quantized (v1 clients still served byte-for-byte)")
 		debug    = flag.String("debug", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address, e.g. localhost:6060 (empty = disabled)")
 
+		isoLevel  = flag.Float64("iso", 0, "seed the shared isosurface tool enabled at this speed iso-level (0 = tool subsystem untouched until a client enables it)")
+		planeAxis = flag.Int("planeaxis", 0, "slicing axis for -planefrac: 0=I 1=J 2=K")
+		planeFrac = flag.Float64("planefrac", -1, "seed the shared cutting plane enabled at this fractional position along -planeaxis (negative = off)")
+		vortexQ   = flag.Float64("vortex", 0, "seed the shared vortex-core extractor enabled at this Q-criterion threshold (0 = off)")
+
 		live       = flag.Bool("live", false, "in-situ mode: run the Navier-Stokes solver as a live timestep producer instead of serving a -data directory; workstations can steer inlet velocity / Reynolds / taper")
 		liveRes    = flag.Int("liveres", 48, "live solver X resolution (Y and Z scale proportionally)")
 		liveSteps  = flag.Int("livesteps", 1024, "live session horizon in produced timesteps")
@@ -61,6 +67,24 @@ func main() {
 	}
 	if *codec < 1 || *codec > 2 {
 		log.Fatalf("-codec %d: must be 1 or 2", *codec)
+	}
+	var toolIso env.IsoParams
+	if *isoLevel > 0 {
+		toolIso = env.IsoParams{Enabled: true, Level: float32(*isoLevel)}
+	}
+	var toolPlane env.PlaneParams
+	if *planeFrac >= 0 {
+		if *planeAxis < 0 || *planeAxis > 2 {
+			log.Fatalf("-planeaxis %d: must be 0, 1, or 2", *planeAxis)
+		}
+		if *planeFrac > 1 {
+			log.Fatalf("-planefrac %v: must be in [0,1]", *planeFrac)
+		}
+		toolPlane = env.PlaneParams{Enabled: true, Axis: uint8(*planeAxis), Frac: float32(*planeFrac)}
+	}
+	var toolVortex env.VortexParams
+	if *vortexQ != 0 {
+		toolVortex = env.VortexParams{Enabled: true, Threshold: float32(*vortexQ)}
 	}
 
 	var engine compute.Engine
@@ -93,6 +117,9 @@ func main() {
 			MaxSeedsPerRake: *maxSeeds,
 			Budget:          *budget,
 			MaxCodec:        *codec,
+			Iso:             toolIso,
+			Plane:           toolPlane,
+			Vortex:          toolVortex,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -127,6 +154,9 @@ func main() {
 			CacheBytes:      *cacheMB << 20,
 			Budget:          *budget,
 			MaxCodec:        *codec,
+			Iso:             toolIso,
+			Plane:           toolPlane,
+			Vortex:          toolVortex,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -66,6 +66,11 @@ type Stats struct {
 	// fidelity).
 	DegradedFrames int64
 	LastDegraded   uint8
+	// ToolFrames counts replies carrying a shared-tool section, and
+	// LastToolPoints is the tool geometry size (isosurface triangle
+	// vertices plus hedgehog endpoints) of the most recent one.
+	ToolFrames     int64
+	LastToolPoints int64
 }
 
 // Workstation is one user's machine.
@@ -99,8 +104,10 @@ type Workstation struct {
 	lastErr error
 	rounds  int64 // distinct reply.Round values seen
 	// degradedFrames counts replies received with a non-zero
-	// degradation byte.
+	// degradation byte; toolFrames counts replies carrying a
+	// shared-tool section.
 	degradedFrames int64
+	toolFrames     int64
 }
 
 // newWorkstation builds the renderer side; the caller wires the
@@ -313,6 +320,57 @@ func (w *Workstation) Steer(inflowU, reynolds, taper float32) {
 	w.Queue(wire.Command{Kind: wire.CmdSteer, P0: vmath.V3(inflowU, reynolds, taper)})
 }
 
+// GrabIso queues a grab of the shared isosurface tool's FCFS lock.
+func (w *Workstation) GrabIso() {
+	w.Queue(wire.Command{Kind: wire.CmdIsoGrab})
+}
+
+// ReleaseIso queues a release of the isosurface lock.
+func (w *Workstation) ReleaseIso() {
+	w.Queue(wire.Command{Kind: wire.CmdIsoRelease})
+}
+
+// SetIso queues an isosurface parameter change: enable/disable plus
+// the speed iso-level, as one atomic command. Requires holding the iso
+// lock (or it being free — the server grabs FCFS on first touch).
+func (w *Workstation) SetIso(enabled bool, level float32) {
+	var f uint8
+	if enabled {
+		f = 1
+	}
+	w.Queue(wire.Command{Kind: wire.CmdIsoSet, Flag: f, Value: level})
+}
+
+// GrabPlane queues a grab of the shared cutting plane's FCFS lock.
+func (w *Workstation) GrabPlane() {
+	w.Queue(wire.Command{Kind: wire.CmdPlaneGrab})
+}
+
+// ReleasePlane queues a release of the cutting-plane lock.
+func (w *Workstation) ReleasePlane() {
+	w.Queue(wire.Command{Kind: wire.CmdPlaneRelease})
+}
+
+// MovePlane queues a cutting-plane move: the slicing axis (0/1/2) and
+// the fractional position along it, plus the enable bit, atomically.
+func (w *Workstation) MovePlane(enabled bool, axis uint8, frac float32) {
+	var f uint8
+	if enabled {
+		f = 1
+	}
+	w.Queue(wire.Command{Kind: wire.CmdPlaneMove, Flag: f, Grab: axis, Value: frac})
+}
+
+// ToggleVortex queues a vortex-core extractor change: enable/disable
+// plus the Q-criterion threshold.
+func (w *Workstation) ToggleVortex(enabled bool, threshold float32) {
+	var f uint8
+	if enabled {
+		f = 1
+	}
+	w.Queue(wire.Command{Kind: wire.CmdVortexToggle, Flag: f, Value: threshold})
+}
+
 // SteerStatus fetches the server's current steering state: parameters,
 // lock holder, and change counter.
 func (w *Workstation) SteerStatus() (wire.SteerStatus, error) {
@@ -408,6 +466,9 @@ func (w *Workstation) NetStep(pose vr.Pose) error {
 	if reply.Degraded > 0 {
 		w.degradedFrames++
 	}
+	if reply.Tools != nil {
+		w.toolFrames++
+	}
 	w.latest = reply
 	w.haveOne = true
 	w.lastErr = nil
@@ -492,6 +553,9 @@ func drawScene(r *render.Renderer, state wire.FrameReply, selfID int64) {
 		}
 		r.Line(rk.P0, rk.P1, c)
 	}
+	if state.Tools != nil {
+		drawTools(r, state.Tools)
+	}
 	// Other users render as a hand tripod plus a head glyph, so
 	// participants see "where everyone is" (§5.1: "the position of the
 	// users' heads would also be sent so that they may be displayed as
@@ -507,6 +571,48 @@ func drawScene(r *render.Renderer, state wire.FrameReply, selfID int64) {
 		r.Line(h.Sub(vmath.V3(0, s, 0)), h.Add(vmath.V3(0, s, 0)), c)
 		r.Line(h.Sub(vmath.V3(0, 0, s)), h.Add(vmath.V3(0, 0, s)), c)
 		drawHead(r, u.Head, c)
+	}
+}
+
+// drawTools draws the shared-tool geometry: isosurfaces and vortex
+// cores as wireframe triangle soups (each geometry record is a flat
+// vertex list, three per triangle), the cutting plane as its hedgehog
+// of velocity vectors (two points per glyph). Held tools brighten,
+// matching the rake grab highlight.
+func drawTools(r *render.Renderer, t *wire.ToolsReply) {
+	for _, g := range t.Geoms {
+		var c render.Color
+		var held bool
+		pairs := false
+		switch g.Tool {
+		case wire.ToolKindIso:
+			c = render.Color{R: 80, G: 170, B: 200}
+			held = t.Iso.Holder != 0
+		case wire.ToolKindPlane:
+			c = render.Color{R: 90, G: 200, B: 110}
+			held = t.Plane.Holder != 0
+			pairs = true
+		case wire.ToolKindVortex:
+			c = render.Color{R: 210, G: 110, B: 200}
+			held = t.Vortex.Holder != 0
+		default:
+			continue
+		}
+		if held {
+			c = render.Color{R: 255, G: 255, B: 255}
+		}
+		p := g.Points
+		if pairs {
+			for i := 0; i+1 < len(p); i += 2 {
+				r.Line(p[i], p[i+1], c)
+			}
+			continue
+		}
+		for i := 0; i+2 < len(p); i += 3 {
+			r.Line(p[i], p[i+1], c)
+			r.Line(p[i+1], p[i+2], c)
+			r.Line(p[i+2], p[i], c)
+		}
 	}
 }
 
@@ -536,6 +642,11 @@ func (w *Workstation) Stats() Stats {
 	lastRound := w.latest.Round
 	degraded := w.degradedFrames
 	lastDegraded := w.latest.Degraded
+	toolFrames := w.toolFrames
+	var lastToolPoints int64
+	if w.latest.Tools != nil {
+		lastToolPoints = int64(w.latest.Tools.TotalPoints())
+	}
 	w.mu.Unlock()
 	return Stats{
 		NetFrames:      w.netFrames.Load(),
@@ -547,6 +658,8 @@ func (w *Workstation) Stats() Stats {
 		LastRound:      lastRound,
 		DegradedFrames: degraded,
 		LastDegraded:   lastDegraded,
+		ToolFrames:     toolFrames,
+		LastToolPoints: lastToolPoints,
 	}
 }
 

@@ -70,6 +70,13 @@ type Options struct {
 	// wire.CodecV1 runs the legacy v1 exchange, wire.CodecV2 asks for
 	// delta/quantized frames (falling back to v1 against old servers).
 	Codec uint8
+	// Iso, Plane, Vortex seed the shared visualization tools
+	// server-side (isosurface level, cutting plane, Q-criterion vortex
+	// cores). All three zero leaves the tool subsystem untouched and
+	// frames byte-identical to pre-tool builds.
+	Iso    env.IsoParams
+	Plane  env.PlaneParams
+	Vortex env.VortexParams
 }
 
 // Session is a connected windtunnel: a workstation (always) and, for
@@ -98,6 +105,9 @@ func LaunchLocal(dataset *field.Unsteady, opts Options) (*Session, error) {
 		RakeWorkers:     opts.RakeWorkers,
 		Budget:          opts.Budget,
 		MaxCodec:        opts.MaxCodec,
+		Iso:             opts.Iso,
+		Plane:           opts.Plane,
+		Vortex:          opts.Vortex,
 	})
 	if err != nil {
 		return nil, err
@@ -121,6 +131,9 @@ func Serve(ln net.Listener, st store.Store, opts Options) (*server.Server, error
 		CacheBytes:      opts.CacheBytes,
 		Budget:          opts.Budget,
 		MaxCodec:        opts.MaxCodec,
+		Iso:             opts.Iso,
+		Plane:           opts.Plane,
+		Vortex:          opts.Vortex,
 	})
 	if err != nil {
 		return nil, err
@@ -158,6 +171,9 @@ func ServeLive(ln net.Listener, lv *datasets.Live, opts Options) (*server.Server
 		RakeWorkers:     opts.RakeWorkers,
 		Budget:          opts.Budget,
 		MaxCodec:        opts.MaxCodec,
+		Iso:             opts.Iso,
+		Plane:           opts.Plane,
+		Vortex:          opts.Vortex,
 		Steer: env.SteerParams{
 			InflowU:  def.InflowU,
 			Reynolds: def.Reynolds,

@@ -68,6 +68,15 @@ type Environment struct {
 	steer        SteerParams
 	steerHolder  int64
 	steerVersion uint64
+	// Shared tool state (see tools.go): the isosurface, cutting-plane,
+	// and vortex-core parameters with their FCFS locks and per-tool
+	// version counters. Tool versions start at 0 = "never touched".
+	iso        IsoParams
+	isoLock    toolLock
+	plane      PlaneParams
+	planeLock  toolLock
+	vortex     VortexParams
+	vortexLock toolLock
 	// version counts every observable state change (rakes, locks,
 	// poses, time). A frame computed at version V can be replayed
 	// verbatim while the version holds — the server's whole-frame
@@ -172,8 +181,8 @@ func (e *Environment) ReleaseRake(user int64, id int32) error {
 	return nil
 }
 
-// ReleaseAll frees every rake — and the steering lock — the user
-// holds and forgets the user's pose; called when a workstation
+// ReleaseAll frees every rake — and the steering and tool locks — the
+// user holds and forgets the user's pose; called when a workstation
 // disconnects so its locks cannot wedge the shared session.
 func (e *Environment) ReleaseAll(user int64) {
 	e.mu.Lock()
@@ -188,6 +197,13 @@ func (e *Environment) ReleaseAll(user int64) {
 	}
 	if e.steerHolder == user {
 		e.steerHolder = 0
+	}
+	// Tool holders ship in frames, so freeing one is a visible change.
+	for _, l := range []*toolLock{&e.isoLock, &e.planeLock, &e.vortexLock} {
+		if l.holder == user {
+			l.holder = 0
+			changed = true
+		}
 	}
 	if _, ok := e.users[user]; ok {
 		changed = true

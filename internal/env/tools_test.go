@@ -1,0 +1,166 @@
+package env
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestToolGrabFCFS(t *testing.T) {
+	e := New(10)
+	if err := e.GrabIso(1); err != nil {
+		t.Fatal(err)
+	}
+	// Re-grabbing your own lock is a no-op, not an error.
+	if err := e.GrabIso(1); err != nil {
+		t.Fatalf("self re-grab: %v", err)
+	}
+	// A rival bounces with a typed error naming the holder.
+	err := e.GrabIso(2)
+	var locked *ErrToolLocked
+	if !errors.As(err, &locked) || locked.Holder != 1 || locked.Tool != ToolIso {
+		t.Fatalf("rival grab: %v", err)
+	}
+	// Rival parameter changes bounce too.
+	if err := e.SetIso(2, IsoParams{Enabled: true, Level: 1}); err == nil {
+		t.Fatal("rival SetIso accepted while held")
+	}
+	// The holder edits freely; release frees it for the rival.
+	if err := e.SetIso(1, IsoParams{Enabled: true, Level: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ReleaseIso(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.GrabIso(2); err != nil {
+		t.Fatalf("grab after release: %v", err)
+	}
+	// Releasing a lock you don't hold is an error.
+	if err := e.ReleaseIso(1); err == nil {
+		t.Fatal("release by non-holder accepted")
+	}
+}
+
+func TestToolVersionsCountParameterChanges(t *testing.T) {
+	e := New(10)
+	v0 := e.Tools()
+	if v0.Iso.Version != 0 || v0.Plane.Version != 0 || v0.Vortex.Version != 0 {
+		t.Fatalf("fresh env has nonzero tool versions: %+v", v0)
+	}
+	// A real change bumps exactly the touched tool's version.
+	if err := e.SetIso(1, IsoParams{Enabled: true, Level: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	v1 := e.Tools()
+	if v1.Iso.Version != 1 || v1.Plane.Version != 0 {
+		t.Fatalf("iso change: %+v", v1)
+	}
+	// Setting identical parameters is a no-op: no version bump, so the
+	// server's geometry memo stays warm.
+	if err := e.SetIso(1, IsoParams{Enabled: true, Level: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if v := e.Tools(); v.Iso.Version != 1 {
+		t.Fatalf("no-op set bumped the version: %+v", v)
+	}
+	// Grab/release are holder changes, not parameter changes: the tool
+	// version (the memo key) must not move.
+	if err := e.GrabPlane(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ReleasePlane(2); err != nil {
+		t.Fatal(err)
+	}
+	if v := e.Tools(); v.Plane.Version != 0 {
+		t.Fatalf("grab/release bumped the plane version: %+v", v)
+	}
+	// But holder changes are frame-observable: the whole-environment
+	// version must move so the frame memo re-encodes.
+	envBefore := e.Version()
+	if err := e.GrabVortexForTest(3); err != nil {
+		t.Fatal(err)
+	}
+	if e.Version() == envBefore {
+		t.Fatal("grab did not bump the environment version")
+	}
+}
+
+// GrabVortexForTest exercises the vortex lock path, which has no
+// dedicated wire command (toggles are one-shot) but keeps the FCFS
+// contract uniform.
+func (e *Environment) GrabVortexForTest(user int64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.grabToolLocked(ToolVortex, &e.vortexLock, user)
+}
+
+func TestReleaseAllFreesToolLocks(t *testing.T) {
+	e := New(10)
+	if err := e.GrabIso(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.GrabPlane(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetVortex(7, VortexParams{Enabled: true, Threshold: 0.01}); err != nil {
+		t.Fatal(err)
+	}
+	// Another user's locks are untouched by user 7's departure.
+	if err := e.GrabVortexForTest(8); err != nil {
+		t.Fatal(err)
+	}
+	e.ReleaseAll(7)
+	ts := e.Tools()
+	if ts.Iso.Holder != 0 || ts.Plane.Holder != 0 {
+		t.Fatalf("departure left tools held: iso=%d plane=%d", ts.Iso.Holder, ts.Plane.Holder)
+	}
+	if ts.Vortex.Holder != 8 {
+		t.Fatalf("departure released another user's vortex lock: %d", ts.Vortex.Holder)
+	}
+	// Parameters survive the departure — the tool stays enabled for the
+	// room, only the lock comes free.
+	if !ts.Vortex.Params.Enabled || ts.Vortex.Params.Threshold != 0.01 {
+		t.Fatalf("departure reset tool params: %+v", ts.Vortex.Params)
+	}
+}
+
+func TestToolsActiveSticky(t *testing.T) {
+	e := New(10)
+	if e.Tools().Active() {
+		t.Fatal("fresh environment reports active tools")
+	}
+	if err := e.SetIso(1, IsoParams{Enabled: true, Level: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Tools().Active() {
+		t.Fatal("enabled tool not active")
+	}
+	// Disabling leaves the section active (version > 0): clients that
+	// saw the tool must keep seeing its state to observe the disable.
+	if err := e.SetIso(1, IsoParams{}); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Tools().Active() {
+		t.Fatal("Active must be sticky once a tool was ever touched")
+	}
+}
+
+func TestInitToolsSeedsWithoutVersionBump(t *testing.T) {
+	e := New(10)
+	e.InitTools(
+		IsoParams{Enabled: true, Level: 0.8},
+		PlaneParams{Enabled: true, Axis: 1, Frac: 0.5},
+		VortexParams{Enabled: true, Threshold: 0.01},
+	)
+	ts := e.Tools()
+	if !ts.Iso.Params.Enabled || ts.Iso.Params.Level != 0.8 {
+		t.Fatalf("iso seed: %+v", ts.Iso)
+	}
+	if ts.Iso.Version != 0 || ts.Plane.Version != 0 || ts.Vortex.Version != 0 {
+		t.Fatalf("seeding counted as a change: %+v", ts)
+	}
+	// A seeded environment is active (enabled params), so frames carry
+	// the section from round one.
+	if !ts.Active() {
+		t.Fatal("seeded tools not active")
+	}
+}

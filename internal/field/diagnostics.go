@@ -112,6 +112,37 @@ func Vorticity(g *grid.Grid, f *Field) (*Field, error) {
 	return out, nil
 }
 
+// QCriterion returns the node-indexed Q-criterion of a
+// physical-coordinate velocity field: Q = ½(‖Ω‖² − ‖S‖²) where S and
+// Ω are the symmetric and antisymmetric parts of the velocity-gradient
+// tensor. Q > 0 marks rotation-dominated regions, so the vortex-core
+// tool extracts the isosurface of this scalar at a small positive
+// threshold. Expanding the norms, Q = −½ ∂u_i/∂x_j ∂u_j/∂x_i.
+// Degenerate cells produce Q = 0 rather than an error.
+func QCriterion(g *grid.Grid, f *Field) ([]float32, error) {
+	if f.Coords != Physical {
+		return nil, fmt.Errorf("field: Q-criterion needs physical-coordinate velocities")
+	}
+	if !f.MatchesGrid(g) {
+		return nil, fmt.Errorf("field: dims do not match grid")
+	}
+	out := make([]float32, f.NumNodes())
+	for k := 0; k < f.NK; k++ {
+		for j := 0; j < f.NJ; j++ {
+			for i := 0; i < f.NI; i++ {
+				gu, gv, gw, ok := physicalGradients(g, f, i, j, k)
+				if !ok {
+					continue
+				}
+				q := -0.5*(gu.X*gu.X+gv.Y*gv.Y+gw.Z*gw.Z) -
+					(gu.Y*gv.X + gu.Z*gw.X + gv.Z*gw.Y)
+				out[g.Index(i, j, k)] = q
+			}
+		}
+	}
+	return out, nil
+}
+
 // DivergenceStats returns the mean and max absolute divergence of a
 // physical-coordinate field — the incompressibility diagnostic.
 func DivergenceStats(g *grid.Grid, f *Field) (mean, max float64, err error) {

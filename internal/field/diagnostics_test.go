@@ -173,3 +173,83 @@ func TestVorticityOnCurvilinearGrid(t *testing.T) {
 		}
 	}
 }
+
+// TestQCriterionShearVsRotation: Q is negative (strain-dominated) in
+// pure shear, positive (rotation-dominated) inside solid-body
+// rotation — the separation the vortex-core tool's threshold relies
+// on.
+func TestQCriterionShearVsRotation(t *testing.T) {
+	g := fineGrid(t, 17)
+	c := float32(math.Pi) // domain center
+
+	// Pure shear u = (y, 0, 0): S and Omega have equal norms minus the
+	// diagonal, Q = -1/4 ((du/dy)^2 ... ) < 0 at interior nodes:
+	// expanding, Q = -du/dy * dv/dx = 0 - actually Q = -gu.Y*gv.X = 0;
+	// for u=(y,0,0): Q = -1/2(0) - (1*0+0+0) = 0. Use a strain field
+	// u=(x,-y,0) instead: Q = -1/2(1+1) = -1.
+	strain := sampleAnalytic(g, func(p vmath.Vec3) vmath.Vec3 {
+		return vmath.V3(p.X-c, -(p.Y - c), 0)
+	})
+	qs, err := QCriterion(g, strain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Solid rotation u = (-y, x, 0): Q = -gu.Y*gv.X = -(-1)(1) = 1 > 0.
+	rot := sampleAnalytic(g, func(p vmath.Vec3) vmath.Vec3 {
+		return vmath.V3(-(p.Y - c), p.X-c, 0)
+	})
+	qr, err := QCriterion(g, rot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := g.Index(8, 8, 8)
+	if qs[mid] >= 0 {
+		t.Errorf("pure strain Q = %v at center, want < 0", qs[mid])
+	}
+	if qr[mid] <= 0 {
+		t.Errorf("solid rotation Q = %v at center, want > 0", qr[mid])
+	}
+	if math.Abs(float64(qs[mid])+1) > 0.05 {
+		t.Errorf("strain Q = %v, want -1", qs[mid])
+	}
+	if math.Abs(float64(qr[mid])-1) > 0.05 {
+		t.Errorf("rotation Q = %v, want 1", qr[mid])
+	}
+
+	// Coordinate-system guard: grid-coordinate input is rejected.
+	gc := NewField(g.NI, g.NJ, g.NK, GridCoords)
+	if _, err := QCriterion(g, gc); err == nil {
+		t.Error("grid-coordinate field accepted")
+	}
+}
+
+// TestToPhysicalVelocityCartesianScale: on a Cartesian grid the
+// Jacobian is the (constant) cell size, so grid-coordinate velocities
+// scale by spacing; converting twice is rejected.
+func TestToPhysicalVelocityCartesianScale(t *testing.T) {
+	g, err := grid.NewCartesian(5, 5, 5, vmath.AABB{
+		Min: vmath.V3(0, 0, 0), Max: vmath.V3(8, 4, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewField(5, 5, 5, GridCoords)
+	for i := range f.U {
+		f.U[i], f.V[i], f.W[i] = 1, 1, 1
+	}
+	p, err := ToPhysicalVelocity(f, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spacing: (8,4,2)/(5-1) = (2,1,0.5) per grid unit.
+	got := p.At(2, 2, 2)
+	if got != vmath.V3(2, 1, 0.5) {
+		t.Errorf("physical velocity %v, want (2 1 0.5)", got)
+	}
+	if p.Coords != Physical {
+		t.Errorf("coords = %v", p.Coords)
+	}
+	if _, err := ToPhysicalVelocity(p, g); err == nil {
+		t.Error("double conversion accepted")
+	}
+}

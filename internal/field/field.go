@@ -168,6 +168,37 @@ func ToGridCoords(f *Field, g *grid.Grid) (*Field, error) {
 	return out, nil
 }
 
+// ToPhysicalVelocity converts a grid-coordinate field back to
+// physical velocities by applying the grid Jacobian at every node:
+// u_phys = J u_grid — the inverse of ToGridCoords, used by the shared
+// field-diagnostic tools whose scalars (speed, Q-criterion) are only
+// meaningful in physical space.
+func ToPhysicalVelocity(f *Field, g *grid.Grid) (*Field, error) {
+	if f.Coords == Physical {
+		return nil, fmt.Errorf("field: already in physical coordinates")
+	}
+	if !f.MatchesGrid(g) {
+		return nil, fmt.Errorf("field: dims %dx%dx%d do not match grid %dx%dx%d",
+			f.NI, f.NJ, f.NK, g.NI, g.NJ, g.NK)
+	}
+	out := NewField(f.NI, f.NJ, f.NK, Physical)
+	for k := 0; k < f.NK; k++ {
+		for j := 0; j < f.NJ; j++ {
+			for i := 0; i < f.NI; i++ {
+				gc := vmath.Vec3{X: float32(i), Y: float32(j), Z: float32(k)}
+				cols := g.Jacobian(gc)
+				u := f.At(i, j, k)
+				out.SetAt(i, j, k, vmath.Vec3{
+					X: cols[0].X*u.X + cols[1].X*u.Y + cols[2].X*u.Z,
+					Y: cols[0].Y*u.X + cols[1].Y*u.Y + cols[2].Y*u.Z,
+					Z: cols[0].Z*u.X + cols[1].Z*u.Y + cols[2].Z*u.Z,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
 func solveJacobian(cols [3]vmath.Vec3, b vmath.Vec3) (vmath.Vec3, bool) {
 	det := cols[0].Dot(cols[1].Cross(cols[2]))
 	if det < 1e-12 && det > -1e-12 {

@@ -9,6 +9,8 @@ package isosurf
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/field"
 	"repro/internal/grid"
@@ -39,20 +41,123 @@ func cornerOffset(c int) (int, int, int) {
 // node-indexed scalar array on grid g. The scalar must have one value
 // per grid node.
 func Extract(g *grid.Grid, scalar []float32, iso float32) ([]Triangle, error) {
-	if len(scalar) != g.NumNodes() {
-		return nil, fmt.Errorf("isosurf: scalar has %d values for %d nodes", len(scalar), g.NumNodes())
+	return ExtractStride(g, scalar, iso, 1)
+}
+
+// ExtractStride marches coarsened cells: each cell spans stride nodes
+// per axis (clamped at the far boundary), so stride 2 visits ~1/8 the
+// cells of stride 1. This is the fidelity axis the frame-budget
+// governor sheds shared tools along — a coarser surface, never a
+// missing one.
+//
+// Triangle emission order is pinned: cells in k-major/j/i order,
+// tetrahedra in table order within a cell. Two servers extracting the
+// same (scalar, iso, stride) emit identical triangle streams, which is
+// what lets tool geometry bytes be compared across servers and shipped
+// through relays verbatim.
+func ExtractStride(g *grid.Grid, scalar []float32, iso float32, stride int) ([]Triangle, error) {
+	if err := checkExtract(g, scalar, stride); err != nil {
+		return nil, err
 	}
+	return extractSlab(nil, g, scalar, iso, stride, 0, g.NK-1), nil
+}
+
+// ExtractParallel is ExtractStride with the k-slabs marched by worker
+// goroutines. Workers claim slabs from a shared counter, so which
+// goroutine marches which slab is scheduler-dependent — the merge
+// therefore concatenates per-slab outputs in ascending slab order,
+// pinning the emitted stream to exactly the serial order. (The naive
+// merge — append as workers finish — emits triangles in completion
+// order and two runs of the same server diverge; the cross-server
+// determinism tests in internal/isosurf and internal/server pin the
+// fix.)
+func ExtractParallel(g *grid.Grid, scalar []float32, iso float32, stride, workers int) ([]Triangle, error) {
+	if err := checkExtract(g, scalar, stride); err != nil {
+		return nil, err
+	}
+	// Slab boundaries: contiguous runs of strided k values.
+	var starts []int
+	for k := 0; k < g.NK-1; k += stride {
+		starts = append(starts, k)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	slabK := len(starts)/workers + 1
+	var slabs [][2]int
+	for s := 0; s < len(starts); s += slabK {
+		end := g.NK - 1
+		if s+slabK < len(starts) {
+			end = starts[s+slabK]
+		}
+		slabs = append(slabs, [2]int{starts[s], end})
+	}
+	parts := make([][]Triangle, len(slabs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers && w < len(slabs); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= len(slabs) {
+					return
+				}
+				parts[s] = extractSlab(nil, g, scalar, iso, stride, slabs[s][0], slabs[s][1])
+			}
+		}()
+	}
+	wg.Wait()
 	var out []Triangle
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+func checkExtract(g *grid.Grid, scalar []float32, stride int) error {
+	if len(scalar) != g.NumNodes() {
+		return fmt.Errorf("isosurf: scalar has %d values for %d nodes", len(scalar), g.NumNodes())
+	}
+	if stride < 1 {
+		return fmt.Errorf("isosurf: stride %d < 1", stride)
+	}
+	return nil
+}
+
+// extractSlab marches the strided cells whose low-k corner lies in
+// [k0, k1), appending to out in pinned k/j/i order.
+func extractSlab(out []Triangle, g *grid.Grid, scalar []float32, iso float32, stride, k0, k1 int) []Triangle {
 	var vals [8]float32
 	var pos [8]vmath.Vec3
-	for k := 0; k < g.NK-1; k++ {
-		for j := 0; j < g.NJ-1; j++ {
-			for i := 0; i < g.NI-1; i++ {
+	clamp := func(n, limit int) int {
+		if n > limit {
+			return limit
+		}
+		return n
+	}
+	for k := k0; k < k1 && k < g.NK-1; k += stride {
+		kHi := clamp(k+stride, g.NK-1)
+		for j := 0; j < g.NJ-1; j += stride {
+			jHi := clamp(j+stride, g.NJ-1)
+			for i := 0; i < g.NI-1; i += stride {
+				iHi := clamp(i+stride, g.NI-1)
 				// Gather the cell's corners once.
 				inside := 0
 				for c := 0; c < 8; c++ {
 					di, dj, dk := cornerOffset(c)
-					idx := g.Index(i+di, j+dj, k+dk)
+					ci, cj, ck := i, j, k
+					if di != 0 {
+						ci = iHi
+					}
+					if dj != 0 {
+						cj = jHi
+					}
+					if dk != 0 {
+						ck = kHi
+					}
+					idx := g.Index(ci, cj, ck)
 					vals[c] = scalar[idx]
 					pos[c] = vmath.Vec3{X: g.X[idx], Y: g.Y[idx], Z: g.Z[idx]}
 					if vals[c] >= iso {
@@ -68,7 +173,7 @@ func Extract(g *grid.Grid, scalar []float32, iso float32) ([]Triangle, error) {
 			}
 		}
 	}
-	return out, nil
+	return out
 }
 
 // marchTet emits 0-2 triangles for one tetrahedron.

@@ -168,3 +168,80 @@ func BenchmarkExtractSphere(b *testing.B) {
 		}
 	}
 }
+
+// TestExtractParallelMatchesSerial pins the shared-tool determinism
+// contract: ExtractParallel must produce the exact serial triangle
+// sequence — same triangles, same order — for every worker count, or
+// the server's memoized tool geometry would differ between otherwise
+// identical servers and break frame byte-identity.
+func TestExtractParallelMatchesSerial(t *testing.T) {
+	g, err := grid.NewCartesian(21, 19, 17, vmath.AABB{
+		Min: vmath.V3(-2, -2, -2), Max: vmath.V3(2, 2, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sphereScalar(g, vmath.V3(0.3, -0.2, 0.1))
+	for _, stride := range []int{1, 2, 4} {
+		want, err := ExtractStride(g, s, 1.1, stride)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for workers := 1; workers <= 9; workers++ {
+			got, err := ExtractParallel(g, s, 1.1, stride, workers)
+			if err != nil {
+				t.Fatalf("stride %d workers %d: %v", stride, workers, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("stride %d workers %d: %d triangles, serial %d",
+					stride, workers, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("stride %d workers %d: triangle %d = %v, serial %v",
+						stride, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestExtractStrideCoarsens: larger strides march fewer, larger cells
+// — the governor's tool shed ladder. The coarse surface must stay
+// non-empty and on the iso surface, with fewer triangles than stride 1.
+func TestExtractStrideCoarsens(t *testing.T) {
+	g, err := grid.NewCartesian(33, 33, 33, vmath.AABB{
+		Min: vmath.V3(-2, -2, -2), Max: vmath.V3(2, 2, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	center := vmath.V3(0, 0, 0)
+	s := sphereScalar(g, center)
+	fine, err := ExtractStride(g, s, 1.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := len(fine)
+	for _, stride := range []int{2, 4} {
+		coarse, err := ExtractStride(g, s, 1.3, stride)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(coarse) == 0 || len(coarse) >= prev {
+			t.Fatalf("stride %d: %d triangles, finer had %d", stride, len(coarse), prev)
+		}
+		for _, tri := range coarse {
+			for _, v := range tri {
+				if d := v.Dist(center); absf(d-1.3) > 0.3 {
+					t.Fatalf("stride %d vertex %v at radius %v", stride, v, d)
+				}
+			}
+		}
+		prev = len(coarse)
+	}
+	// An invalid stride is rejected, not clamped silently.
+	if _, err := ExtractStride(g, s, 1.3, 0); err == nil {
+		t.Error("stride 0 accepted")
+	}
+}

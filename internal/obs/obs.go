@@ -30,6 +30,12 @@ type FrameSample struct {
 	// round; RakesReused counts rakes served from the dirty-rake memo.
 	RakesComputed int
 	RakesReused   int
+	// ToolsComputed / ToolsReused are the same split for the shared
+	// tools (isosurface, cutting plane, vortex cores); ToolPoints is
+	// the tool-section geometry shipped this round.
+	ToolsComputed int
+	ToolsReused   int
+	ToolPoints    int64
 	// FrameReused marks a round served whole from the previous encode
 	// (environment version unchanged).
 	FrameReused bool
@@ -57,6 +63,9 @@ type Snapshot struct {
 	EncodeTime    time.Duration
 	RakesComputed int64
 	RakesReused   int64
+	ToolsComputed int64
+	ToolsReused   int64
+	ToolPoints    int64
 	Points        int64
 	Bytes         int64
 	// FramesShipped counts per-session reply sends and BytesShipped
@@ -126,6 +135,12 @@ func (s Snapshot) String() string {
 		s.AvgEncode().Round(time.Microsecond),
 		s.RakesComputed, s.RakesReused, 100*s.ReuseRatio(),
 		s.Points, s.Bytes, s.BytesShipped)
+	if s.ToolsComputed > 0 || s.ToolsReused > 0 {
+		// Only once a shared tool has run, so toolless pipelines log
+		// exactly as before.
+		out += fmt.Sprintf(" tools computed=%d reused=%d points=%d",
+			s.ToolsComputed, s.ToolsReused, s.ToolPoints)
+	}
 	if s.Budget > 0 {
 		out += fmt.Sprintf(" budget=%v predicted=%v shed frames=%d avg=%.1f%%",
 			s.Budget,
@@ -155,6 +170,9 @@ func (r *Recorder) Observe(f FrameSample) {
 	r.s.EncodeTime += f.Encode
 	r.s.RakesComputed += int64(f.RakesComputed)
 	r.s.RakesReused += int64(f.RakesReused)
+	r.s.ToolsComputed += int64(f.ToolsComputed)
+	r.s.ToolsReused += int64(f.ToolsReused)
+	r.s.ToolPoints += f.ToolPoints
 	r.s.Points += f.Points
 	r.s.Bytes += f.Bytes
 	if f.Budget > 0 {

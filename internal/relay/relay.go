@@ -138,13 +138,15 @@ type session struct {
 	enc   *wire.FrameEncoder
 
 	// Recycled per-session scratch: request/reply assembly, the
-	// aligned (seq, segment) rows fed to enc, the request shadow, and
-	// the chained-reply directory.
-	buf    []byte
-	seqs   []uint64
-	segs   [][]byte
-	shadow []wire.RelayShadowEntry
-	dir    []wire.RelaySegment
+	// aligned (seq, segment) rows fed to enc — rakes and shared tools
+	// separately — the request shadow, and the chained-reply directory.
+	buf      []byte
+	seqs     []uint64
+	segs     [][]byte
+	toolSeqs []uint64
+	toolSegs [][]byte
+	shadow   []wire.RelayShadowEntry
+	dir      []wire.RelaySegment
 }
 
 // Relay is a session router + frame cache node on a dlib server.
@@ -452,7 +454,21 @@ func (r *Relay) handleFrame(ctx *dlib.Ctx, payload []byte) ([]byte, error) {
 			st.seqs = append(st.seqs, cs.seq)
 			st.segs = append(st.segs, cs.seg)
 		}
-		st.buf = st.enc.AppendFrame(st.buf[:0], c.meta, st.seqs, st.segs)
+		// Shared-tool segments live in the same cache under negative
+		// keys (-kind); rake ids are always >= 1, so no collision.
+		st.toolSeqs = st.toolSeqs[:0]
+		st.toolSegs = st.toolSegs[:0]
+		if c.meta.Tools != nil {
+			for _, g := range c.meta.Tools.Geoms {
+				cs, ok := c.segs[-int32(g.Tool)]
+				if !ok {
+					return nil, fmt.Errorf("relay: no cached segment for tool %d", g.Tool) //vw:allow hotpath -- error path, frame already lost
+				}
+				st.toolSeqs = append(st.toolSeqs, cs.seq)
+				st.toolSegs = append(st.toolSegs, cs.seg)
+			}
+		}
+		st.buf = st.enc.AppendFrame(st.buf[:0], c.meta, st.seqs, st.segs, st.toolSeqs, st.toolSegs)
 		reply = st.buf
 	}
 	r.mu.Lock()
@@ -500,6 +516,18 @@ func (r *Relay) handleFrameRelay(ctx *dlib.Ctx, payload []byte) ([]byte, error) 
 					e.Seg = cs.seg
 				}
 				st.dir = append(st.dir, e)
+			}
+			if c.meta.Tools != nil {
+				for _, g := range c.meta.Tools.Geoms {
+					key := -int32(g.Tool)
+					cs := c.segs[key]
+					e := wire.RelaySegment{Rake: key, Seq: cs.seq}
+					if !req.ShadowHas(key, cs.seq) {
+						e.Inline = true
+						e.Seg = cs.seg
+					}
+					st.dir = append(st.dir, e)
+				}
 			}
 			rep.HasDir = true
 			rep.Dir = st.dir

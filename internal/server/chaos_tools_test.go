@@ -1,0 +1,236 @@
+// Chaos suite for the shared tools: the per-tool FCFS locks must obey
+// the same rules as rake and steering locks under connection death —
+// however a holder dies, its locks come free for the next workstation;
+// a live holder's lock never loosens because someone else's connection
+// failed — and a tool parameter change must land in the environment as
+// one atomic record or not at all, whatever the network does around
+// it, including through a relay hop.
+package server
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/dlib"
+	"repro/internal/env"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// isoUpdate grabs the isosurface lock and sets its parameters in one
+// round.
+func isoUpdate(level float32) wire.ClientUpdate {
+	return wire.ClientUpdate{Commands: []wire.Command{
+		{Kind: wire.CmdIsoGrab},
+		{Kind: wire.CmdIsoSet, Flag: 1, Value: level},
+	}}
+}
+
+// planeUpdate grabs the cutting-plane lock and moves it in one round.
+func planeUpdate(axis uint8, frac float32) wire.ClientUpdate {
+	return wire.ClientUpdate{Commands: []wire.Command{
+		{Kind: wire.CmdPlaneGrab},
+		{Kind: wire.CmdPlaneMove, Flag: 1, Grab: axis, Value: frac},
+	}}
+}
+
+// waitToolsFree polls until no shared tool has a holder.
+func waitToolsFree(t *testing.T, s *Server) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		ts := s.Env().Tools()
+		if ts.Iso.Holder == 0 && ts.Plane.Holder == 0 && ts.Vortex.Holder == 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ts := s.Env().Tools()
+	t.Fatalf("tools still held: iso=%d plane=%d vortex=%d",
+		ts.Iso.Holder, ts.Plane.Holder, ts.Vortex.Holder)
+}
+
+// TestChaosKilledIsoHolderReleasesLock: a workstation killed while
+// holding the isosurface lock (socket torn down, no goodbye) releases
+// it, and a second workstation takes the tool over FCFS.
+func TestChaosKilledIsoHolderReleasesLock(t *testing.T) {
+	s, c1, addr := startTestServer(t, Config{Store: toolDataset(t, 4)})
+
+	frame(t, c1, isoUpdate(0.8))
+	ts := s.Env().Tools()
+	if ts.Iso.Holder == 0 || !ts.Iso.Params.Enabled || ts.Iso.Params.Level != 0.8 {
+		t.Fatalf("iso grab did not take: %+v", ts.Iso)
+	}
+	holder1 := ts.Iso.Holder
+
+	// Kill the holder abruptly.
+	c1.Close()
+	waitToolsFree(t, s)
+
+	// FCFS: a second workstation walks up and re-levels the surface.
+	c2, err := dlib.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	frame(t, c2, isoUpdate(0.6))
+	ts = s.Env().Tools()
+	if ts.Iso.Holder == 0 || ts.Iso.Holder == holder1 {
+		t.Fatalf("second workstation could not take over the isosurface: %+v (first holder %d)",
+			ts.Iso, holder1)
+	}
+	if ts.Iso.Params.Level != 0.6 {
+		t.Fatalf("takeover level: %+v", ts.Iso.Params)
+	}
+}
+
+// TestChaosHeldPlaneStaysHeld: faults on other sessions must not
+// loosen a live holder's plane lock — the rival's grab bounces, its
+// move is dropped, and its death changes nothing.
+func TestChaosHeldPlaneStaysHeld(t *testing.T) {
+	s, c1, addr := startTestServer(t, Config{Store: toolDataset(t, 4)})
+	frame(t, c1, planeUpdate(0, 0.5))
+	holder := s.Env().Tools().Plane.Holder
+	if holder == 0 {
+		t.Fatal("plane grab did not take")
+	}
+
+	// A rival grabs, fails (FCFS), then dies by close.
+	c2, err := dlib.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame(t, c2, planeUpdate(2, 0.9))
+	if ts := s.Env().Tools(); ts.Plane.Holder != holder || ts.Plane.Params.Axis != 0 || ts.Plane.Params.Frac != 0.5 {
+		t.Fatalf("rival stole the held plane: %+v", ts.Plane)
+	}
+	c2.Close()
+
+	time.Sleep(20 * time.Millisecond)
+	if ts := s.Env().Tools(); ts.Plane.Holder != holder {
+		t.Fatalf("holder lost the plane after rival disconnect: %+v", ts.Plane)
+	}
+	// The holder is still live and still in control.
+	frame(t, c1, planeUpdate(1, 0.25))
+	if p := s.Env().Tools().Plane.Params; p.Axis != 1 || p.Frac != 0.25 {
+		t.Fatalf("holder's move after rival death did not land: %+v", p)
+	}
+}
+
+// TestChaosResetDuringToolsNeverTears sweeps a scripted connection
+// reset across every op of a frame exchange that enables all three
+// tools at once. Whatever instant the connection dies, each tool's
+// parameters are either the construction defaults or exactly the sent
+// record (never a mix of fields), every lock comes free, and a fresh
+// session takes the tools over FCFS.
+func TestChaosResetDuringToolsNeverTears(t *testing.T) {
+	sentIso := env.IsoParams{Enabled: true, Level: 0.8}
+	sentPlane := env.PlaneParams{Enabled: true, Axis: 1, Frac: 0.25}
+	sentVortex := env.VortexParams{Enabled: true, Threshold: 0.01}
+
+	for atOp := 1; atOp <= 8; atOp++ {
+		s, err := New(Config{Store: toolDataset(t, 4)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := net.Pipe()
+		plan := &netsim.FaultPlan{Faults: []netsim.Fault{
+			{Kind: netsim.FaultReset, AtOp: atOp},
+		}}
+		go s.Dlib().ServeConn(plan.Wrap(b))
+		c1 := dlib.NewClient(a)
+		c1.Timeout = 2 * time.Second
+
+		// The tool frame may or may not survive the scripted reset;
+		// either way is a legal outcome.
+		func() {
+			defer func() { recover() }()
+			c1.Call(wire.ProcFrame, wire.EncodeClientUpdate(wire.ClientUpdate{
+				Commands: []wire.Command{
+					{Kind: wire.CmdIsoGrab},
+					{Kind: wire.CmdIsoSet, Flag: 1, Value: 0.8},
+					{Kind: wire.CmdPlaneGrab},
+					{Kind: wire.CmdPlaneMove, Flag: 1, Grab: 1, Value: 0.25},
+					{Kind: wire.CmdVortexToggle, Flag: 1, Value: 0.01},
+				},
+			}))
+		}()
+		c1.Close()
+
+		// Atomicity at the environment: defaults or the full record,
+		// per tool.
+		ts := s.Env().Tools()
+		if p := ts.Iso.Params; p != (env.IsoParams{}) && p != sentIso {
+			t.Fatalf("atOp %d: torn iso params %+v", atOp, p)
+		}
+		if p := ts.Plane.Params; p != (env.PlaneParams{}) && p != sentPlane {
+			t.Fatalf("atOp %d: torn plane params %+v", atOp, p)
+		}
+		if p := ts.Vortex.Params; p != (env.VortexParams{}) && p != sentVortex {
+			t.Fatalf("atOp %d: torn vortex params %+v", atOp, p)
+		}
+		// However the exchange died, every lock must come free.
+		waitToolsFree(t, s)
+
+		// FCFS recovery: a fresh session re-takes all three tools.
+		d := newDirectSession(t, s, 99)
+		d.frame(wire.ClientUpdate{Commands: []wire.Command{
+			{Kind: wire.CmdIsoGrab},
+			{Kind: wire.CmdIsoSet, Flag: 1, Value: 0.5},
+			{Kind: wire.CmdPlaneGrab},
+			{Kind: wire.CmdPlaneMove, Flag: 1, Grab: 2, Value: 0.75},
+			{Kind: wire.CmdVortexToggle, Flag: 1, Value: 0.02},
+		}})
+		ts = s.Env().Tools()
+		if ts.Iso.Holder != 99 || ts.Plane.Holder != 99 {
+			t.Fatalf("atOp %d: takeover did not hold the locks: iso=%d plane=%d",
+				atOp, ts.Iso.Holder, ts.Plane.Holder)
+		}
+		if ts.Iso.Params.Level != 0.5 || ts.Plane.Params.Frac != 0.75 || ts.Vortex.Params.Threshold != 0.02 {
+			t.Fatalf("atOp %d: takeover params did not land: %+v", atOp, ts)
+		}
+		s.Dlib().Close()
+	}
+}
+
+// TestChaosToolLockReleasesAcrossRelay: a workstation holding tool
+// locks through a relay hop dies; the relay tears down the upstream
+// session and the origin frees the locks — disconnect semantics must
+// survive the cluster tier.
+func TestChaosToolLockReleasesAcrossRelay(t *testing.T) {
+	origin := goldenToolServer(t, 0, 0)
+	_, dial := startRelayNode(t, serveDial(origin.Dlib(), netsim.Link{}))
+
+	conn, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := dlib.NewClient(conn)
+	if _, err := c1.Call(wire.ProcFrame, wire.EncodeClientUpdate(isoUpdate(0.8))); err != nil {
+		t.Fatal(err)
+	}
+	if h := origin.Env().Tools().Iso.Holder; h == 0 {
+		t.Fatal("iso grab through the relay did not take at the origin")
+	}
+
+	// Kill the downstream connection; the release must propagate
+	// through the relay to the origin's environment.
+	c1.Close()
+	waitToolsFree(t, origin)
+
+	// A fresh workstation through the same relay takes over FCFS.
+	conn2, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := dlib.NewClient(conn2)
+	defer c2.Close()
+	if _, err := c2.Call(wire.ProcFrame, wire.EncodeClientUpdate(isoUpdate(0.6))); err != nil {
+		t.Fatal(err)
+	}
+	ts := origin.Env().Tools()
+	if ts.Iso.Holder == 0 || ts.Iso.Params.Level != 0.6 {
+		t.Fatalf("takeover through the relay did not land: %+v", ts.Iso)
+	}
+}

@@ -107,9 +107,11 @@ func (s *Server) recomputeLocked() error {
 		s.stats.Frames++
 		s.stats.FramesReused++
 		s.stats.Points += s.lastPoints
+		s.stats.ToolPoints += s.lastToolPoints
 		s.rec.Observe(obs.FrameSample{
 			FrameReused: true,
 			RakesReused: len(s.geoCache),
+			ToolPoints:  s.lastToolPoints,
 			Points:      s.lastPoints,
 			Bytes:       int64(len(s.fb.buf)),
 		})
@@ -179,6 +181,10 @@ func (s *Server) recomputeLocked() error {
 	g := s.st.Grid()
 	batch := compute.SteadyBatch{F: s.cur, G: g}
 	s.round++
+
+	// Snapshot the shared tools once per round; the planner and the
+	// tool pass both read this copy so they cannot disagree.
+	s.toolSnap = s.env.Tools()
 
 	s.userScratch = s.env.AppendUsers(s.userScratch[:0])
 	s.usersWire = s.usersWire[:0]
@@ -268,11 +274,19 @@ func (s *Server) recomputeLocked() error {
 	// several — independent rakes are the paper's natural parallel
 	// unit above the per-seed fan-out inside the engines.
 	s.runJobsLocked(batch, g, ts, step)
+
+	// Pass 3 (serial): the shared tools, at the stride the planner
+	// chose. Runs inside the measured compute stage so the EWMA learns
+	// their cost too.
+	toolsCBefore, toolsRBefore := s.stats.ToolsComputed, s.stats.ToolsReused
+	toolUnits, toolFullU, toolActualU, toolPoints := s.computeToolsLocked(g, step)
 	computeTime := s.clock.Now().Sub(computeStart)
 
 	// Assign codec-v2 geometry sequence numbers in job order: serial,
 	// deterministic, and bumped exactly when a rake's geometry was
 	// recomputed this round. Delta encoders key their shadows on these.
+	// (Tool geometry took its numbers inside computeToolsLocked, in
+	// fixed tool order — equally deterministic.)
 	for i := range s.jobs {
 		if !s.jobs[i].skip {
 			s.geoSeq++
@@ -288,7 +302,7 @@ func (s *Server) recomputeLocked() error {
 			jobUnits += s.jobs[i].units
 		}
 	}
-	s.gov.observe(computeTime, jobUnits)
+	s.gov.observe(computeTime, jobUnits+toolUnits)
 
 	var totalPoints int64
 	var fullU, actualU int64
@@ -299,6 +313,8 @@ func (s *Server) recomputeLocked() error {
 		fullU += int64(len(gc.seeds)) * fullSteps
 		actualU += int64(gc.shedSeeds) * int64(gc.shedSteps)
 	}
+	fullU += toolFullU
+	actualU += toolActualU
 	degraded := degradedByte(actualU, fullU)
 
 	encodeStart := s.clock.Now()
@@ -318,6 +334,9 @@ func (s *Server) recomputeLocked() error {
 		Round:        s.round,
 		Degraded:     degraded,
 	}
+	if s.haveTools {
+		reply.Tools = &s.toolsMeta
+	}
 	// Encode once into a buffer no in-flight send still references:
 	// the current buffer in place when its references have drained
 	// (steady state), a recycled drained buffer otherwise.
@@ -334,11 +353,13 @@ func (s *Server) recomputeLocked() error {
 	clear(s.consumedBy)
 	s.lastVersion = version
 	s.lastPoints = totalPoints
+	s.lastToolPoints = toolPoints
 	s.lastDegraded = degraded
 
 	s.stats.Frames++
 	s.stats.FramesEncoded++
 	s.stats.Points += totalPoints
+	s.stats.ToolPoints += toolPoints
 	s.stats.ComputeTime += computeTime
 	s.stats.LoadTime += loadTime
 	s.stats.EncodeTime += encodeTime
@@ -358,6 +379,9 @@ func (s *Server) recomputeLocked() error {
 		Encode:        encodeTime,
 		RakesComputed: computed,
 		RakesReused:   reused,
+		ToolsComputed: int(s.stats.ToolsComputed - toolsCBefore),
+		ToolsReused:   int(s.stats.ToolsReused - toolsRBefore),
+		ToolPoints:    toolPoints,
 		Points:        totalPoints,
 		Bytes:         int64(len(fb.buf)),
 		Predicted:     predicted,
@@ -368,10 +392,12 @@ func (s *Server) recomputeLocked() error {
 }
 
 // planJobsLocked runs the governor over this round's jobs: it prices
-// each mandatory (dirty) job, asks the planner for shed levels, then
-// greedily re-admits upgrade candidates — valid memos computed at shed
-// fidelity — back to full fidelity in rake order while the predicted
-// frame stays under budget. Caller holds s.mu.
+// each mandatory (dirty) job, reserves the shared tools' slice of the
+// budget (tools coarsen before any rake sheds), asks the planner for
+// shed levels, then greedily re-admits upgrade candidates — valid
+// memos computed at shed fidelity — back to full fidelity in rake
+// order while the predicted frame stays under budget. Caller holds
+// s.mu.
 func (s *Server) planJobsLocked() time.Duration {
 	upp := compute.UnitsPerPoint(s.cfg.Options.Method)
 	fullSteps := s.cfg.Options.MaxSteps
@@ -399,11 +425,19 @@ func (s *Server) planJobsLocked() time.Duration {
 		s.reqScratch = append(s.reqScratch, req)
 		s.reqJobs = append(s.reqJobs, i)
 	}
+	// Shared tools plan first: pick the stride whose cost fits beside
+	// the rakes' full demand, and reserve that slice of the budget so
+	// the rake planner sheds around it.
+	var rakeUnits int64
+	for _, r := range s.reqScratch {
+		rakeUnits += r.Units
+	}
+	s.toolStride, s.toolReserve = s.planToolsLocked(s.st.Grid(), rakeUnits)
 	if cap(s.lvlScratch) < len(s.reqScratch) {
 		s.lvlScratch = make([]shedLevel, len(s.reqScratch))
 	}
 	lvls := s.lvlScratch[:len(s.reqScratch)]
-	predicted, shed := s.gov.plan(s.reqScratch, lvls)
+	predicted, shed := s.gov.planWith(s.reqScratch, lvls, s.toolReserve)
 	var plannedUnits int64
 	for k, i := range s.reqJobs {
 		j := &s.jobs[i]
@@ -427,7 +461,8 @@ func (s *Server) planJobsLocked() time.Duration {
 		}
 		units := int64(len(j.gc.seeds)) * int64(fullSteps) * upp
 		cost := s.gov.predict(units)
-		if shed || (s.gov.enabled() && s.gov.calibrated() && predicted+cost > s.gov.effectiveBudget()) {
+		if shed || (s.gov.enabled() && s.gov.calibrated() &&
+			predicted+cost > s.gov.effectiveBudget()-s.toolReserve) {
 			j.skip = true
 			continue
 		}

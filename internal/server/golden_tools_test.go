@@ -1,0 +1,316 @@
+package server
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/field"
+	"repro/internal/grid"
+	"repro/internal/integrate"
+	"repro/internal/netsim"
+	"repro/internal/store"
+	"repro/internal/vmath"
+	"repro/internal/wire"
+)
+
+// The shared-tool golden corpus: committed wire bytes for sessions
+// that exercise the isosurface, cutting plane, and vortex-core tools
+// in both codecs. The uniform testDataset gives the tools nothing to
+// extract (constant speed, zero Q), so these scenarios run on
+// toolDataset — same grid dimensions and bounds (the quantizer is
+// unchanged) but a sheared, swirling field with real iso crossings and
+// vortex tubes.
+//
+// Regenerate with:
+//
+//	go test ./internal/server/ -run 'TestGoldenToolFrames' -update
+
+// toolDataset builds a resident dataset with spatial structure: a
+// vertical shear plus a Gaussian swirl around the grid center whose
+// amplitude grows per timestep, so iso/vortex extraction is non-empty
+// and playback changes the geometry.
+func toolDataset(t testing.TB, numSteps int) *store.Memory {
+	t.Helper()
+	g, err := grid.NewCartesian(16, 16, 8, vmath.AABB{
+		Min: vmath.V3(0, 0, 0), Max: vmath.V3(15, 15, 7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := make([]*field.Field, numSteps)
+	for s := range steps {
+		f := field.NewField(16, 16, 8, field.GridCoords)
+		amp := 1 + 0.1*float64(s)
+		for k := 0; k < 8; k++ {
+			for j := 0; j < 16; j++ {
+				for i := 0; i < 16; i++ {
+					dx := float64(i) - 7.5
+					dy := float64(j) - 7.5
+					swirl := amp * 0.4 * math.Exp(-(dx*dx+dy*dy)/18)
+					n := f.Index(i, j, k)
+					f.U[n] = float32(0.1*float64(j) - dy*swirl)
+					f.V[n] = float32(dx * swirl)
+					f.W[n] = 0.05
+				}
+			}
+		}
+		steps[s] = f
+	}
+	u, err := field.NewUnsteady(g, steps, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store.NewMemory(u)
+}
+
+// goldenToolServer is goldenServer on the structured tool dataset.
+func goldenToolServer(t *testing.T, budget time.Duration, unitNanos float64) *Server {
+	t.Helper()
+	s, err := New(Config{
+		Store:  toolDataset(t, 4),
+		Budget: budget,
+		Clock:  netsim.NewManualClock(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.gov.unitNanos = unitNanos
+	return s
+}
+
+// toolQuantizerOf rebuilds the quantizer a tool-scenario server
+// negotiates (identical bounds to testDataset, but derived from the
+// actual store to keep the tests honest).
+func toolQuantizerOf(t *testing.T) wire.Quantizer {
+	t.Helper()
+	s, err := New(Config{Store: toolDataset(t, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.datasetInfo().Quantizer()
+}
+
+// runToolScenarioV1 drives the scripted exchanges through direct v1
+// sessions keyed by user id, creating each session at first use.
+func runToolScenarioV1(t *testing.T, s *Server, script []toolExchange) [][]byte {
+	t.Helper()
+	sessions := map[int64]*directSession{}
+	frames := make([][]byte, 0, len(script))
+	for _, ex := range script {
+		d := sessions[ex.user]
+		if d == nil {
+			d = newDirectSession(t, s, ex.user)
+			sessions[ex.user] = d
+		}
+		frames = append(frames, d.rawFrame(ex.u))
+	}
+	return frames
+}
+
+// runToolScenarioV2 is runToolScenarioV1 over hello2-negotiated v2
+// sessions.
+func runToolScenarioV2(t *testing.T, s *Server, script []toolExchange) [][]byte {
+	t.Helper()
+	sessions := map[int64]*v2Session{}
+	frames := make([][]byte, 0, len(script))
+	for _, ex := range script {
+		d := sessions[ex.user]
+		if d == nil {
+			d = newV2Session(t, s, ex.user)
+			sessions[ex.user] = d
+		}
+		frames = append(frames, d.rawFrame(ex.u))
+	}
+	return frames
+}
+
+// toolExchange is one scripted frame: which user sends which update.
+type toolExchange struct {
+	user int64
+	u    wire.ClientUpdate
+}
+
+// Tool scenario scripts, shared verbatim between the v1 and v2 corpus
+// entries so the codecs are pinned against the same history.
+var toolScripts = []struct {
+	name   string
+	script []toolExchange
+}{
+	{
+		// Isosurface alongside a streamline rake: enable at one level,
+		// hold two frames (whole-frame memo + tool memo), change the
+		// level (recompute), disable (geometry drops out of the frame).
+		name: "iso-steady",
+		script: []toolExchange{
+			{1, wire.ClientUpdate{Commands: []wire.Command{
+				addRakeCmd(vmath.V3(1, 4, 4), vmath.V3(1, 8, 4), 4, integrate.ToolStreamline),
+				{Kind: wire.CmdIsoSet, Flag: 1, Value: 0.8},
+			}}},
+			{1, wire.ClientUpdate{}},
+			{1, wire.ClientUpdate{}},
+			{1, wire.ClientUpdate{Commands: []wire.Command{{Kind: wire.CmdIsoSet, Flag: 1, Value: 0.6}}}},
+			{1, wire.ClientUpdate{Commands: []wire.Command{{Kind: wire.CmdIsoSet, Flag: 0, Value: 0.6}}}},
+		},
+	},
+	{
+		// Cutting-plane FCFS: user 1 enables the plane, user 2 grabs and
+		// drags it across two axes, user 1's rival move is silently
+		// dropped while the lock is held, then user 2 releases and user
+		// 1's move lands.
+		name: "plane-grab",
+		script: []toolExchange{
+			{1, wire.ClientUpdate{Commands: []wire.Command{
+				{Kind: wire.CmdPlaneMove, Flag: 1, Grab: 0, Value: 0.5},
+			}}},
+			{2, wire.ClientUpdate{Commands: []wire.Command{{Kind: wire.CmdPlaneGrab}}}},
+			{2, wire.ClientUpdate{Commands: []wire.Command{
+				{Kind: wire.CmdPlaneMove, Flag: 1, Grab: 1, Value: 0.25},
+			}}},
+			{1, wire.ClientUpdate{Commands: []wire.Command{
+				{Kind: wire.CmdPlaneMove, Flag: 1, Grab: 2, Value: 0.75}, // rival: dropped
+			}}},
+			{2, wire.ClientUpdate{Commands: []wire.Command{{Kind: wire.CmdPlaneRelease}}}},
+			{1, wire.ClientUpdate{Commands: []wire.Command{
+				{Kind: wire.CmdPlaneMove, Flag: 1, Grab: 2, Value: 0.75},
+			}}},
+		},
+	},
+	{
+		// Vortex cores under playback: enable the Q-criterion extractor,
+		// let looping playback advance the step (per-step recompute of
+		// the same tool version), then toggle it off.
+		name: "vortex-cores",
+		script: []toolExchange{
+			{1, wire.ClientUpdate{Commands: []wire.Command{
+				{Kind: wire.CmdVortexToggle, Flag: 1, Value: 0.01},
+				{Kind: wire.CmdSetLoop, Flag: 1},
+				{Kind: wire.CmdSetSpeed, Value: 1},
+				{Kind: wire.CmdSetPlaying, Flag: 1},
+			}}},
+			{1, wire.ClientUpdate{}},
+			{1, wire.ClientUpdate{}},
+			{1, wire.ClientUpdate{Commands: []wire.Command{{Kind: wire.CmdVortexToggle, Flag: 0, Value: 0.01}}}},
+		},
+	},
+}
+
+func TestGoldenToolFrames(t *testing.T) {
+	for _, sc := range toolScripts {
+		t.Run(sc.name, func(t *testing.T) {
+			frames := runToolScenarioV1(t, goldenToolServer(t, 0, 0), sc.script)
+			assertToolPoints(t, frames)
+			if *updateGolden {
+				writeGolden(t, sc.name, frames)
+				return
+			}
+			golden := readGolden(t, sc.name)
+			compareFrames(t, "ungoverned", frames, golden)
+
+			// Governed at a budget no frame can exceed: tool pricing and
+			// the stride ladder must be a strict no-op, byte for byte.
+			governed := runToolScenarioV1(t, goldenToolServer(t, time.Hour, 100), sc.script)
+			compareFrames(t, "governed-at-infinite-budget", governed, golden)
+		})
+	}
+}
+
+func TestGoldenToolFramesV2(t *testing.T) {
+	for _, sc := range toolScripts {
+		name := "v2-" + sc.name
+		t.Run(name, func(t *testing.T) {
+			frames := runToolScenarioV2(t, goldenToolServer(t, 0, 0), sc.script)
+			// Rerun determinism: the tool delta shadows leave no room for
+			// incidental divergence.
+			again := runToolScenarioV2(t, goldenToolServer(t, 0, 0), sc.script)
+			compareFrames(t, "rerun", again, frames)
+			// Every per-user stream must decode through one stateful
+			// decoder; the multi-user scripts interleave users, so split
+			// the frames back out by sender.
+			decodeToolStreams(t, sc.script, frames)
+			if *updateGolden {
+				writeGolden(t, name, frames)
+				return
+			}
+			golden := readGolden(t, name)
+			compareFrames(t, "ungoverned", frames, golden)
+
+			governed := runToolScenarioV2(t, goldenToolServer(t, time.Hour, 100), sc.script)
+			compareFrames(t, "governed-at-infinite-budget", governed, golden)
+		})
+	}
+}
+
+// decodeToolStreams re-decodes each user's frame subsequence with its
+// own stateful decoder and requires at least one frame with non-empty
+// tool geometry — the corpus must pin real extraction, not empty
+// sections.
+func decodeToolStreams(t *testing.T, script []toolExchange, frames [][]byte) {
+	t.Helper()
+	decs := map[int64]*wire.FrameDecoder{}
+	points := 0
+	for i, ex := range script {
+		dec := decs[ex.user]
+		if dec == nil {
+			dec = wire.NewFrameDecoder(toolQuantizerOf(t))
+			decs[ex.user] = dec
+		}
+		r, err := dec.Decode(frames[i])
+		if err != nil {
+			t.Fatalf("frame %d (user %d) does not decode: %v", i, ex.user, err)
+		}
+		if r.Tools != nil {
+			points += r.Tools.TotalPoints()
+		}
+	}
+	if points == 0 {
+		t.Fatal("no tool geometry decoded across the scenario")
+	}
+}
+
+// assertToolPoints decodes v1 frames and requires non-empty tool
+// geometry somewhere in the run.
+func assertToolPoints(t *testing.T, frames [][]byte) {
+	t.Helper()
+	points := 0
+	for i, f := range frames {
+		r, err := wire.DecodeFrameReply(f)
+		if err != nil {
+			t.Fatalf("frame %d does not decode: %v", i, err)
+		}
+		if r.Tools != nil {
+			points += r.Tools.TotalPoints()
+		}
+	}
+	if points == 0 {
+		t.Fatal("no tool geometry decoded across the scenario")
+	}
+}
+
+// writeGolden / readGolden are the corpus I/O halves of the golden
+// tests, shared by the tool scenarios.
+func writeGolden(t *testing.T, name string, frames [][]byte) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(goldenPath(name)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(goldenPath(name), encodeFrames(frames), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %d frames", goldenPath(name), len(frames))
+}
+
+func readGolden(t *testing.T, name string) [][]byte {
+	t.Helper()
+	data, err := os.ReadFile(goldenPath(name))
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	golden, err := decodeFrames(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return golden
+}

@@ -169,6 +169,15 @@ func (g *governor) effectiveBudget() time.Duration {
 // seeds or steps), and floor-bounded (never below one seed, never
 // below minShedSteps steps).
 func (g *governor) plan(reqs []shedRequest, dst []shedLevel) (predicted time.Duration, shed bool) {
+	return g.planWith(reqs, dst, 0)
+}
+
+// planWith is plan with part of the effective budget reserved for
+// work the rake planner does not control — the shared tools' slice of
+// the frame. plan(reqs, dst) is planWith(reqs, dst, 0), so every
+// property above holds per reserve value; monotonicity extends to the
+// reserve (a larger reserve never allows more seeds or steps).
+func (g *governor) planWith(reqs []shedRequest, dst []shedLevel, reserve time.Duration) (predicted time.Duration, shed bool) {
 	var total int64
 	for _, r := range reqs {
 		total += r.Units
@@ -179,7 +188,10 @@ func (g *governor) plan(reqs []shedRequest, dst []shedLevel) (predicted time.Dur
 			dst[i] = shedLevel{Seeds: r.Seeds, Steps: r.Steps}
 		}
 	}
-	budget := g.effectiveBudget()
+	budget := g.effectiveBudget() - reserve
+	if budget < 0 {
+		budget = 0
+	}
 	if !g.enabled() || !g.calibrated() || predicted <= budget {
 		full()
 		return predicted, false

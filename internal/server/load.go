@@ -78,6 +78,12 @@ type LoadOptions struct {
 	// steering churn for in-situ load runs (no-op against a replay
 	// server: the commands apply but nothing consumes them).
 	SteerEvery int
+	// ToolsEvery, when > 0, enables all three shared tools (isosurface,
+	// cutting plane, vortex cores) during scene setup and has
+	// workstation 0 grab the iso and plane locks and nudge the iso
+	// level and plane position every ToolsEvery frames — shared-tool
+	// churn that forces tool geometry recomputes alongside the rakes.
+	ToolsEvery int
 }
 
 // TierStats aggregates one relay tier's traffic: what its nodes served
@@ -146,6 +152,12 @@ type LoadReport struct {
 	// run (both zero with the governor disabled).
 	FramesShed    int64
 	PredictedTime time.Duration
+
+	// Shared-tool accounting: geometry recomputes vs memo hits and the
+	// tool points shipped (all zero when no tool is active).
+	ToolsComputed int64
+	ToolsReused   int64
+	ToolPoints    int64
 
 	// Latency is the distribution of per-session frame call times.
 	Latency LatencyStats
@@ -226,6 +238,10 @@ func (r LoadReport) String() string {
 		r.Latency.P99.Round(time.Microsecond), r.Latency.Max.Round(time.Microsecond))
 	if r.FramesShed > 0 {
 		out += fmt.Sprintf(" shed=%d/%d", r.FramesShed, r.FramesEncoded)
+	}
+	if r.ToolsComputed > 0 || r.ToolsReused > 0 {
+		out += fmt.Sprintf(" tools computed=%d reused=%d points=%d",
+			r.ToolsComputed, r.ToolsReused, r.ToolPoints)
 	}
 	if r.DroppedSamples > 0 {
 		out += fmt.Sprintf(" dropped=%d/%d samples",
@@ -350,6 +366,13 @@ func RunLoad(s *Server, opts LoadOptions) (LoadReport, error) {
 			Tool:     uint8(0), // streamline
 		})
 	}
+	if opts.ToolsEvery > 0 {
+		cmds = append(cmds,
+			wire.Command{Kind: wire.CmdIsoSet, Flag: 1, Value: 1},
+			wire.Command{Kind: wire.CmdPlaneMove, Flag: 1, Grab: 0, Value: 0.5},
+			wire.Command{Kind: wire.CmdVortexToggle, Flag: 1, Value: 0.01},
+		)
+	}
 	if opts.Play {
 		cmds = append(cmds,
 			wire.Command{Kind: wire.CmdSetLoop, Flag: 1},
@@ -453,6 +476,18 @@ func RunLoad(s *Server, opts LoadOptions) (LoadReport, error) {
 							1+0.1*float32(f%5), 400, 0.5+0.05*float32(f%3))},
 					}
 				}
+				if opts.ToolsEvery > 0 && i == 0 && f%opts.ToolsEvery == 0 {
+					// Workstation 0 works the shared tools: grab both
+					// locks (idempotent for the holder) and wobble the iso
+					// level and plane position so the server recomputes
+					// tool geometry under the fleet's fan-out.
+					steerCmds = append(steerCmds,
+						wire.Command{Kind: wire.CmdIsoGrab},
+						wire.Command{Kind: wire.CmdIsoSet, Flag: 1, Value: 1 + 0.1*float32(f%4)},
+						wire.Command{Kind: wire.CmdPlaneGrab},
+						wire.Command{Kind: wire.CmdPlaneMove, Flag: 1, Grab: uint8(f % 3), Value: 0.25 + 0.1*float32(f%5)},
+					)
+				}
 				payload := wire.EncodeClientUpdate(wire.ClientUpdate{
 					Head:     vmath.Identity(),
 					Hand:     hand,
@@ -494,6 +529,9 @@ func RunLoad(s *Server, opts LoadOptions) (LoadReport, error) {
 		Points:        after.Points - before.Points,
 		FramesShed:    after.FramesShed - before.FramesShed,
 		PredictedTime: after.PredictedTime - before.PredictedTime,
+		ToolsComputed: after.ToolsComputed - before.ToolsComputed,
+		ToolsReused:   after.ToolsReused - before.ToolsReused,
+		ToolPoints:    after.ToolPoints - before.ToolPoints,
 		Errors:        errCount,
 	}
 	if opts.Relays > 0 {

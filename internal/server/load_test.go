@@ -529,3 +529,77 @@ func TestQuantile(t *testing.T) {
 		t.Errorf("p100 = %v", got)
 	}
 }
+
+// TestLoadToolMix drives the shared-tool load mix: all three tools
+// enabled at setup, workstation 0 churning the iso level and plane
+// position while the fleet fans out. The report must show tool
+// computes, memo reuse across the fleet's frames, and real geometry
+// points; the run must stay clean.
+func TestLoadToolMix(t *testing.T) {
+	const sessions, frames = 8, 6
+	s, err := New(Config{Store: toolDataset(t, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Dlib().Close()
+	// No playback: the step stays put, so workstation 0's iso/plane
+	// churn forces recomputes in which the untouched vortex tool must
+	// memo-hit — the reuse half of the tool cost model.
+	rep, err := RunLoad(s, LoadOptions{
+		Sessions:   sessions,
+		Frames:     frames,
+		ToolsEvery: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%v", rep)
+	if rep.Errors != 0 || rep.DroppedSamples != 0 {
+		t.Fatalf("tool-mix run not clean: errors=%d dropped=%d", rep.Errors, rep.DroppedSamples)
+	}
+	if rep.ToolsComputed == 0 {
+		t.Error("no tool geometry computed under the tool mix")
+	}
+	if rep.ToolPoints == 0 {
+		t.Error("tool computes produced no geometry points")
+	}
+	// The memo must carry tool geometry across the fleet: a fleet of 8
+	// holding rounds stable reuses far more often than it computes.
+	if rep.ToolsReused == 0 {
+		t.Error("no tool memo reuse across the fleet")
+	}
+	if !strings.Contains(rep.String(), "tools computed=") {
+		t.Errorf("report does not surface tool stats: %s", rep)
+	}
+}
+
+// TestLoadToolMixRelay runs the tool mix through a relay tier on
+// codec v2: tool segments must survive the relay cache (negative
+// directory keys) with a clean run and geometry still flowing.
+func TestLoadToolMixRelay(t *testing.T) {
+	const sessions, frames = 12, 5
+	s, err := New(Config{Store: toolDataset(t, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Dlib().Close()
+	rep, err := RunLoad(s, LoadOptions{
+		Sessions:   sessions,
+		Frames:     frames,
+		Play:       true,
+		ToolsEvery: 2,
+		Relays:     2,
+		Codec:      wire.CodecV2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%v", rep)
+	if rep.Errors != 0 {
+		t.Fatalf("relayed tool-mix run errors: %d", rep.Errors)
+	}
+	if rep.ToolsComputed == 0 || rep.ToolPoints == 0 {
+		t.Errorf("relayed tool mix computed=%d points=%d, want both > 0",
+			rep.ToolsComputed, rep.ToolPoints)
+	}
+}

@@ -1,0 +1,118 @@
+package server
+
+// Cluster-tier coverage for the shared tools: the tool golden corpus
+// (golden_tools_test.go) replayed through one and two relay hops must
+// be byte-identical to the committed direct-connect files — the relay
+// tool-segment cache (negative directory keys) must be invisible.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dlib"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// toolRelayScript converts a tool scenario script into the relay
+// harness's exchange form (user ids become session numbers; the relay
+// harness opens connections in first-use order, which matches).
+func toolRelayScript(script []toolExchange) []relayExchange {
+	out := make([]relayExchange, len(script))
+	for i, ex := range script {
+		out[i] = relayExchange{sess: int(ex.user), u: ex.u}
+	}
+	return out
+}
+
+func TestRelayToolGoldenFrames(t *testing.T) {
+	for _, sc := range toolScripts {
+		for _, v2 := range []bool{false, true} {
+			name := sc.name
+			if v2 {
+				name = "v2-" + name
+			}
+			t.Run(name, func(t *testing.T) {
+				origin := goldenToolServer(t, 0, 0)
+				_, dial := startRelayNode(t, serveDial(origin.Dlib(), netsim.Link{}))
+				frames := runRelayScript(t, dial, v2, toolRelayScript(sc.script))
+				compareFrames(t, "relayed", frames, loadGolden(t, name))
+			})
+		}
+	}
+}
+
+func TestRelayToolChainedGoldenFrames(t *testing.T) {
+	for _, sc := range toolScripts {
+		for _, v2 := range []bool{false, true} {
+			name := sc.name
+			if v2 {
+				name = "v2-" + name
+			}
+			t.Run(name, func(t *testing.T) {
+				origin := goldenToolServer(t, 0, 0)
+				_, midDial := startRelayNode(t, serveDial(origin.Dlib(), netsim.Link{}))
+				_, leafDial := startRelayNode(t, midDial)
+				frames := runRelayScript(t, leafDial, v2, toolRelayScript(sc.script))
+				compareFrames(t, "chained", frames, loadGolden(t, name))
+			})
+		}
+	}
+}
+
+// TestRelayToolFanOut pins the encode-once property for tool-bearing
+// rounds: with several workstations holding still behind one relay and
+// all three tools enabled, steady-phase frames must be served from the
+// relay cache byte-identically.
+func TestRelayToolFanOut(t *testing.T) {
+	const sessions = 4
+	origin := goldenToolServer(t, 0, 0)
+	_, dial := startRelayNode(t, serveDial(origin.Dlib(), netsim.Link{}))
+
+	clients := make([]*dlib.Client, sessions)
+	for i := range clients {
+		conn, err := dial()
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = dlib.NewClient(conn)
+		c := clients[i]
+		t.Cleanup(func() { c.Close() })
+	}
+	exchange := func(c *dlib.Client, u wire.ClientUpdate) []byte {
+		t.Helper()
+		out, err := c.Call(wire.ProcFrame, wire.EncodeClientUpdate(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bytes.Clone(out)
+	}
+	exchange(clients[0], wire.ClientUpdate{Commands: []wire.Command{
+		{Kind: wire.CmdIsoSet, Flag: 1, Value: 0.8},
+		{Kind: wire.CmdPlaneMove, Flag: 1, Grab: 0, Value: 0.5},
+		{Kind: wire.CmdVortexToggle, Flag: 1, Value: 0.01},
+	}})
+	// Settle the join churn (each connect bumps the user list), then
+	// require byte-stable fan-out of the tool-bearing round.
+	for range [2]int{} {
+		for _, c := range clients {
+			exchange(c, wire.ClientUpdate{})
+		}
+	}
+	ref := exchange(clients[0], wire.ClientUpdate{})
+	r, err := wire.DecodeFrameReply(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tools == nil || r.Tools.TotalPoints() == 0 {
+		t.Fatal("steady round carries no tool geometry")
+	}
+	for round := 0; round < 3; round++ {
+		for i, c := range clients {
+			got := exchange(c, wire.ClientUpdate{})
+			if !bytes.Equal(got, ref) {
+				t.Fatalf("round %d session %d: tool-bearing frame differs from the shared round", round, i)
+			}
+		}
+	}
+}

@@ -107,6 +107,13 @@ type Config struct {
 	// vw.steer procedure is served and steering commands are accepted —
 	// they only have a producer to act on when Store is a live ring.
 	Steer env.SteerParams
+	// Iso / Plane / Vortex seed the shared field-diagnostic tools. All
+	// three zero leaves the tools untouched — frames carry no tool
+	// section and stay byte-identical to pre-tool builds until a tool
+	// command arrives.
+	Iso    env.IsoParams
+	Plane  env.PlaneParams
+	Vortex env.VortexParams
 }
 
 // Stats is a snapshot of server-side performance counters.
@@ -170,6 +177,13 @@ type Stats struct {
 	// the live ring's resident window and had to be clamped — in-situ
 	// mode's ring-starvation pressure gauge.
 	LiveClamps int64
+	// ToolsComputed / ToolsReused count shared-tool geometry
+	// recomputations vs memo hits; ToolPoints counts tool-section
+	// points shipped per round (kept apart from Points, which remains
+	// the paper's rake-path quantity).
+	ToolsComputed int64
+	ToolsReused   int64
+	ToolPoints    int64
 }
 
 // Server is the remote-host application layered on a dlib server.
@@ -247,6 +261,25 @@ type Server struct {
 	geomWire    []wire.Geometry
 	geomGC      []*rakeGeom // aligned with geomWire, for point totals
 	jobs        []rakeJob
+
+	// Shared-tool round state (tools.go): the snapshot the round was
+	// planned from, the per-tool geometry memos (iso, plane, vortex),
+	// the derived-scalar cache, the planned stride and its budget
+	// reserve, and the assembled tool section (toolsMeta.Geoms aliases
+	// toolGeomWire; toolGC is aligned with it). haveTools gates the
+	// section: a never-touched environment ships no tool bytes.
+	toolSnap       env.ToolsState
+	toolGeos       [3]toolGeom
+	toolScal       toolScalars
+	toolStride     int
+	toolReserve    time.Duration
+	haveTools      bool
+	toolsMeta      wire.ToolsReply
+	toolGeomWire   []wire.ToolGeom
+	toolGC         []*toolGeom
+	toolSeqScratch []uint64
+	toolSegScratch [][]byte
+	lastToolPoints int64
 
 	// Governor state: the planner itself plus recycled scratch for its
 	// per-frame request/level/job-index triples.
@@ -352,6 +385,10 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.Steer != (env.SteerParams{}) {
 		s.env.InitSteer(cfg.Steer)
+	}
+	if cfg.Iso != (env.IsoParams{}) || cfg.Plane != (env.PlaneParams{}) ||
+		cfg.Vortex != (env.VortexParams{}) {
+		s.env.InitTools(cfg.Iso, cfg.Plane, cfg.Vortex)
 	}
 	s.d.Register(wire.ProcHello, s.handleHello)
 	s.d.Register(wire.ProcHello2, s.handleHello2)

@@ -223,10 +223,20 @@ func (s *Server) serveFrameV2Locked(ctx *dlib.Ctx, st *sessionState) ([]byte, er
 		s.seqScratch = append(s.seqScratch, gc.seq)
 		s.segScratch = append(s.segScratch, gc.seg)
 	}
+	// Tool geometry rides the same encode-once segment cache, keyed by
+	// the shared geometry sequence space, so every v2 session (and every
+	// relay) ships identical quantized bytes for a given tool version.
+	s.toolSeqScratch = s.toolSeqScratch[:0]
+	s.toolSegScratch = s.toolSegScratch[:0]
+	for _, tg := range s.toolGC {
+		s.encodeToolSegLocked(tg)
+		s.toolSeqScratch = append(s.toolSeqScratch, tg.seq)
+		s.toolSegScratch = append(s.toolSegScratch, tg.seg)
+	}
 	reply := s.lastMeta
 	reply.Geometry = s.geomWire
 	fb := s.acquireSessionBufLocked()
-	fb.buf = st.enc.AppendFrame(fb.buf[:0], reply, s.seqScratch, s.segScratch)
+	fb.buf = st.enc.AppendFrame(fb.buf[:0], reply, s.seqScratch, s.segScratch, s.toolSeqScratch, s.toolSegScratch)
 	fb.refs++
 	ctx.ReplyDone(fb.release)
 	s.stats.FramesShipped++
@@ -300,6 +310,18 @@ func (s *Server) handleFrameRelay(ctx *dlib.Ctx, payload []byte) ([]byte, error)
 					s.encodeSegLocked(gc)
 					seg.Inline = true
 					seg.Seg = gc.seg
+				}
+				s.dirScratch = append(s.dirScratch, seg)
+			}
+			// Tool segments share the directory under negative keys
+			// (rake ids are always >= 1, so -kind can never collide).
+			for _, tg := range s.toolGC {
+				key := -int32(tg.geo.Tool)
+				seg := wire.RelaySegment{Rake: key, Seq: tg.seq}
+				if !req.ShadowHas(key, tg.seq) {
+					s.encodeToolSegLocked(tg)
+					seg.Inline = true
+					seg.Seg = tg.seg
 				}
 				s.dirScratch = append(s.dirScratch, seg)
 			}
@@ -424,6 +446,35 @@ func (s *Server) applyCommand(user int64, c wire.Command) {
 			Reynolds: c.P0.Y,
 			Taper:    c.P0.Z,
 		})
+	case wire.CmdIsoGrab:
+		s.env.GrabIso(user)
+	case wire.CmdIsoRelease:
+		s.env.ReleaseIso(user)
+	case wire.CmdIsoSet:
+		// Flag toggles the surface, Value is the iso level in speed
+		// units. A NaN/Inf or out-of-envelope level is dropped before it
+		// can poison the marching pass or bump the tool version.
+		if !validIsoLevel(c.Value) {
+			return
+		}
+		s.env.SetIso(user, env.IsoParams{Enabled: c.Flag != 0, Level: c.Value})
+	case wire.CmdPlaneGrab:
+		s.env.GrabPlane(user)
+	case wire.CmdPlaneRelease:
+		s.env.ReleasePlane(user)
+	case wire.CmdPlaneMove:
+		// Grab carries the slicing axis (0/1/2), Value the fractional
+		// position along it. Out-of-range axes and non-finite or
+		// out-of-[0,1] fractions are hostile input: drop the command.
+		if c.Grab > 2 || !finite32(c.Value) || c.Value < 0 || c.Value > 1 {
+			return
+		}
+		s.env.SetPlane(user, env.PlaneParams{Enabled: c.Flag != 0, Axis: c.Grab, Frac: c.Value})
+	case wire.CmdVortexToggle:
+		if !validVortexThreshold(c.Value) {
+			return
+		}
+		s.env.SetVortex(user, env.VortexParams{Enabled: c.Flag != 0, Threshold: c.Value})
 	}
 }
 

@@ -1,0 +1,403 @@
+package server
+
+// Shared field-diagnostic tools on the compute path. Isosurfaces,
+// cutting planes, and vortex cores are whole-field products — their
+// cost scales with the grid, not with a rake's seed row — so they get
+// their own governor axis: a cell stride. Under pressure the governor
+// coarsens the march (stride 2, then 4) before any held rake sheds a
+// seed; a tool is coarsened, never dropped. Geometry is memoized per
+// (tool version, timestep, stride) exactly like per-rake geometry, and
+// numbered by the same sequence counter so codec-v2 sessions and
+// relays can delta it.
+
+import (
+	"math"
+	"runtime"
+	"time"
+
+	"repro/internal/field"
+	"repro/internal/grid"
+	"repro/internal/isosurf"
+	"repro/internal/vmath"
+	"repro/internal/wire"
+)
+
+// toolUnitsPerCell prices one marched hexahedral cell (six
+// tetrahedra) in §5.3 work units; planeUnitsPerNode prices one
+// hedgehog sample on a cutting plane.
+const (
+	toolUnitsPerCell  = 8
+	planeUnitsPerNode = 2
+)
+
+// toolStrides is the fidelity ladder the governor sheds shared tools
+// along: full resolution, half, quarter. The last entry is the floor —
+// a tool at stride 4 still renders, just coarser.
+var toolStrides = [...]int{1, 2, 4}
+
+// toolGeom memoizes one shared tool's geometry and the inputs it was
+// computed from, mirroring rakeGeom: matching (version, step, stride)
+// means the cached wire.ToolGeom is the answer. seq/seg/segSeq play
+// the same codec-v2 encode-once roles as on rakeGeom.
+type toolGeom struct {
+	have    bool
+	version uint64
+	step    int
+	stride  int
+
+	geo    wire.ToolGeom
+	points int64
+
+	seq    uint64
+	seg    []byte
+	segSeq uint64
+}
+
+// toolScalars caches the per-timestep derived fields the tools share:
+// the physical-velocity conversion of the loaded step, its speed
+// magnitude (isosurface scalar), and its Q-criterion (vortex scalar).
+// Keyed by the loaded field's identity and step so a step change — or
+// a live ring regenerating in place under a new pointer — invalidates
+// everything at once.
+type toolScalars struct {
+	src   *field.Field
+	step  int
+	phys  *field.Field
+	speed []float32
+	q     []float32
+}
+
+// invalidate drops the cache if the loaded step changed.
+func (tc *toolScalars) invalidate(cur *field.Field, step int) {
+	if tc.src != cur || tc.step != step {
+		tc.src, tc.step = cur, step
+		tc.phys, tc.speed, tc.q = nil, nil, nil
+	}
+}
+
+// physical returns the physical-velocity field for the loaded step,
+// converting once per step. A degenerate conversion yields nil and
+// the tools emit empty geometry rather than failing the frame.
+func (tc *toolScalars) physical(g *grid.Grid, cur *field.Field) *field.Field {
+	if tc.phys == nil && cur != nil {
+		if p, err := field.ToPhysicalVelocity(cur, g); err == nil {
+			tc.phys = p
+		}
+	}
+	return tc.phys
+}
+
+// speedField returns the cached node speed scalar, building it on
+// first use per step.
+func (tc *toolScalars) speedField(g *grid.Grid, cur *field.Field) []float32 {
+	if tc.speed == nil {
+		if p := tc.physical(g, cur); p != nil {
+			tc.speed = isosurf.SpeedField(p)
+		}
+	}
+	return tc.speed
+}
+
+// qField returns the cached node Q-criterion scalar, building it on
+// first use per step.
+func (tc *toolScalars) qField(g *grid.Grid, cur *field.Field) []float32 {
+	if tc.q == nil {
+		if p := tc.physical(g, cur); p != nil {
+			if q, err := field.QCriterion(g, p); err == nil {
+				tc.q = q
+			}
+		}
+	}
+	return tc.q
+}
+
+// marchCells counts the strided cells a surface extraction visits.
+func marchCells(g *grid.Grid, stride int) int64 {
+	span := func(n int) int64 {
+		if n <= 1 {
+			return 0
+		}
+		return int64((n-2)/stride + 1)
+	}
+	return span(g.NI) * span(g.NJ) * span(g.NK)
+}
+
+// sliceNodes counts the strided nodes on a cutting plane across axis.
+func sliceNodes(g *grid.Grid, axis uint8, stride int) int64 {
+	span := func(n int) int64 {
+		if n <= 0 {
+			return 0
+		}
+		return int64((n-1)/stride + 1)
+	}
+	switch axis {
+	case 0:
+		return span(g.NJ) * span(g.NK)
+	case 1:
+		return span(g.NI) * span(g.NK)
+	default:
+		return span(g.NI) * span(g.NJ)
+	}
+}
+
+// toolUnitsAtLocked prices one frame's enabled tools at the given stride, in
+// the governor's §5.3 work units.
+func (s *Server) toolUnitsAtLocked(g *grid.Grid, stride int) int64 {
+	var u int64
+	if s.toolSnap.Iso.Params.Enabled {
+		u += marchCells(g, stride) * toolUnitsPerCell
+	}
+	if s.toolSnap.Vortex.Params.Enabled {
+		u += marchCells(g, stride) * toolUnitsPerCell
+	}
+	if s.toolSnap.Plane.Params.Enabled {
+		u += sliceNodes(g, s.toolSnap.Plane.Params.Axis, stride) * planeUnitsPerNode
+	}
+	return u
+}
+
+// planToolsLocked picks this round's tool stride and the slice of the
+// frame budget the tools reserve. Tools shed before any rake: the
+// first stride whose cost fits the budget alongside the rakes'
+// full-fidelity demand wins, and if none fits the floor stride is
+// taken anyway (tools coarsen, never disappear) — the rake planner
+// then sheds under the reduced budget. Ungoverned and uncalibrated
+// servers always march at stride 1, keeping their frames byte-
+// identical to a toolless build's behavior. Caller holds s.mu.
+func (s *Server) planToolsLocked(g *grid.Grid, rakeUnits int64) (stride int, reserve time.Duration) {
+	if !s.toolSnap.Active() {
+		return 1, 0
+	}
+	if !s.gov.enabled() || !s.gov.calibrated() {
+		return 1, 0
+	}
+	full := s.toolUnitsAtLocked(g, 1)
+	if full == 0 {
+		return 1, 0
+	}
+	budget := s.gov.effectiveBudget()
+	stride = toolStrides[len(toolStrides)-1]
+	for _, cand := range toolStrides {
+		if s.gov.predict(rakeUnits+s.toolUnitsAtLocked(g, cand)) <= budget {
+			stride = cand
+			break
+		}
+	}
+	return stride, s.gov.predict(s.toolUnitsAtLocked(g, stride))
+}
+
+// computeToolsLocked recomputes every enabled tool whose inputs
+// changed, reusing memoized geometry for the rest, and assembles the
+// round's tool section. It returns the work actually done (for the
+// governor's EWMA), the full/actual unit totals (for the degradation
+// byte), and the points shipped. Caller holds s.mu.
+func (s *Server) computeToolsLocked(g *grid.Grid, step int) (unitsDone, fullU, actualU, points int64) {
+	s.haveTools = s.toolSnap.Active()
+	s.toolGeomWire = s.toolGeomWire[:0]
+	s.toolGC = s.toolGC[:0]
+	if !s.haveTools {
+		return 0, 0, 0, 0
+	}
+	snap := s.toolSnap
+	s.toolsMeta = wire.ToolsReply{
+		Iso: wire.ToolState{
+			Enabled: snap.Iso.Params.Enabled, Value: snap.Iso.Params.Level,
+			Holder: snap.Iso.Holder,
+		},
+		Plane: wire.ToolState{
+			Enabled: snap.Plane.Params.Enabled, Axis: snap.Plane.Params.Axis,
+			Value: snap.Plane.Params.Frac, Holder: snap.Plane.Holder,
+		},
+		Vortex: wire.ToolState{
+			Enabled: snap.Vortex.Params.Enabled, Value: snap.Vortex.Params.Threshold,
+			Holder: snap.Vortex.Holder,
+		},
+	}
+	s.toolScal.invalidate(s.cur, step)
+	stride := s.toolStride
+	if stride < 1 {
+		stride = 1
+	}
+
+	// Fixed iso -> plane -> vortex order: tool sections, sequence
+	// numbers, and relay directories all depend on it.
+	if snap.Iso.Params.Enabled {
+		cost := marchCells(g, stride) * toolUnitsPerCell
+		fullU += marchCells(g, 1) * toolUnitsPerCell
+		actualU += cost
+		tg := &s.toolGeos[0]
+		if !(tg.have && tg.version == snap.Iso.Version && tg.step == step && tg.stride == stride) {
+			pts := tg.geo.Points[:0]
+			if scal := s.toolScal.speedField(g, s.cur); scal != nil {
+				pts = appendExtract(pts, g, scal, snap.Iso.Params.Level, stride, s.toolWorkers())
+			}
+			s.finishToolLocked(tg, wire.ToolKindIso, pts, snap.Iso.Version, step, stride)
+			unitsDone += cost
+		} else {
+			s.stats.ToolsReused++
+		}
+		s.toolGeomWire = append(s.toolGeomWire, tg.geo)
+		s.toolGC = append(s.toolGC, tg)
+		points += tg.points
+	}
+	if snap.Plane.Params.Enabled {
+		cost := sliceNodes(g, snap.Plane.Params.Axis, stride) * planeUnitsPerNode
+		fullU += sliceNodes(g, snap.Plane.Params.Axis, 1) * planeUnitsPerNode
+		actualU += cost
+		tg := &s.toolGeos[1]
+		if !(tg.have && tg.version == snap.Plane.Version && tg.step == step && tg.stride == stride) {
+			pts := tg.geo.Points[:0]
+			if phys := s.toolScal.physical(g, s.cur); phys != nil {
+				pts = appendPlaneHedgehog(pts, g, phys, snap.Plane.Params.Axis, snap.Plane.Params.Frac, stride)
+			}
+			s.finishToolLocked(tg, wire.ToolKindPlane, pts, snap.Plane.Version, step, stride)
+			unitsDone += cost
+		} else {
+			s.stats.ToolsReused++
+		}
+		s.toolGeomWire = append(s.toolGeomWire, tg.geo)
+		s.toolGC = append(s.toolGC, tg)
+		points += tg.points
+	}
+	if snap.Vortex.Params.Enabled {
+		cost := marchCells(g, stride) * toolUnitsPerCell
+		fullU += marchCells(g, 1) * toolUnitsPerCell
+		actualU += cost
+		tg := &s.toolGeos[2]
+		if !(tg.have && tg.version == snap.Vortex.Version && tg.step == step && tg.stride == stride) {
+			pts := tg.geo.Points[:0]
+			if scal := s.toolScal.qField(g, s.cur); scal != nil {
+				pts = appendExtract(pts, g, scal, snap.Vortex.Params.Threshold, stride, s.toolWorkers())
+			}
+			s.finishToolLocked(tg, wire.ToolKindVortex, pts, snap.Vortex.Version, step, stride)
+			unitsDone += cost
+		} else {
+			s.stats.ToolsReused++
+		}
+		s.toolGeomWire = append(s.toolGeomWire, tg.geo)
+		s.toolGC = append(s.toolGC, tg)
+		points += tg.points
+	}
+	s.toolsMeta.Geoms = s.toolGeomWire
+	return unitsDone, fullU, actualU, points
+}
+
+// finishToolLocked commits one recomputed tool geometry to its memo
+// entry and assigns it the next geometry sequence number. Caller holds
+// s.mu.
+func (s *Server) finishToolLocked(tg *toolGeom, kind uint8, pts []vmath.Vec3, version uint64, step, stride int) {
+	tg.geo = wire.ToolGeom{Tool: kind, Points: pts}
+	tg.points = int64(len(pts))
+	tg.have = true
+	tg.version = version
+	tg.step = step
+	tg.stride = stride
+	s.geoSeq++
+	tg.seq = s.geoSeq
+	s.stats.ToolsComputed++
+}
+
+// encodeToolSegLocked ensures tg.seg holds the codec-v2 segment for
+// the tool's current geometry sequence — encode-once, tool edition.
+// Caller holds s.mu.
+func (s *Server) encodeToolSegLocked(tg *toolGeom) {
+	if tg.segSeq != tg.seq {
+		tg.seg = wire.AppendToolGeomV2(tg.seg[:0], tg.geo, s.quant)
+		tg.segSeq = tg.seq
+	}
+}
+
+// toolWorkers returns the worker count surface extraction parallelizes
+// over, matching the rake pool's bound.
+func (s *Server) toolWorkers() int {
+	if s.cfg.RakeWorkers > 0 {
+		return s.cfg.RakeWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// appendExtract marches the iso-valued surface of scalar and appends
+// the triangle soup to dst as flat points. The extraction order is
+// pinned (see isosurf.ExtractParallel), so two servers at the same
+// (scalar, level, stride) append identical point streams.
+func appendExtract(dst []vmath.Vec3, g *grid.Grid, scalar []float32, level float32, stride, workers int) []vmath.Vec3 {
+	tris, err := isosurf.ExtractParallel(g, scalar, level, stride, workers)
+	if err != nil {
+		return dst
+	}
+	for _, t := range tris {
+		dst = append(dst, t[0], t[1], t[2])
+	}
+	return dst
+}
+
+// hedgehogScale scales a node's physical velocity into its hedgehog
+// segment on the cutting plane.
+const hedgehogScale = 1.0
+
+// appendPlaneHedgehog appends the cutting plane's hedgehog segments —
+// one (root, root + v·scale) pair per strided node of the slice at
+// frac along axis — in pinned node order.
+func appendPlaneHedgehog(dst []vmath.Vec3, g *grid.Grid, phys *field.Field, axis uint8, frac float32, stride int) []vmath.Vec3 {
+	if stride < 1 {
+		stride = 1
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	pick := func(n int) int {
+		p := int(math.Round(float64(frac) * float64(n-1)))
+		if p < 0 {
+			p = 0
+		}
+		if p > n-1 {
+			p = n - 1
+		}
+		return p
+	}
+	emit := func(i, j, k int) {
+		idx := g.Index(i, j, k)
+		root := vmath.Vec3{X: g.X[idx], Y: g.Y[idx], Z: g.Z[idx]}
+		v := phys.At(i, j, k)
+		dst = append(dst, root, root.Add(v.Scale(hedgehogScale)))
+	}
+	switch axis {
+	case 0:
+		i := pick(g.NI)
+		for k := 0; k < g.NK; k += stride {
+			for j := 0; j < g.NJ; j += stride {
+				emit(i, j, k)
+			}
+		}
+	case 1:
+		j := pick(g.NJ)
+		for k := 0; k < g.NK; k += stride {
+			for i := 0; i < g.NI; i += stride {
+				emit(i, j, k)
+			}
+		}
+	default:
+		k := pick(g.NK)
+		for j := 0; j < g.NJ; j += stride {
+			for i := 0; i < g.NI; i += stride {
+				emit(i, j, k)
+			}
+		}
+	}
+	return dst
+}
+
+// validIsoLevel bounds a client-supplied iso level: speed magnitudes
+// are non-negative and a sane dataset stays far below the cap.
+func validIsoLevel(v float32) bool {
+	return finite32(v) && v >= 0 && v <= 1e6
+}
+
+// validVortexThreshold bounds a client-supplied Q threshold.
+// Q-criterion values are signed; the cap only screens absurdity.
+func validVortexThreshold(v float32) bool {
+	return finite32(v) && v >= -1e6 && v <= 1e6
+}

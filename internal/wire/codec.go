@@ -130,6 +130,12 @@ func AppendFrameReply(dst []byte, r FrameReply) []byte {
 			e.buf = EncodePoints(e.buf, line)
 		}
 	}
+	// The shared-tool section is optional and trailing: v1 decoders
+	// have always stopped after the geometry section, so its presence
+	// is simply "bytes remain".
+	if r.Tools != nil {
+		e.buf = appendToolsReply(e.buf, r.Tools)
+	}
 	return e.buf
 }
 
@@ -206,6 +212,14 @@ func DecodeFrameReply(buf []byte) (FrameReply, error) {
 			}
 			g.Lines[l] = line
 		}
+	}
+	if d.err == nil && len(d.buf) > 0 {
+		t, err := decodeToolsReply(d.buf, maxPoints-totalPoints)
+		if err != nil {
+			return FrameReply{}, err
+		}
+		d.buf = nil
+		r.Tools = &t
 	}
 	return r, d.err
 }

@@ -291,6 +291,54 @@ func decodeGeomV2(buf []byte, rake int32, q Quantizer, budget int) (Geometry, in
 	return g, total, nil
 }
 
+// AppendToolGeomV2 appends one shared tool's geometry as a codec-v2
+// segment: tool byte, varint point count, 6 quantized bytes per point.
+func AppendToolGeomV2(dst []byte, g ToolGeom, q Quantizer) []byte {
+	e := encoder{buf: dst}
+	e.u8(g.Tool)
+	e.uvarint(uint64(len(g.Points)))
+	for _, p := range g.Points {
+		x, y, z := q.Quant(p)
+		var b [QuantBytes]byte
+		binary.LittleEndian.PutUint16(b[0:], x)
+		binary.LittleEndian.PutUint16(b[2:], y)
+		binary.LittleEndian.PutUint16(b[4:], z)
+		e.buf = append(e.buf, b[:]...)
+	}
+	return e.buf
+}
+
+// decodeToolGeomV2 parses one tool segment, counting decoded points
+// against the caller's remaining point budget.
+func decodeToolGeomV2(buf []byte, q Quantizer, budget int) (ToolGeom, int, error) {
+	d := decoder{buf: buf}
+	var g ToolGeom
+	g.Tool = d.u8()
+	nPts := d.uvarintCount(maxPoints, QuantBytes)
+	if d.err != nil {
+		return ToolGeom{}, 0, d.err
+	}
+	if nPts > budget {
+		return ToolGeom{}, 0, d.errf("too many tool points")
+	}
+	pts := make([]vmath.Vec3, nPts)
+	for p := range pts {
+		b := d.take(QuantBytes)
+		if b == nil {
+			return ToolGeom{}, 0, d.err
+		}
+		pts[p] = q.Dequant(
+			binary.LittleEndian.Uint16(b[0:]),
+			binary.LittleEndian.Uint16(b[2:]),
+			binary.LittleEndian.Uint16(b[4:]))
+	}
+	g.Points = pts
+	if len(d.buf) != 0 {
+		return ToolGeom{}, 0, fmt.Errorf("wire: %d trailing bytes in tool segment", len(d.buf))
+	}
+	return g, nPts, nil
+}
+
 // --- frame encoder ---------------------------------------------------
 
 // FrameEncoder encodes codec-v2 frames for one session. It shadows
@@ -309,6 +357,7 @@ type FrameEncoder struct {
 	LastInline, LastRef int
 
 	shadow  map[int32]uint64
+	tools   map[uint8]uint64
 	users   map[int64]UserState
 	rakes   map[int32]RakeState
 	scratch []byte
@@ -319,6 +368,7 @@ func NewFrameEncoder(q Quantizer) *FrameEncoder {
 	return &FrameEncoder{
 		Q:      q,
 		shadow: make(map[int32]uint64),
+		tools:  make(map[uint8]uint64),
 		users:  make(map[int64]UserState),
 		rakes:  make(map[int32]RakeState),
 	}
@@ -327,6 +377,7 @@ func NewFrameEncoder(q Quantizer) *FrameEncoder {
 // Reset forgets the peer's shadow; the next frame is a full keyframe.
 func (e *FrameEncoder) Reset() {
 	clear(e.shadow)
+	clear(e.tools)
 	clear(e.users)
 	clear(e.rakes)
 }
@@ -337,7 +388,9 @@ func (e *FrameEncoder) Reset() {
 // tracking for the entry and always inlines it). segs, when non-nil,
 // supplies pre-encoded segment bytes aligned with r.Geometry — the
 // server's encode-once segment cache; nil entries are encoded fresh.
-func (e *FrameEncoder) AppendFrame(dst []byte, r FrameReply, seqs []uint64, segs [][]byte) []byte {
+// toolSeqs and toolSegs play the same roles for r.Tools.Geoms when the
+// frame carries a tool section.
+func (e *FrameEncoder) AppendFrame(dst []byte, r FrameReply, seqs []uint64, segs [][]byte, toolSeqs []uint64, toolSegs [][]byte) []byte {
 	e.LastInline, e.LastRef = 0, 0
 	enc := encoder{buf: dst}
 	enc.u8(CodecV2)
@@ -416,7 +469,69 @@ func (e *FrameEncoder) AppendFrame(dst []byte, r FrameReply, seqs []uint64, segs
 		e.LastInline++
 	}
 	pruneShadow(e.shadow, r.Geometry)
+
+	// Optional trailing tool section, mirroring codec v1: presence is
+	// "bytes remain after the geometry directory". Tool states are
+	// small and always inline; tool geometry deltas exactly like rake
+	// geometry, shadowed by tool kind.
+	if r.Tools != nil {
+		enc.toolState(r.Tools.Iso)
+		enc.toolState(r.Tools.Plane)
+		enc.toolState(r.Tools.Vortex)
+		enc.uvarint(uint64(len(r.Tools.Geoms)))
+		for i := range r.Tools.Geoms {
+			g := &r.Tools.Geoms[i]
+			var seq uint64
+			if toolSeqs != nil {
+				seq = toolSeqs[i]
+			}
+			enc.u8(g.Tool)
+			if seq != 0 && e.tools[g.Tool] == seq {
+				enc.u8(geomRef)
+				enc.uvarint(seq)
+				e.LastRef++
+				continue
+			}
+			enc.u8(geomInline)
+			enc.uvarint(seq)
+			var seg []byte
+			if toolSegs != nil && toolSegs[i] != nil {
+				seg = toolSegs[i]
+			} else {
+				e.scratch = AppendToolGeomV2(e.scratch[:0], *g, e.Q)
+				seg = e.scratch
+			}
+			enc.uvarint(uint64(len(seg)))
+			enc.buf = append(enc.buf, seg...)
+			if seq != 0 {
+				e.tools[g.Tool] = seq
+			} else {
+				delete(e.tools, g.Tool)
+			}
+			e.LastInline++
+		}
+		pruneToolShadow(e.tools, r.Tools.Geoms)
+	}
 	return enc.buf
+}
+
+// pruneToolShadow is pruneShadow for the tool-geometry shadow.
+func pruneToolShadow[V any](shadow map[uint8]V, geoms []ToolGeom) {
+	if len(shadow) <= len(geoms) {
+		return
+	}
+	for id := range shadow {
+		found := false
+		for i := range geoms {
+			if geoms[i].Tool == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			delete(shadow, id)
+		}
+	}
 }
 
 // pruneUsers drops user-shadow entries for users absent from the
@@ -501,8 +616,15 @@ type FrameDecoder struct {
 	Q Quantizer
 
 	shadow map[int32]decodedGeom
+	tools  map[uint8]decodedToolGeom
 	users  map[int64]UserState
 	rakes  map[int32]RakeState
+}
+
+// decodedToolGeom is one tool-shadow entry.
+type decodedToolGeom struct {
+	seq uint64
+	geo ToolGeom
 }
 
 // NewFrameDecoder returns a decoder with an empty shadow.
@@ -510,6 +632,7 @@ func NewFrameDecoder(q Quantizer) *FrameDecoder {
 	return &FrameDecoder{
 		Q:      q,
 		shadow: make(map[int32]decodedGeom),
+		tools:  make(map[uint8]decodedToolGeom),
 		users:  make(map[int64]UserState),
 		rakes:  make(map[int32]RakeState),
 	}
@@ -518,6 +641,7 @@ func NewFrameDecoder(q Quantizer) *FrameDecoder {
 // Reset forgets all shadowed state (reconnect resync).
 func (d *FrameDecoder) Reset() {
 	clear(d.shadow)
+	clear(d.tools)
 	clear(d.users)
 	clear(d.rakes)
 }
@@ -651,8 +775,77 @@ func (d *FrameDecoder) Decode(buf []byte) (FrameReply, error) {
 		}
 	}
 	if len(dec.buf) != 0 {
+		// Bytes after the geometry directory are the optional tool
+		// section (mirroring codec v1's presence-by-remaining-bytes).
+		t, err := d.decodeToolSection(&dec, maxPoints-total)
+		if err != nil {
+			return FrameReply{}, err
+		}
+		r.Tools = t
+	}
+	if len(dec.buf) != 0 {
 		return FrameReply{}, fmt.Errorf("wire: %d trailing bytes in frame", len(dec.buf))
 	}
 	pruneShadow(d.shadow, r.Geometry)
 	return r, dec.err
+}
+
+// decodeToolSection parses the codec-v2 tool section, resolving
+// geometry references against the tool shadow.
+func (d *FrameDecoder) decodeToolSection(dec *decoder, budget int) (*ToolsReply, error) {
+	var t ToolsReply
+	t.Iso = dec.toolState()
+	t.Plane = dec.toolState()
+	t.Vortex = dec.toolState()
+	nGeoms := dec.uvarintCount(maxToolGeoms, 3) // tool + kind + seq minimum
+	if dec.err != nil {
+		return nil, dec.err
+	}
+	t.Geoms = make([]ToolGeom, 0, nGeoms)
+	var total int
+	for i := 0; i < nGeoms; i++ {
+		tool := dec.u8()
+		kind := dec.u8()
+		seq := dec.uvarint()
+		if dec.err != nil {
+			return nil, dec.err
+		}
+		switch kind {
+		case geomRef:
+			cg, ok := d.tools[tool]
+			if !ok || cg.seq != seq {
+				return nil, fmt.Errorf(
+					"wire: reference to unknown tool geometry (tool %d seq %d)", tool, seq)
+			}
+			total += len(cg.geo.Points)
+			if total > budget {
+				return nil, fmt.Errorf("wire: too many tool points")
+			}
+			t.Geoms = append(t.Geoms, cg.geo)
+		case geomInline:
+			segLen := dec.uvarintCount(len(dec.buf), 1)
+			seg := dec.take(segLen)
+			if dec.err != nil {
+				return nil, dec.err
+			}
+			g, pts, err := decodeToolGeomV2(seg, d.Q, budget-total)
+			if err != nil {
+				return nil, err
+			}
+			if g.Tool != tool {
+				return nil, fmt.Errorf("wire: tool segment kind %d under directory entry %d", g.Tool, tool)
+			}
+			total += pts
+			if seq != 0 {
+				d.tools[tool] = decodedToolGeom{seq: seq, geo: g}
+			} else {
+				delete(d.tools, tool)
+			}
+			t.Geoms = append(t.Geoms, g)
+		default:
+			return nil, fmt.Errorf("wire: unknown tool record kind %d", kind)
+		}
+	}
+	pruneToolShadow(d.tools, t.Geoms)
+	return &t, nil
 }

@@ -253,7 +253,7 @@ func TestDeltaEncodeDecodeIdentity(t *testing.T) {
 				}
 			}
 
-			buf := enc.AppendFrame(nil, r, seqs, nil)
+			buf := enc.AppendFrame(nil, r, seqs, nil, nil, nil)
 			got, err := dec.Decode(buf)
 			if err != nil {
 				t.Fatalf("trial %d round %d: decode: %v", trial, round, err)
@@ -293,11 +293,11 @@ func TestDeltaSteadyFramesAreRefs(t *testing.T) {
 		r.Geometry = append(r.Geometry, g)
 	}
 	seqs := []uint64{1, 2, 3}
-	key := enc.AppendFrame(nil, r, seqs, nil)
+	key := enc.AppendFrame(nil, r, seqs, nil, nil, nil)
 	if enc.LastInline != 3 || enc.LastRef != 0 {
 		t.Fatalf("keyframe: inline=%d ref=%d", enc.LastInline, enc.LastRef)
 	}
-	steady := enc.AppendFrame(nil, r, seqs, nil)
+	steady := enc.AppendFrame(nil, r, seqs, nil, nil, nil)
 	if enc.LastInline != 0 || enc.LastRef != 3 {
 		t.Fatalf("steady: inline=%d ref=%d", enc.LastInline, enc.LastRef)
 	}
@@ -325,8 +325,8 @@ func TestDecodeRefToUnknownRake(t *testing.T) {
 	r := FrameReply{Geometry: []Geometry{{Rake: 7, Lines: [][]vmath.Vec3{{{X: 0.5}}}}}}
 	// Teach the encoder the rake, then ask a *fresh* decoder to resolve
 	// the resulting reference.
-	enc.AppendFrame(nil, r, []uint64{9}, nil)
-	refFrame := enc.AppendFrame(nil, r, []uint64{9}, nil)
+	enc.AppendFrame(nil, r, []uint64{9}, nil, nil, nil)
+	refFrame := enc.AppendFrame(nil, r, []uint64{9}, nil, nil, nil)
 	dec := NewFrameDecoder(q)
 	if _, err := dec.Decode(refFrame); err == nil {
 		t.Fatal("reference to never-sent rake decoded silently")
@@ -334,7 +334,7 @@ func TestDecodeRefToUnknownRake(t *testing.T) {
 	// Same rake, wrong sequence: also an error.
 	dec2 := NewFrameDecoder(q)
 	enc2 := NewFrameEncoder(q)
-	key := enc2.AppendFrame(nil, r, []uint64{8}, nil)
+	key := enc2.AppendFrame(nil, r, []uint64{8}, nil, nil, nil)
 	if _, err := dec2.Decode(key); err != nil {
 		t.Fatal(err)
 	}
@@ -353,14 +353,14 @@ func TestDeltaRemovedRakePrunes(t *testing.T) {
 	full := FrameReply{Geometry: []Geometry{g}}
 	empty := FrameReply{}
 
-	if _, err := dec.Decode(enc.AppendFrame(nil, full, []uint64{1}, nil)); err != nil {
+	if _, err := dec.Decode(enc.AppendFrame(nil, full, []uint64{1}, nil, nil, nil)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := dec.Decode(enc.AppendFrame(nil, empty, nil, nil)); err != nil {
+	if _, err := dec.Decode(enc.AppendFrame(nil, empty, nil, nil, nil, nil)); err != nil {
 		t.Fatal(err)
 	}
 	// Rake 1 returns with new content: must inline, and decode fine.
-	buf := enc.AppendFrame(nil, full, []uint64{2}, nil)
+	buf := enc.AppendFrame(nil, full, []uint64{2}, nil, nil, nil)
 	if enc.LastInline != 1 {
 		t.Fatalf("re-added rake not inlined (inline=%d ref=%d)", enc.LastInline, enc.LastRef)
 	}
@@ -382,7 +382,7 @@ func TestFrameV2MetaRoundTrip(t *testing.T) {
 	}
 	enc := NewFrameEncoder(q)
 	dec := NewFrameDecoder(q)
-	got, err := dec.Decode(enc.AppendFrame(nil, r, nil, nil))
+	got, err := dec.Decode(enc.AppendFrame(nil, r, nil, nil, nil, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -412,8 +412,8 @@ func TestFrameV2CachedSegmentsMatchFresh(t *testing.T) {
 		AppendGeomV2(nil, r.Geometry[0], q),
 		AppendGeomV2(nil, r.Geometry[1], q),
 	}
-	fresh := NewFrameEncoder(q).AppendFrame(nil, r, seqs, nil)
-	cached := NewFrameEncoder(q).AppendFrame(nil, r, seqs, segs)
+	fresh := NewFrameEncoder(q).AppendFrame(nil, r, seqs, nil, nil, nil)
+	cached := NewFrameEncoder(q).AppendFrame(nil, r, seqs, segs, nil, nil)
 	if !bytes.Equal(fresh, cached) {
 		t.Error("cached-segment encode differs from fresh encode")
 	}

@@ -78,10 +78,10 @@ func FuzzDecodeFrameV2(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{CodecV2})
 	enc := NewFrameEncoder(q)
-	f.Add(enc.AppendFrame(nil, frame, []uint64{7}, nil)) // keyframe
-	f.Add(enc.AppendFrame(nil, frame, []uint64{7}, nil)) // all-ref frame: on a fresh decoder, a never-sent reference
+	f.Add(enc.AppendFrame(nil, frame, []uint64{7}, nil, nil, nil)) // keyframe
+	f.Add(enc.AppendFrame(nil, frame, []uint64{7}, nil, nil, nil)) // all-ref frame: on a fresh decoder, a never-sent reference
 	// Truncated varint: a keyframe cut mid-count.
-	key := NewFrameEncoder(q).AppendFrame(nil, frame, []uint64{7}, nil)
+	key := NewFrameEncoder(q).AppendFrame(nil, frame, []uint64{7}, nil, nil, nil)
 	f.Add(key[:len(key)-7])
 	// Extreme quantized coordinates (0xFFFF everywhere past the header).
 	hostile := append([]byte{}, key...)
@@ -89,6 +89,31 @@ func FuzzDecodeFrameV2(f *testing.F) {
 		hostile[i] = 0xff
 	}
 	f.Add(hostile)
+	// Tool section seeds: a keyframe carrying all three tool states
+	// plus inline iso/plane geometry, then the same frame again so the
+	// tool shadow emits references (never-sent refs on a fresh
+	// decoder), and a truncated/hostile variant of the tool bytes.
+	toolFrame := frame
+	toolFrame.Tools = &ToolsReply{
+		Iso:   ToolState{Enabled: true, Value: 0.8, Holder: 3},
+		Plane: ToolState{Enabled: true, Axis: 1, Value: 0.5},
+		Geoms: []ToolGeom{
+			{Tool: 1, Points: []vmath.Vec3{vmath.V3(1, 1, 1), vmath.V3(2, 2, 2), vmath.V3(3, 3, 3)}},
+			{Tool: 2, Points: []vmath.Vec3{vmath.V3(4, 4, 4), vmath.V3(5, 5, 5)}},
+		},
+	}
+	tenc := NewFrameEncoder(q)
+	f.Add(tenc.AppendFrame(nil, toolFrame, []uint64{7}, nil, []uint64{11, 12}, nil))
+	f.Add(tenc.AppendFrame(nil, toolFrame, []uint64{7}, nil, []uint64{11, 12}, nil))
+	tkey := NewFrameEncoder(q).AppendFrame(nil, toolFrame, []uint64{7}, nil, []uint64{11, 12}, nil)
+	f.Add(tkey[:len(tkey)-5]) // tool segment cut mid-record
+	// Hostile tool bytes: 0xFF over the trailing segment — huge vertex
+	// counts, unknown tool kinds, out-of-range quantized points.
+	thostile := append([]byte{}, tkey...)
+	for i := len(tkey) - 16; i < len(tkey); i++ {
+		thostile[i] = 0xff
+	}
+	f.Add(thostile)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		d := NewFrameDecoder(q)
 		for pass := 0; pass < 2; pass++ {
@@ -107,6 +132,21 @@ func FuzzDecodeFrameV2(f *testing.F) {
 							p.Y < q.Min.Y || p.Y > q.Max.Y ||
 							p.Z < q.Min.Z || p.Z > q.Max.Z {
 							t.Fatalf("decoded point %v escapes the box", p)
+						}
+					}
+				}
+			}
+			// Tool geometry obeys the same point budget and box.
+			if r.Tools != nil {
+				if r.TotalPoints()+r.Tools.TotalPoints() > maxPoints {
+					t.Fatalf("decoder allowed %d points with tools", r.TotalPoints()+r.Tools.TotalPoints())
+				}
+				for _, g := range r.Tools.Geoms {
+					for _, p := range g.Points {
+						if p.X < q.Min.X || p.X > q.Max.X ||
+							p.Y < q.Min.Y || p.Y > q.Max.Y ||
+							p.Z < q.Min.Z || p.Z > q.Max.Z {
+							t.Fatalf("decoded tool point %v escapes the box", p)
 						}
 					}
 				}

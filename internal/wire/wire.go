@@ -68,6 +68,28 @@ const (
 	// One command carries the whole triple so a change can never be
 	// half-applied, no matter where a connection dies.
 	CmdSteer
+	// CmdIsoGrab grabs the shared isosurface tool's lock (FCFS).
+	CmdIsoGrab
+	// CmdIsoSet sets the isosurface tool atomically: Flag = enabled,
+	// Value = the speed level extracted. A free lock is implicitly
+	// grabbed for the call.
+	CmdIsoSet
+	// CmdIsoRelease releases the isosurface lock.
+	CmdIsoRelease
+	// CmdPlaneGrab grabs the shared cutting-plane tool's lock (FCFS).
+	CmdPlaneGrab
+	// CmdPlaneMove moves the cutting plane atomically: Flag = enabled,
+	// Grab = the computational axis cut across (0=i, 1=j, 2=k), Value =
+	// the fractional position along that axis in [0,1]. A free lock is
+	// implicitly grabbed for the call.
+	CmdPlaneMove
+	// CmdPlaneRelease releases the cutting-plane lock.
+	CmdPlaneRelease
+	// CmdVortexToggle sets the vortex-core extractor atomically: Flag =
+	// enabled, Value = the Q-criterion threshold. There is no separate
+	// grab/release pair — toggles are one-shot — but the server still
+	// enforces the FCFS lock via implicit grab-for-call.
+	CmdVortexToggle
 )
 
 // Command is one user command. Unused fields are zero.
@@ -157,6 +179,12 @@ type FrameReply struct {
 	// budget (255 ~ everything clamped to the floor). Clients render a
 	// "degraded" cue when it is non-zero.
 	Degraded uint8
+	// Tools carries the shared field-diagnostic tools (isosurface,
+	// cutting plane, vortex cores) when any has ever been touched; nil
+	// otherwise. On the wire the section is optional-and-trailing in
+	// both codecs, so servers that never activate a tool emit frames
+	// byte-identical to builds that predate it.
+	Tools *ToolsReply
 }
 
 // TotalPoints returns the point count across all geometry, the
